@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+Each benchmark measures a hot path with pytest-benchmark AND regenerates
+its experiment's table: rows go through the ``report`` fixture, which
+prints them and appends them to ``benchmarks/results.txt`` so the full
+set of paper-shape tables survives output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS.write_text("")
+    yield
+
+
+class Reporter:
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.lines: list[str] = []
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        block = "\n".join([f"== {self.title} =="] + self.lines + [""])
+        print("\n" + block)
+        with RESULTS.open("a") as fh:
+            fh.write(block + "\n")
+
+
+@pytest.fixture
+def report(request):
+    reporter = Reporter(request.node.name)
+    yield reporter
+    reporter.flush()

@@ -1,0 +1,63 @@
+"""Claim C1: "As long as updates are done one after the other, commit
+always succeeds and requires virtually no processing at all."
+
+Table: commit-step cost (messages, disk reads, disk writes, logical
+ticks) as the file grows — the fast path must be flat.
+"""
+
+from repro.core.pathname import PagePath
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def _commit_step_cost(n_pages):
+    cluster = build_cluster(seed=20)
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(n_pages):
+        fs.append_page(setup.version, ROOT, b"p%d" % i)
+    fs.commit(setup.version)
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, PagePath.of(n_pages // 2), b"x")
+    fs.store.flush()
+    disk = cluster.pair.disk_a
+    msgs = cluster.network.stats.messages
+    reads, writes = disk.stats.reads, disk.stats.writes
+    ticks = cluster.clock.now
+    fs.commit(handle.version)
+    return {
+        "messages": cluster.network.stats.messages - msgs,
+        "reads": disk.stats.reads - reads,
+        "writes": disk.stats.writes - writes,
+        "ticks": cluster.clock.now - ticks,
+    }
+
+
+def test_c1_commit_cost_flat_in_file_size(benchmark, report):
+    sizes = (1, 8, 64, 512)
+    table = {n: _commit_step_cost(n) for n in sizes}
+    report.row("commit step cost (sequential fast path) vs file size:")
+    report.row(f"{'pages':>6} {'msgs':>6} {'reads':>6} {'writes':>7} {'ticks':>7}")
+    for n, cost in table.items():
+        report.row(
+            f"{n:>6} {cost['messages']:>6} {cost['reads']:>6} "
+            f"{cost['writes']:>7} {cost['ticks']:>7}"
+        )
+    first, last = table[sizes[0]], table[sizes[-1]]
+    assert first["messages"] == last["messages"]
+    assert first["writes"] == last["writes"]
+    assert first["ticks"] == last["ticks"]
+
+    # Wall-time of the committed fast path for the benchmark table.
+    cluster = build_cluster(seed=21)
+    fs = cluster.fs()
+    cap = fs.create_file(b"v")
+
+    def sequential_commit():
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, ROOT, b"w")
+        fs.commit(handle.version)
+
+    benchmark(sequential_commit)

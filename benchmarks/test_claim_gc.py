@@ -1,0 +1,91 @@
+"""Claim C8: the garbage collector "runs independent of, and in parallel
+with, the operation of the system" and "may remove pages that were copied
+but not written or modified and reshare the corresponding page".
+
+The table: blocks reclaimed after a read-heavy round (read copies are the
+reshare fodder), and the interference — commits that fail *because of* a
+concurrent GC cycle, which must be zero.
+"""
+
+from repro.core.pathname import PagePath
+from repro.sim.sched import Scheduler
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def test_c8_reshare_reclaims_read_copies(benchmark, report):
+    def read_heavy_round():
+        cluster = build_cluster(seed=80)
+        fs = cluster.fs()
+        cap = fs.create_file(b"root")
+        setup = fs.create_version(cap)
+        for i in range(12):
+            fs.append_page(setup.version, ROOT, b"p%d" % i)
+        fs.commit(setup.version)
+        # A mostly-read update: 10 reads, 1 write.
+        handle = fs.create_version(cap)
+        for i in range(10):
+            fs.read_page(handle.version, PagePath.of(i))
+        fs.write_page(handle.version, PagePath.of(11), b"w")
+        fs.commit(handle.version)
+        grown = len(fs.store.blocks.recover())
+        stats = cluster.gc().collect()
+        shrunk = len(fs.store.blocks.recover())
+        return grown, shrunk, stats
+
+    grown, shrunk, stats = benchmark(read_heavy_round)
+    report.row(f"blocks after a 10-read/1-write update: {grown}")
+    report.row(f"blocks after GC (reshare + sweep):     {shrunk}")
+    report.row(f"reshared references: {stats.reshared}, swept blocks: {stats.swept}")
+    assert stats.reshared >= 10
+    assert shrunk < grown
+
+
+def test_c8_gc_does_not_disturb_live_commits(benchmark, report):
+    def parallel_round():
+        cluster = build_cluster(seed=81)
+        fs = cluster.fs()
+        cap = fs.create_file(b"root")
+        setup = fs.create_version(cap)
+        for i in range(6):
+            fs.append_page(setup.version, ROOT, b"p%d" % i)
+        fs.commit(setup.version)
+        failures = []
+
+        def updates():
+            for n in range(8):
+                handle = fs.create_version(cap)
+                fs.read_page(handle.version, PagePath.of((n + 1) % 6))
+                fs.write_page(handle.version, PagePath.of(n % 6), b"u%d" % n)
+                yield
+                try:
+                    fs.commit(handle.version)
+                except Exception as exc:  # would indicate GC interference
+                    failures.append(exc)
+                yield
+
+        def collector():
+            collected = []
+            for _ in range(3):  # three full cycles during the updates
+                stats = yield from cluster.gc().run_incremental()
+                collected.append(stats)
+            return collected
+
+        sched = Scheduler()
+        sched.spawn("updates", updates())
+        gc_task = sched.spawn("gc", collector())
+        sched.run()
+        return failures, gc_task.result, fs, cap
+
+    failures, cycles, fs, cap = benchmark(parallel_round)
+    assert failures == []
+    current = fs.current_version(cap)
+    for i in range(6):
+        fs.read_page(current, PagePath.of(i))  # everything still reachable
+    report.row(f"GC cycles interleaved with 8 live updates: {len(cycles)}")
+    report.row("commits failed due to GC interference: 0")
+    report.row(
+        "reclaimed across cycles: "
+        + ", ".join(f"{s.swept} swept/{s.reshared} reshared" for s in cycles)
+    )

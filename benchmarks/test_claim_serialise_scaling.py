@@ -1,0 +1,63 @@
+"""Claim C2: the serialisability test visits only the intersection of the
+two versions' accessed page sets — "unvisited branches in either page tree
+are not descended, which makes the serialisability check quite fast when
+at least one of the concurrent updates is small."
+
+Two sweeps:
+* file size grows, accessed sets fixed → pages visited stays flat;
+* accessed-set overlap grows, file size fixed → pages visited grows
+  linearly with the overlap.
+"""
+
+from repro.core.occ import serialise
+from repro.core.pathname import PagePath
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def _visited_for(n_pages, overlap, seed=30):
+    """Pages visited by serialise for two updates whose accessed sets
+    intersect in ``overlap`` pages (blind writes of the same pages — the
+    one overlapping access pattern that is never a conflict)."""
+    cluster = build_cluster(seed=seed)
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(n_pages):
+        fs.append_page(setup.version, ROOT, b"p%d" % i)
+    fs.commit(setup.version)
+    va = fs.create_version(cap)
+    vb = fs.create_version(cap)
+    for i in range(overlap):
+        fs.write_page(va.version, PagePath.of(i), b"A")
+        fs.write_page(vb.version, PagePath.of(i), b"B")
+    fs.commit(va.version)
+    a_root = fs.registry.version(va.version.obj).root_block
+    b_root = fs.registry.version(vb.version.obj).root_block
+    fs.store.flush()
+    outcome = serialise(fs.store, b_root, a_root, merge=False)
+    assert outcome.ok
+    return outcome.pages_visited
+
+
+def test_c2_cost_flat_in_file_size(benchmark, report):
+    sizes = (8, 64, 256)
+    visited = {n: _visited_for(n, overlap=2) for n in sizes}
+    report.row("pages visited by serialise, fixed 2-page overlap:")
+    for n, v in visited.items():
+        report.row(f"  file of {n:4d} pages: {v} pages visited")
+    assert len(set(visited.values())) == 1, "must not depend on file size"
+    benchmark(lambda: _visited_for(64, 2))
+
+
+def test_c2_cost_grows_with_overlap(benchmark, report):
+    overlaps = (1, 4, 16)
+    visited = {t: _visited_for(256, overlap=t) for t in overlaps}
+    report.row("pages visited by serialise vs accessed-set overlap (256-page file):")
+    for t, v in visited.items():
+        report.row(f"  overlap of {t:3d} pages: {v} pages visited")
+    assert visited[1] < visited[4] < visited[16]
+    # Linear in the overlap: root plus one visit per overlapping page.
+    assert visited[16] - visited[4] == 12
+    benchmark(lambda: _visited_for(256, 4))

@@ -1,0 +1,115 @@
+"""Claim C9: super-file locking blocks exactly what it must.
+
+"It can also be seen that sub-files, not accessed by an update, are not
+locked and therefore accessible to other updates.  Full concurrent update
+remains possible on small files."
+
+The table: during a super-file update touching k of n sub-files, which
+small-file updates block and which proceed; plus the cost of the atomic
+multi-sub-file commit.
+"""
+
+import pytest
+
+from repro.errors import FileLocked
+from repro.core.pathname import PagePath
+from repro.core.system_tree import SystemTree
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def _nest(n_subfiles, seed=90):
+    cluster = build_cluster(seed=seed)
+    fs = cluster.fs()
+    tree = SystemTree(fs)
+    parent = fs.create_file(b"P")
+    handle = fs.create_version(parent)
+    subs = [
+        tree.create_subfile(handle.version, ROOT, initial_data=b"s%d" % i)
+        for i in range(n_subfiles)
+    ]
+    fs.commit(handle.version)
+    return cluster, fs, tree, parent, subs
+
+
+def test_c9_unlocked_subfiles_stay_updatable(benchmark, report):
+    cluster, fs, tree, parent, subs = _nest(6)
+    update = tree.begin_super_update(parent)
+    for sub in subs[:2]:  # the super update touches only two sub-files
+        handle = tree.open_subfile(update, sub)
+        fs.write_page(handle.version, ROOT, b"super")
+    blocked, free = 0, 0
+    for sub in subs:
+        try:
+            handle = fs.create_version(sub)
+            fs.abort(handle.version)
+            free += 1
+        except FileLocked:
+            blocked += 1
+    tree.commit_super(update)
+    report.row("super-file update holding 2 of 6 sub-files:")
+    report.row(f"  small updates blocked: {blocked} (the 2 opened sub-files)")
+    report.row(f"  small updates free:    {free} (the 4 untouched sub-files)")
+    assert blocked == 2
+    assert free == 4
+
+    def full_super_cycle():
+        cluster, fs, tree, parent, subs = _nest(6, seed=91)
+        update = tree.begin_super_update(parent)
+        for sub in subs[:2]:
+            handle = tree.open_subfile(update, sub)
+            fs.write_page(handle.version, ROOT, b"super")
+        tree.commit_super(update)
+
+    benchmark(full_super_cycle)
+
+
+def test_c9_super_commit_cost_scales_with_touched_subfiles(benchmark, report):
+    rows = []
+    for touched in (1, 2, 4):
+        cluster, fs, tree, parent, subs = _nest(6, seed=92)
+        update = tree.begin_super_update(parent)
+        for sub in subs[:touched]:
+            handle = tree.open_subfile(update, sub)
+            fs.write_page(handle.version, ROOT, b"x")
+        fs.store.flush()
+        before = cluster.network.stats.messages
+        tree.commit_super(update)
+        rows.append((touched, cluster.network.stats.messages - before))
+    report.row("messages for commit_super vs sub-files touched (6 sub-files total):")
+    for touched, messages in rows:
+        report.row(f"  {touched} touched: {messages} messages")
+    assert rows[0][1] < rows[2][1]
+
+    cluster, fs, tree, parent, subs = _nest(4, seed=93)
+
+    def begin_and_abort():
+        update = tree.begin_super_update(parent)
+        tree.abort_super(update)
+
+    benchmark(begin_and_abort)
+
+
+def test_c9_soft_lock_hint_postpones_large_update(benchmark, report):
+    """"It is possible to use top locks on small files as hints which
+    indicate that the file is likely to change soon"."""
+    cluster = build_cluster(seed=94)
+    fs = cluster.fs()
+    cap = fs.create_file(b"shared")
+
+    def probe():
+        hinted = fs.create_version(cap)  # plants the hint
+        with pytest.raises(FileLocked):
+            fs.create_version(cap, respect_soft_lock=True)
+        # Without honouring the hint, the update proceeds (optimism).
+        handle = fs.create_version(cap, respect_soft_lock=False)
+        fs.abort(handle.version)
+        fs.abort(hinted.version)
+        # With the hint gone, the cautious client gets through.
+        careful = fs.create_version(cap, respect_soft_lock=True)
+        fs.abort(careful.version)
+
+    benchmark(probe)
+    report.row("soft lock honoured: cautious large update postponed while the")
+    report.row("hint stands; optimistic updates proceed regardless")

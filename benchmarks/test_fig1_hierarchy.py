@@ -1,0 +1,48 @@
+"""Figure 1: a storage-services hierarchy in an open system.
+
+The figure is structural: block servers at the bottom; file services above
+them; a flat file server, directory server, source code control system and
+a distributed database server on top.  This bench *builds the whole
+figure* — every service running on the layer below — and exercises one
+operation per service, timing a full vertical slice.
+"""
+
+from repro.apps.directory import DirectoryServer
+from repro.apps.flat_file import FlatFileServer
+from repro.apps.kv_database import BTreeStore
+from repro.apps.sccs import SourceControl
+from repro.client.api import FileClient
+from repro.testbed import build_cluster
+
+
+def _build_and_exercise():
+    cluster = build_cluster(servers=2, seed=1)
+    client = FileClient(cluster.network, "host", cluster.service_port)
+    flat = FlatFileServer(client)
+    dirs = DirectoryServer(client)
+    sccs = SourceControl(client)
+    db = BTreeStore(client)
+
+    root = dirs.create_root()
+    plain = flat.create(b"compiler output")
+    dirs.bind_path(root, "/tmp/a.out", plain)
+    controlled = sccs.create(b"print('hello')", "sape", "r1")
+    dirs.bind_path(root, "/src/hello.py", controlled)
+    store = db.create()
+    db.put(store, b"AMS-LHR", b"seats:42")
+    dirs.bind_path(root, "/db/reservations", store)
+
+    assert flat.read(dirs.resolve(root, "/tmp/a.out")) == b"compiler output"
+    assert sccs.checkout(dirs.resolve(root, "/src/hello.py")) == b"print('hello')"
+    assert db.get(dirs.resolve(root, "/db/reservations"), b"AMS-LHR") == b"seats:42"
+    return cluster
+
+
+def test_fig1_hierarchy(benchmark, report):
+    cluster = benchmark(_build_and_exercise)
+    report.row("services built on the file service: flat-file, directory,")
+    report.row("source-control, database — all over 2 file servers over a")
+    report.row("companion block pair (Figure 1's hierarchy).")
+    report.row(f"total network messages for the slice: {cluster.network.stats.messages}")
+    report.row(f"disk blocks in use: {cluster.pair.disk_a.blocks_in_use}")
+    assert cluster.pair.consistent()

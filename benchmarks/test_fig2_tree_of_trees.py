@@ -1,0 +1,72 @@
+"""Figure 2: "The file system has the structure of a tree.  Files also
+consist of trees of pages.  The file system can be viewed as a tree of
+trees."
+
+Builds the figure's exact shape — super-file C containing files A and B,
+each with its own page tree — and times the nested construction plus a
+resolution through the nesting.
+"""
+
+from repro.core.pathname import PagePath
+from repro.core.system_tree import SystemTree
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def _build_figure():
+    cluster = build_cluster(seed=2)
+    fs = cluster.fs()
+    tree = SystemTree(fs)
+    cap_c = fs.create_file(b"file C root")
+    handle = fs.create_version(cap_c)
+    cap_a = tree.create_subfile(handle.version, ROOT, initial_data=b"file A")
+    cap_b = tree.create_subfile(handle.version, ROOT, initial_data=b"file B")
+    fs.commit(handle.version)
+    # Give A and B their own page trees (the lower parts of the figure).
+    for cap, tag in ((cap_a, b"A"), (cap_b, b"B")):
+        h = fs.create_version(cap)
+        for i in range(3):
+            leaf = fs.append_page(h.version, ROOT, tag + b"-page%d" % i)
+            fs.append_page(h.version, leaf, tag + b"-leaf%d" % i)
+        fs.commit(h.version)
+    return cluster, fs, tree, cap_c, cap_a, cap_b
+
+
+def test_fig2_tree_of_trees(benchmark, report):
+    cluster, fs, tree, cap_c, cap_a, cap_b = benchmark(_build_figure)
+    # Resolve A through C (subtree-as-file), then a page inside A.
+    current_c = fs.current_version(cap_c)
+    found_a = tree.subfile_at(current_c, PagePath.of(0))
+    assert found_a.obj == cap_a.obj
+    page = fs.read_page(fs.current_version(found_a), PagePath.of(1, 0))
+    assert page == b"A-leaf1"
+    report.row("system tree: super-file C with sub-files A and B (Figure 2)")
+    report.row("A and B each carry a 2-level page tree of their own")
+    report.row(f"C is super: {fs.registry.file(cap_c.obj).is_super}")
+    report.row(f"blocks used for the whole nest: {cluster.pair.disk_a.blocks_in_use}")
+
+
+def test_fig2_nested_depth(benchmark, report):
+    """Nesting deeper than the figure: files within files within files."""
+
+    def build_deep():
+        cluster = build_cluster(seed=3)
+        fs = cluster.fs()
+        tree = SystemTree(fs)
+        caps = [fs.create_file(b"level0")]
+        for level in range(1, 4):
+            handle = fs.create_version(caps[-1])
+            caps.append(
+                tree.create_subfile(
+                    handle.version, ROOT, initial_data=b"level%d" % level
+                )
+            )
+            fs.commit(handle.version)
+        return fs, caps
+
+    fs, caps = benchmark(build_deep)
+    for level, cap in enumerate(caps):
+        data = fs.read_page(fs.current_version(cap), ROOT)
+        assert data == b"level%d" % level
+    report.row(f"nesting depth exercised: {len(caps)} levels of file-in-file")

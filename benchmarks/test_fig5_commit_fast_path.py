@@ -1,0 +1,65 @@
+"""Figure 5: commit when the base is still current.
+
+"V.b succeeds V.a as the current version" — the whole critical section is
+one test-and-set of V.a's commit reference.  This bench measures the
+complete update cycle and isolates the commit step, confirming the fast
+path's cost is independent of file size (claim C1's companion).
+"""
+
+from repro.core.pathname import PagePath
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def test_fig5_sequential_update_cycle(benchmark, report):
+    cluster = build_cluster(seed=7)
+    fs = cluster.fs()
+    cap = fs.create_file(b"v0")
+
+    def one_cycle():
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, ROOT, b"next")
+        fs.commit(handle.version)
+
+    benchmark(one_cycle)
+    report.row("full cycle: create version, write root, commit (base current)")
+    report.row(f"committed versions accumulated: {len(fs.family_tree(cap)['committed'])}")
+
+
+def test_fig5_commit_cost_independent_of_file_size(benchmark, report):
+    """The test-and-set does not look at the page tree: committing a
+    one-page update of a large file costs the same messages as of a tiny
+    one."""
+    costs = {}
+    for n_pages in (2, 32, 256):
+        cluster = build_cluster(seed=8)
+        fs = cluster.fs()
+        cap = fs.create_file(b"root")
+        setup = fs.create_version(cap)
+        for i in range(n_pages):
+            fs.append_page(setup.version, ROOT, b"p%d" % i)
+        fs.commit(setup.version)
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, PagePath.of(0), b"x")
+        fs.store.flush()
+        before = cluster.network.stats.messages
+        fs.commit(handle.version)
+        costs[n_pages] = cluster.network.stats.messages - before
+    report.row("messages for the commit step (after flush), by file size:")
+    for n_pages, messages in costs.items():
+        report.row(f"  {n_pages:4d} pages: {messages} messages")
+    assert costs[2] == costs[32] == costs[256]
+
+    # Give pytest-benchmark a measured body: the isolated commit TAS.
+    cluster = build_cluster(seed=9)
+    fs = cluster.fs()
+    cap = fs.create_file(b"v0")
+    handles = []
+
+    def committed_tas():
+        handle = fs.create_version(cap)
+        fs.store.flush()
+        fs.commit(handle.version)
+
+    benchmark(committed_tas)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A project workspace on a volume: atomic cross-directory operations.
+
+The super-file mechanism (§5.3) exists for updates that must change
+several files at once.  This example uses the :class:`repro.apps.volume.
+Volume` app — a directory tree whose directories are sub-files of one
+super-file — to do what single-directory systems cannot: move files
+between directories *atomically*, survive a server that dies halfway
+through a move, and keep untouched directories fully concurrent the whole
+time.
+
+Run:  python examples/project_workspace.py
+"""
+
+from repro.apps.volume import Volume
+from repro.core.pathname import PagePath
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def main() -> None:
+    cluster = build_cluster(servers=2, seed=31)
+    fs0, fs1 = cluster.fs(0), cluster.fs(1)
+    vol = Volume(fs0)
+    volume_cap, root = vol.create()
+
+    # Lay out a little project.
+    drafts = vol.add_directory(volume_cap, "drafts", root)
+    published = vol.add_directory(volume_cap, "published", root)
+    archive = vol.add_directory(volume_cap, "archive", root)
+    paper = fs0.create_file(b"A Distributed File Service Based on OCC")
+    vol.bind(drafts, "paper.txt", paper)
+    print("layout:", {name: vol.list(vol.lookup(root, name)) for name in vol.list(root)})
+
+    # Publish: an atomic move from drafts/ to published/.
+    vol.rename(volume_cap, drafts, "paper.txt", published)
+    print("after publish:", {
+        name: vol.list(vol.lookup(root, name)) for name in vol.list(root)
+    })
+    assert vol.lookup(published, "paper.txt") == paper
+
+    # While a move is in flight, untouched directories keep working.
+    update = vol.tree.begin_super_update(volume_cap)
+    vol.tree.open_subfile(update, published)
+    vol.tree.open_subfile(update, archive)
+    vol.bind(drafts, "notes.txt", fs0.create_file(b"notes"))  # drafts is free
+    print("bound drafts/notes.txt while the archive move was in flight")
+    vol.tree.abort_super(update)
+
+    # The crash drill: a move dies after the volume committed but before
+    # the directory commits finished; a waiter on the other server
+    # completes it.
+    from repro.apps.directory import _pack_table, _unpack_table
+
+    update = vol.tree.begin_super_update(volume_cap)
+    src_handle = vol.tree.open_subfile(update, published)
+    dst_handle = vol.tree.open_subfile(update, archive)
+    src_table = _unpack_table(fs0.read_page(src_handle.version, ROOT))
+    dst_table = _unpack_table(fs0.read_page(dst_handle.version, ROOT))
+    dst_table["paper.txt"] = src_table.pop("paper.txt")
+    fs0.write_page(src_handle.version, ROOT, _pack_table(src_table))
+    fs0.write_page(dst_handle.version, ROOT, _pack_table(dst_table))
+    fs0.store.flush()
+    fs0.commit(update.handle.version)
+    fs0.crash()
+    print("\nserver died mid-move (volume committed, directories pending)")
+
+    vol1 = Volume(fs1)
+    outcome = vol1.tree.wait_or_recover(volume_cap)
+    print(f"waiter on the replica recovered the move: {outcome}")
+    print("published/:", vol1.list(published))
+    print("archive/:  ", vol1.list(archive))
+    assert vol1.lookup(archive, "paper.txt") == paper
+    assert "paper.txt" not in vol1.list(published)
+    print("\nthe move is complete and was never observable half-done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A source code control system on the version mechanism [Rochkind 75].
+
+The paper lists SCCS among the applications its file service should carry
+"for free": check-ins are committed versions, history is the version
+chain, and the differential-file representation shares unchanged chunks
+between revisions on disk.
+
+This example keeps a small program under control, shows history, old
+revisions, diffs — and then measures the disk sharing directly.
+
+Run:  python examples/source_control.py
+"""
+
+from repro.apps.sccs import SourceControl
+from repro.client.api import FileClient
+from repro.testbed import build_cluster
+
+PROGRAM_V1 = b"""\
+def greet(name):
+    print('hello', name)
+
+def main():
+    greet('world')
+"""
+
+PROGRAM_V2 = b"""\
+def greet(name):
+    print('hello,', name, '!')
+
+def main():
+    greet('world')
+"""
+
+PROGRAM_V3 = b"""\
+def greet(name):
+    print('hello,', name, '!')
+
+def farewell(name):
+    print('goodbye,', name)
+
+def main():
+    greet('world')
+    farewell('world')
+"""
+
+
+def main() -> None:
+    cluster = build_cluster(seed=11)
+    client = FileClient(cluster.network, "devbox", cluster.service_port)
+    sccs = SourceControl(client, chunk=32)
+
+    program = sccs.create(PROGRAM_V1, "sape", "initial import")
+    sccs.checkin(program, PROGRAM_V2, "andy", "friendlier greeting")
+    sccs.checkin(program, PROGRAM_V3, "sape", "add farewell")
+
+    print("history:")
+    for rev in sccs.history(program):
+        print(f"  r{rev.number} by {rev.author:5s} ({rev.length:3d} bytes): {rev.message}")
+
+    print("\nhead checkout:")
+    print(sccs.checkout(program).decode())
+
+    print("revision 1 is still there, immutable:")
+    print(sccs.checkout(program, 1).decode())
+
+    print("chunk-level diff r2 -> r3:")
+    for index, old, new in sccs.diff(program, 2, 3):
+        print(f"  chunk {index}: {old!r}")
+        print(f"       ->  {new!r}")
+
+    # The differential-file property, measured.
+    disk = cluster.pair.disk_a
+    before = len(cluster.fs().store.blocks.recover())
+    sccs.checkin(program, PROGRAM_V3 + b"# a comment\n", "andy", "tail tweak")
+    small = len(cluster.fs().store.blocks.recover()) - before
+    before = len(cluster.fs().store.blocks.recover())
+    sccs.checkin(program, bytes(reversed(PROGRAM_V3)), "andy", "rewrite all")
+    large = len(cluster.fs().store.blocks.recover()) - before
+    print(f"\nblocks allocated by a tail-only check-in: {small}")
+    print(f"blocks allocated by a full-rewrite check-in: {large}")
+    print("unchanged chunks are shared between revisions on disk"
+          if small < large else "(unexpected: no sharing measured)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Reproduce everything: tests, benchmarks (all figures/claims/ablations),
+# the examples, and the CLI tour.  Outputs land in test_output.txt,
+# bench_output.txt and benchmarks/results.txt.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== benchmarks (figures, claims, ablations) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -2
+echo "   tables: benchmarks/results.txt"
+
+echo "== examples =="
+for example in quickstart airline_reservation bank_branch source_control \
+               crash_resilience project_workspace; do
+    echo "-- examples/$example.py"
+    python "examples/$example.py" > /dev/null
+done
+echo "   all examples ran clean"
+
+echo "== CLI =="
+python -m repro fsck
+echo "done"

@@ -1,0 +1,56 @@
+"""repro — a reproduction of the Amoeba File Service.
+
+S.J. Mullender & A.S. Tanenbaum, *A Distributed File Service Based on
+Optimistic Concurrency Control* (CWI report CS-R8507, 1985).
+
+Layers, bottom to top:
+
+* :mod:`repro.sim` — deterministic simulation substrate (clock, network,
+  RPC transactions, fault injection, cooperative scheduler).
+* :mod:`repro.block` — the block service: simulated disks, block servers,
+  and companion-pair stable storage.
+* :mod:`repro.core` — the file service proper: pages with C/R/W/S/M flags,
+  versions, copy-on-write, the optimistic commit protocol, super-file
+  locking, caching and the garbage collector.
+* :mod:`repro.client` — the host-side library (cache + redo loop).
+* :mod:`repro.apps` — services built on top (flat files, directories,
+  source control, a database), Figure 1's hierarchy.
+* :mod:`repro.baselines` — reimplemented comparators: an XDFS-style locking
+  transaction server and a SWALLOW-style timestamp-ordered store.
+* :mod:`repro.workloads` — workload generators for the benchmarks.
+* :mod:`repro.testbed` — one-call construction of a whole deployment.
+
+Quick start::
+
+    from repro.testbed import build_cluster
+    from repro.core.pathname import PagePath
+
+    cluster = build_cluster()
+    fs = cluster.fs()
+    f = fs.create_file(b"hello")
+    update = fs.create_version(f)
+    fs.write_page(update.version, PagePath.ROOT, b"hello, world")
+    fs.commit(update.version)
+"""
+
+from repro.capability import Capability, CapabilityIssuer, new_port
+from repro.core.pathname import PagePath
+from repro.core.service import FileService, VersionHandle
+from repro.client.api import FileClient
+from repro.testbed import Cluster, build_cluster, build_hybrid_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Capability",
+    "CapabilityIssuer",
+    "new_port",
+    "PagePath",
+    "FileService",
+    "VersionHandle",
+    "FileClient",
+    "Cluster",
+    "build_cluster",
+    "build_hybrid_cluster",
+    "__version__",
+]

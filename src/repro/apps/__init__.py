@@ -1,0 +1,30 @@
+"""Services built on top of the Amoeba File Service — Figure 1's hierarchy.
+
+"File services must provide the tools for the efficient implementation of
+as wide a set of applications as is possible."  These four applications
+demonstrate that the page-tree + version abstraction carries each of the
+figure's storage services:
+
+* :mod:`repro.apps.flat_file` — a *flat file server*: linear byte files.
+* :mod:`repro.apps.directory` — a *directory server*: hierarchical naming
+  of capabilities.
+* :mod:`repro.apps.sccs` — a *source code control system* riding directly
+  on the version mechanism [Rochkind 75].
+* :mod:`repro.apps.kv_database` — a *distributed data base server*: a
+  B-tree keyed store whose concurrent updates are serialised by the
+  optimistic mechanism (the airline-reservation example of §6).
+"""
+
+from repro.apps.flat_file import FlatFileServer
+from repro.apps.directory import DirectoryServer
+from repro.apps.sccs import SourceControl
+from repro.apps.kv_database import BTreeStore
+from repro.apps.volume import Volume
+
+__all__ = [
+    "FlatFileServer",
+    "DirectoryServer",
+    "SourceControl",
+    "BTreeStore",
+    "Volume",
+]

@@ -1,0 +1,162 @@
+"""A flat (linear) file server on top of the page-tree file service.
+
+"Using the file structure provided by the Amoeba File Service, objects
+ranging from linear files to B-trees can easily be represented" (§5).
+
+Layout: the root page holds a little header (the logical file length and
+the extent size); each child page holds one fixed-size extent of the byte
+stream.  Byte range operations map onto whole-page reads and writes; the
+optimistic mechanism serialises concurrent writers, and the client redo
+loop hides conflicts from callers.
+
+Small files — up to one extent — live entirely in the root page's data
+area after the header, which reproduces the paper's "often, one such page
+is large enough to contain a whole file.  Writing these one-page files is
+efficient; no concurrency control mechanisms slow it down."
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.capability import Capability
+from repro.core.pathname import PagePath
+from repro.client.api import ClientUpdate, FileClient
+
+_HEADER = struct.Struct(">QI")  # logical length, extent size
+
+DEFAULT_EXTENT = 4096
+
+
+class FlatFileServer:
+    """Linear byte files for simple clients."""
+
+    def __init__(self, client: FileClient, extent_size: int = DEFAULT_EXTENT) -> None:
+        self.client = client
+        self.extent_size = extent_size
+
+    # -- creation -----------------------------------------------------------
+
+    def create(self, contents: bytes = b"") -> Capability:
+        """Create a flat file holding ``contents``."""
+        cap = self.client.create_file(_HEADER.pack(0, self.extent_size))
+        if contents:
+            self.write(cap, 0, contents)
+        return cap
+
+    # -- metadata ------------------------------------------------------------
+
+    def _header(self, root_data: bytes) -> tuple[int, int]:
+        length, extent = _HEADER.unpack_from(root_data, 0)
+        return length, extent
+
+    def size(self, cap: Capability) -> int:
+        """The logical length of the file in bytes."""
+        length, _ = self._header(self.client.read(cap, PagePath.ROOT))
+        return length
+
+    # -- reading ---------------------------------------------------------------
+
+    def read(self, cap: Capability, offset: int = 0, length: int | None = None) -> bytes:
+        """Read ``length`` bytes at ``offset`` (to end-of-file by default)."""
+        root = self.client.read(cap, PagePath.ROOT)
+        file_len, extent = self._header(root)
+        if length is None:
+            length = max(0, file_len - offset)
+        end = min(offset + length, file_len)
+        if offset >= end:
+            return b""
+        pieces: list[bytes] = []
+        first = offset // extent
+        last = (end - 1) // extent
+        for index in range(first, last + 1):
+            chunk = self.client.read(cap, PagePath.of(index))
+            lo = offset - index * extent if index == first else 0
+            hi = end - index * extent if index == last else extent
+            pieces.append(chunk[lo:hi].ljust((hi - lo), b"\x00")[: hi - lo])
+        return b"".join(pieces)
+
+    # -- writing ------------------------------------------------------------------
+
+    def write(self, cap: Capability, offset: int, data: bytes) -> None:
+        """Write ``data`` at byte ``offset``, growing the file as needed.
+
+        Runs as one atomic update (one version commit); concurrent writers
+        to disjoint extents merge, overlapping writers serialise via the
+        redo loop.
+        """
+        if not data:
+            return
+
+        def apply(update: ClientUpdate) -> None:
+            self._write_into(update, offset, data)
+
+        self.client.transact(cap, apply)
+
+    def append(self, cap: Capability, data: bytes) -> int:
+        """Append ``data``; returns the offset it landed at.
+
+        The offset is determined inside the transaction, so concurrent
+        appenders that race re-run with fresh offsets (their conflict is a
+        real one: both changed the length header)."""
+        result: list[int] = []
+
+        def apply(update: ClientUpdate) -> None:
+            root = update.read(PagePath.ROOT)
+            length, _ = self._header(root)
+            result.clear()
+            result.append(length)
+            self._write_into(update, length, data)
+
+        self.client.transact(cap, apply)
+        return result[0]
+
+    def truncate(self, cap: Capability, length: int = 0) -> None:
+        """Cut the file to ``length`` bytes, dropping whole trailing extents."""
+
+        def apply(update: ClientUpdate) -> None:
+            root = update.read(PagePath.ROOT)
+            old_len, extent = self._header(root)
+            if length >= old_len:
+                return
+            keep = (length + extent - 1) // extent
+            existing = len(update.structure(PagePath.ROOT))
+            for index in reversed(range(keep, existing)):
+                update.remove_page(PagePath.of(index))
+            if length % extent and keep >= 1:
+                tail_path = PagePath.of(keep - 1)
+                tail = update.read(tail_path)
+                update.write(tail_path, tail[: length % extent])
+            update.write(PagePath.ROOT, _HEADER.pack(length, extent))
+
+        self.client.transact(cap, apply)
+
+    # -- internals --------------------------------------------------------------
+
+    def _write_into(self, update: ClientUpdate, offset: int, data: bytes) -> None:
+        root = update.read(PagePath.ROOT)
+        length, extent = self._header(root)
+        end = offset + len(data)
+        existing = len(update.structure(PagePath.ROOT))
+        needed = (end + extent - 1) // extent
+        for _ in range(existing, needed):
+            update.append_page(PagePath.ROOT, b"")
+        first = offset // extent
+        last = (end - 1) // extent
+        for index in range(first, last + 1):
+            path = PagePath.of(index)
+            lo = max(offset, index * extent)
+            hi = min(end, (index + 1) * extent)
+            piece = data[lo - offset:hi - offset]
+            if hi - lo == extent:
+                update.write(path, piece)
+                continue
+            current = update.read(path).ljust(extent, b"\x00")
+            patched = (
+                current[: lo - index * extent]
+                + piece
+                + current[hi - index * extent:]
+            )
+            update.write(path, patched)
+        if end > length:
+            update.write(PagePath.ROOT, _HEADER.pack(end, extent))

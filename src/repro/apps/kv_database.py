@@ -1,0 +1,352 @@
+"""A B-tree keyed store: the "distributed data base server" of Figure 1.
+
+"The contents of a file may represent the state of an airline reservation
+system, or the contents of the bank accounts of a branch office" (§2.1) —
+and §6 argues the optimistic mechanism fits exactly this: "changes in an
+airline reservation system for flights from San Francisco to Los Angeles
+do not conflict with changes to reservations on flights from Amsterdam to
+London."
+
+Layout: one Amoeba file is one B-tree.  Every B-tree node is a child page
+of the root (the page tree used as a node heap, addressed by node id); the
+root page's data is node 0, the B-tree root.  Internal nodes store
+separator keys and child *node ids*; leaves store sorted key/value pairs.
+
+Concurrency, by construction of the flag machinery:
+
+* ``get`` reads the current committed version — a snapshot, no conflicts.
+* ``put``/``delete`` that stay within existing leaves read-navigate
+  (S flags on the spine) and write one leaf page (W): two concurrent
+  updates of *different* leaves — different flights — merge cleanly.
+* node allocation (a split) restructures the root's reference table
+  (M flag), which genuinely conflicts with every concurrent navigation
+  (S) of the same tree, so splits serialise and losers redo — rare, and
+  exactly what correctness requires, since node ids shift.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+
+from repro.capability import Capability
+from repro.core.pathname import PagePath
+from repro.client.api import ClientUpdate, FileClient
+
+_NODE_HEAD = struct.Struct(">BH")  # leaf flag, entry count
+_LEAF_ENTRY = struct.Struct(">HH")  # key length, value length
+_INNER_ENTRY = struct.Struct(">HI")  # key length, right child node id
+_INNER_FIRST = struct.Struct(">I")  # leftmost child node id
+
+DEFAULT_ORDER = 16  # max keys per node
+
+
+class _Node:
+    """Decoded B-tree node."""
+
+    __slots__ = ("leaf", "keys", "values", "children")
+
+    def __init__(
+        self,
+        leaf: bool,
+        keys: list[bytes],
+        values: list[bytes] | None = None,
+        children: list[int] | None = None,
+    ) -> None:
+        self.leaf = leaf
+        self.keys = keys
+        self.values = values if values is not None else []
+        self.children = children if children is not None else []
+
+    def encode(self) -> bytes:
+        body = _NODE_HEAD.pack(1 if self.leaf else 0, len(self.keys))
+        if self.leaf:
+            for key, value in zip(self.keys, self.values):
+                body += _LEAF_ENTRY.pack(len(key), len(value)) + key + value
+        else:
+            body += _INNER_FIRST.pack(self.children[0])
+            for key, child in zip(self.keys, self.children[1:]):
+                body += _INNER_ENTRY.pack(len(key), child) + key
+        return body
+
+    @staticmethod
+    def decode(raw: bytes) -> "_Node":
+        leaf_flag, count = _NODE_HEAD.unpack_from(raw, 0)
+        offset = _NODE_HEAD.size
+        if leaf_flag:
+            keys, values = [], []
+            for _ in range(count):
+                klen, vlen = _LEAF_ENTRY.unpack_from(raw, offset)
+                offset += _LEAF_ENTRY.size
+                keys.append(raw[offset:offset + klen])
+                offset += klen
+                values.append(raw[offset:offset + vlen])
+                offset += vlen
+            return _Node(True, keys, values=values)
+        (first,) = _INNER_FIRST.unpack_from(raw, offset)
+        offset += _INNER_FIRST.size
+        keys, children = [], [first]
+        for _ in range(count):
+            klen, child = _INNER_ENTRY.unpack_from(raw, offset)
+            offset += _INNER_ENTRY.size
+            keys.append(raw[offset:offset + klen])
+            offset += klen
+            children.append(child)
+        return _Node(False, keys, children=children)
+
+
+def _node_path(node_id: int) -> PagePath:
+    """Node 0 is the root page itself; others are the root's children,
+    child index ``node_id - 1``."""
+    if node_id == 0:
+        return PagePath.ROOT
+    return PagePath.of(node_id - 1)
+
+
+class BTreeStore:
+    """A sorted key/value store over one Amoeba file."""
+
+    def __init__(self, client: FileClient, order: int = DEFAULT_ORDER) -> None:
+        if order < 3:
+            raise ValueError("B-tree order must be at least 3")
+        self.client = client
+        self.order = order
+
+    # -- creation -----------------------------------------------------------
+
+    def create(self) -> Capability:
+        """Create an empty store."""
+        empty = _Node(True, [], values=[])
+        return self.client.create_file(empty.encode())
+
+    # -- reads (snapshot; conflict-free) ---------------------------------------
+
+    def get(self, store: Capability, key: bytes) -> bytes | None:
+        """Look up ``key`` in the current committed state."""
+        version = self.client.current_version(store)
+        node = self._load(version, 0)
+        while not node.leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = self._load(version, node.children[index])
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        return None
+
+    def items(self, store: Capability) -> list[tuple[bytes, bytes]]:
+        """All key/value pairs in order (one consistent snapshot)."""
+        version = self.client.current_version(store)
+        out: list[tuple[bytes, bytes]] = []
+        self._walk_items(version, 0, out)
+        return out
+
+    def range(
+        self, store: Capability, lo: bytes, hi: bytes
+    ) -> list[tuple[bytes, bytes]]:
+        """All pairs with ``lo <= key < hi``."""
+        return [(k, v) for k, v in self.items(store) if lo <= k < hi]
+
+    def _walk_items(
+        self, version: Capability, node_id: int, out: list[tuple[bytes, bytes]]
+    ) -> None:
+        node = self._load(version, node_id)
+        if node.leaf:
+            out.extend(zip(node.keys, node.values))
+            return
+        for index, child in enumerate(node.children):
+            self._walk_items(version, child, out)
+            if index < len(node.keys):
+                pass  # keys are separators; entries live in leaves
+
+    def _load(self, version: Capability, node_id: int) -> _Node:
+        raw = self.client._call(
+            "read_page", version_cap=version, path=str(_node_path(node_id))
+        )
+        return _Node.decode(raw)
+
+    # -- writes (optimistic transactions) ----------------------------------------
+
+    def put(self, store: Capability, key: bytes, value: bytes) -> None:
+        """Insert or replace one pair (one atomic, optimistic update)."""
+
+        def apply(update: ClientUpdate) -> None:
+            self._tx_put(update, key, value)
+
+        self.client.transact(store, apply)
+
+    def put_many(self, store: Capability, pairs: list[tuple[bytes, bytes]]) -> None:
+        """Insert or replace several pairs in one atomic update."""
+
+        def apply(update: ClientUpdate) -> None:
+            for key, value in pairs:
+                self._tx_put(update, key, value)
+
+        self.client.transact(store, apply)
+
+    def delete(self, store: Capability, key: bytes) -> bool:
+        """Remove a pair; returns whether it existed.  Leaves may underflow
+        (no rebalancing on delete — standard for differential stores; a
+        rebuild compacts)."""
+        found: list[bool] = []
+
+        def apply(update: ClientUpdate) -> None:
+            node_id, spine = self._descend(update, key)
+            node = self._read_node(update, node_id)
+            index = bisect.bisect_left(node.keys, key)
+            found.clear()
+            if index < len(node.keys) and node.keys[index] == key:
+                del node.keys[index]
+                del node.values[index]
+                self._write_node(update, node_id, node)
+                found.append(True)
+            else:
+                found.append(False)
+
+        self.client.transact(store, apply)
+        return found[0]
+
+    def update(
+        self, store: Capability, key: bytes, fn
+    ) -> bytes:
+        """Read-modify-write one value atomically: ``fn(old) -> new``.
+        ``old`` is None when absent.  This is the reservation pattern —
+        the read is in the read set, so a concurrent change to the same
+        key forces a redo with the fresh value."""
+        result: list[bytes] = []
+
+        def apply(update: ClientUpdate) -> None:
+            node_id, _ = self._descend(update, key)
+            node = self._read_node(update, node_id)
+            index = bisect.bisect_left(node.keys, key)
+            old = (
+                node.values[index]
+                if index < len(node.keys) and node.keys[index] == key
+                else None
+            )
+            new = fn(old)
+            result.clear()
+            result.append(new)
+            self._tx_put(update, key, new)
+
+        self.client.transact(store, apply)
+        return result[0]
+
+    # -- transaction bodies ----------------------------------------------------
+
+    def _read_node(self, update: ClientUpdate, node_id: int) -> _Node:
+        return _Node.decode(update.read(_node_path(node_id)))
+
+    def _write_node(self, update: ClientUpdate, node_id: int, node: _Node) -> None:
+        update.write(_node_path(node_id), node.encode())
+
+    def _alloc_node(self, update: ClientUpdate, node: _Node) -> int:
+        """Append a new node page; its id is its child index + 1."""
+        path = update.append_page(PagePath.ROOT, node.encode())
+        return path.last + 1
+
+    def _descend(
+        self, update: ClientUpdate, key: bytes
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """Walk to the leaf for ``key``; returns (leaf id, spine) where the
+        spine lists (node id, chosen child position) pairs from the root."""
+        spine: list[tuple[int, int]] = []
+        node_id = 0
+        node = self._read_node(update, node_id)
+        while not node.leaf:
+            position = bisect.bisect_right(node.keys, key)
+            spine.append((node_id, position))
+            node_id = node.children[position]
+            node = self._read_node(update, node_id)
+        return node_id, spine
+
+    def _tx_put(self, update: ClientUpdate, key: bytes, value: bytes) -> None:
+        leaf_id, spine = self._descend(update, key)
+        leaf = self._read_node(update, leaf_id)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index] = value
+        else:
+            leaf.keys.insert(index, key)
+            leaf.values.insert(index, value)
+        if len(leaf.keys) <= self.order:
+            self._write_node(update, leaf_id, leaf)
+            return
+        self._split(update, leaf_id, leaf, spine)
+
+    def _split(
+        self,
+        update: ClientUpdate,
+        node_id: int,
+        node: _Node,
+        spine: list[tuple[int, int]],
+    ) -> None:
+        """Split an overfull node, propagating up the spine as needed."""
+        middle = len(node.keys) // 2
+        if node.leaf:
+            separator = node.keys[middle]
+            right = _Node(True, node.keys[middle:], values=node.values[middle:])
+            node.keys, node.values = node.keys[:middle], node.values[:middle]
+        else:
+            separator = node.keys[middle]
+            right = _Node(
+                False, node.keys[middle + 1:], children=node.children[middle + 1:]
+            )
+            node.keys = node.keys[:middle]
+            node.children = node.children[: middle + 1]
+
+        if node_id == 0:
+            # The root splits: both halves move to fresh nodes and node 0
+            # becomes a one-key internal node above them.
+            left_id = self._alloc_node(update, node)
+            right_id = self._alloc_node(update, right)
+            new_root = _Node(False, [separator], children=[left_id, right_id])
+            self._write_node(update, 0, new_root)
+            return
+        right_id = self._alloc_node(update, right)
+        self._write_node(update, node_id, node)
+        parent_id, position = spine[-1]
+        parent = self._read_node(update, parent_id)
+        parent.keys.insert(position, separator)
+        parent.children.insert(position + 1, right_id)
+        if len(parent.keys) <= self.order:
+            self._write_node(update, parent_id, parent)
+        else:
+            self._split(update, parent_id, parent, spine[:-1])
+
+    def transact_keys(
+        self, store: Capability, keys: list[bytes], fn
+    ) -> dict[bytes, bytes]:
+        """Read several keys and replace them atomically:
+        ``fn({key: value|None}) -> {key: new_value}``.
+
+        This is the bank-transfer shape: both accounts read, both written,
+        all-or-nothing.  Every read is in the transaction's read set, so a
+        concurrent change to *any* involved key forces a redo against
+        fresh values — no money is created or destroyed."""
+        result: dict[bytes, bytes] = {}
+
+        def apply(update: ClientUpdate) -> None:
+            current: dict[bytes, bytes | None] = {}
+            for key in sorted(set(keys)):
+                node_id, _ = self._descend(update, key)
+                node = self._read_node(update, node_id)
+                index = bisect.bisect_left(node.keys, key)
+                current[key] = (
+                    node.values[index]
+                    if index < len(node.keys) and node.keys[index] == key
+                    else None
+                )
+            new_values = fn(current)
+            result.clear()
+            result.update(new_values)
+            for key, value in sorted(new_values.items()):
+                self._tx_put(update, key, value)
+
+        self.client.transact(store, apply)
+        return result
+
+    # -- maintenance ----------------------------------------------------------
+
+    def count(self, store: Capability) -> int:
+        """Number of pairs (snapshot)."""
+        return len(self.items(store))

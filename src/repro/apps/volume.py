@@ -1,0 +1,198 @@
+"""A volume: a directory tree with atomic cross-directory operations.
+
+The super-file machinery (§5.3) was designed for exactly this shape of
+application: a *volume* is a super-file whose sub-files are directories.
+Single-directory operations (bind, unlink, lookup) are small-file updates
+on one directory — fully concurrent, optimistic.  Cross-directory
+operations — the classic being **rename across directories** — are
+super-file updates: both directories inner-locked, both changed, one
+atomic commit; a crash in the middle is finished (or discarded) by the
+next waiter, never observed half-done.
+
+Directory contents use the same table encoding as
+:mod:`repro.apps.directory`.
+"""
+
+from __future__ import annotations
+
+from repro.capability import Capability
+from repro.errors import ReproError
+from repro.apps.directory import (
+    DirectoryEntryExists,
+    NoSuchEntry,
+    _pack_table,
+    _unpack_table,
+)
+from repro.core.pathname import PagePath
+from repro.core.service import FileService
+from repro.core.system_tree import SystemTree
+
+ROOT = PagePath.ROOT
+
+
+class Volume:
+    """A directory volume over one file server.
+
+    The volume object is bound to a server (super-file updates are a
+    server-side affair in this reproduction); ordinary lookups and
+    single-directory updates go through the same server API.
+    """
+
+    def __init__(self, service: FileService) -> None:
+        self.service = service
+        self.tree = SystemTree(service)
+
+    # -- construction ------------------------------------------------------
+
+    def create(self) -> tuple[Capability, Capability]:
+        """Create a volume with an empty root directory; returns
+        (volume capability, root directory capability)."""
+        service = self.service
+        volume_cap = service.create_file(b"volume")
+        handle = service.create_version(volume_cap)
+        root_dir = self.tree.create_subfile(
+            handle.version, ROOT, initial_data=_pack_table({})
+        )
+        service.commit(handle.version)
+        return volume_cap, root_dir
+
+    def add_directory(self, volume_cap: Capability, name: str, parent: Capability) -> Capability:
+        """Create a new directory as a sub-file of the volume and bind it
+        under ``parent``."""
+        service = self.service
+        handle = service.create_version(volume_cap)
+        new_dir = self.tree.create_subfile(
+            handle.version, ROOT, initial_data=_pack_table({})
+        )
+        service.commit(handle.version)
+        self.bind(parent, name, new_dir)
+        return new_dir
+
+    # -- single-directory operations (small-file updates) --------------------
+
+    def _read_table(self, directory: Capability) -> dict[str, Capability]:
+        current = self.service.current_version(directory)
+        return _unpack_table(self.service.read_page(current, ROOT))
+
+    def _update_table(self, directory: Capability, mutate) -> None:
+        from repro.errors import CommitConflict
+
+        for _ in range(16):
+            handle = self.service.create_version(directory)
+            table = _unpack_table(self.service.read_page(handle.version, ROOT))
+            mutate(table)
+            self.service.write_page(handle.version, ROOT, _pack_table(table))
+            try:
+                self.service.commit(handle.version)
+                return
+            except CommitConflict:
+                continue
+        raise CommitConflict(f"directory {directory.obj}: update starved")
+
+    def bind(self, directory: Capability, name: str, cap: Capability) -> None:
+        def mutate(table):
+            if name in table:
+                raise DirectoryEntryExists(f"name {name!r} already bound")
+            table[name] = cap
+
+        self._update_table(directory, mutate)
+
+    def unlink(self, directory: Capability, name: str) -> None:
+        def mutate(table):
+            if name not in table:
+                raise NoSuchEntry(f"name {name!r} not bound")
+            del table[name]
+
+        self._update_table(directory, mutate)
+
+    def lookup(self, directory: Capability, name: str) -> Capability:
+        table = self._read_table(directory)
+        if name not in table:
+            raise NoSuchEntry(f"name {name!r} not bound")
+        return table[name]
+
+    def list(self, directory: Capability) -> list[str]:
+        return sorted(self._read_table(directory))
+
+    # -- cross-directory operations (super-file updates) -----------------------
+
+    def rename(
+        self,
+        volume_cap: Capability,
+        src_dir: Capability,
+        src_name: str,
+        dst_dir: Capability,
+        dst_name: str | None = None,
+    ) -> None:
+        """Atomically move a binding from one directory to another.
+
+        Both directories are inner-locked under one super-file update of
+        the volume; the commit makes both changes (the removal and the
+        addition) visible in the same instant.  At no observable point
+        does the entry exist in both directories or in neither.
+        """
+        dst_name = dst_name if dst_name is not None else src_name
+        service = self.service
+        if src_dir.obj == dst_dir.obj:
+            # Same directory: a plain small-file update suffices.
+            def mutate(table):
+                if src_name not in table:
+                    raise NoSuchEntry(f"name {src_name!r} not bound")
+                if dst_name in table and dst_name != src_name:
+                    raise DirectoryEntryExists(f"name {dst_name!r} already bound")
+                table[dst_name] = table.pop(src_name)
+
+            self._update_table(src_dir, mutate)
+            return
+
+        update = self.tree.begin_super_update(volume_cap)
+        try:
+            src_handle = self.tree.open_subfile(update, src_dir)
+            dst_handle = self.tree.open_subfile(update, dst_dir)
+            src_table = _unpack_table(service.read_page(src_handle.version, ROOT))
+            dst_table = _unpack_table(service.read_page(dst_handle.version, ROOT))
+            if src_name not in src_table:
+                raise NoSuchEntry(f"name {src_name!r} not bound")
+            if dst_name in dst_table:
+                raise DirectoryEntryExists(f"name {dst_name!r} already bound")
+            dst_table[dst_name] = src_table.pop(src_name)
+            service.write_page(src_handle.version, ROOT, _pack_table(src_table))
+            service.write_page(dst_handle.version, ROOT, _pack_table(dst_table))
+        except ReproError:
+            self.tree.abort_super(update)
+            raise
+        self.tree.commit_super(update)
+
+    def exchange(
+        self,
+        volume_cap: Capability,
+        dir_a: Capability,
+        name_a: str,
+        dir_b: Capability,
+        name_b: str,
+    ) -> None:
+        """Atomically swap two bindings across directories."""
+        service = self.service
+        if dir_a.obj == dir_b.obj:
+            def mutate(table):
+                if name_a not in table or name_b not in table:
+                    raise NoSuchEntry(f"{name_a!r} or {name_b!r} not bound")
+                table[name_a], table[name_b] = table[name_b], table[name_a]
+
+            self._update_table(dir_a, mutate)
+            return
+        update = self.tree.begin_super_update(volume_cap)
+        try:
+            handle_a = self.tree.open_subfile(update, dir_a)
+            handle_b = self.tree.open_subfile(update, dir_b)
+            table_a = _unpack_table(service.read_page(handle_a.version, ROOT))
+            table_b = _unpack_table(service.read_page(handle_b.version, ROOT))
+            if name_a not in table_a or name_b not in table_b:
+                raise NoSuchEntry(f"{name_a!r} or {name_b!r} not bound")
+            table_a[name_a], table_b[name_b] = table_b[name_b], table_a[name_a]
+            service.write_page(handle_a.version, ROOT, _pack_table(table_a))
+            service.write_page(handle_b.version, ROOT, _pack_table(table_b))
+        except ReproError:
+            self.tree.abort_super(update)
+            raise
+        self.tree.commit_super(update)

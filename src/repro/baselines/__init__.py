@@ -1,0 +1,33 @@
+"""Reimplemented comparator systems.
+
+The paper's claims are comparative: optimistic concurrency control against
+the locking file servers of its day (XDFS, FELIX, Cambridge) and the
+timestamp-ordered SWALLOW.  Since none of those systems is runnable today,
+this package rebuilds their concurrency-control cores over the *same*
+simulated block layer and network, so benchmark comparisons count the same
+currency (messages, disk operations, logical ticks):
+
+* :mod:`repro.baselines.locking` — an XDFS-style transactional file server:
+  two-phase locking with read / intention-write / commit locks, vulnerable
+  locks with prodding, and intentions lists for atomicity (the thing OCC
+  lets you delete) — including the post-crash recovery work the paper says
+  the Amoeba design avoids.
+* :mod:`repro.baselines.timestamp` — a SWALLOW-style multiversion store
+  ordered by Reed's pseudo-time.
+* :mod:`repro.baselines.felix` — a FELIX-style service: the same version
+  mechanism, but updates guarded by an exclusive *file-level* lock — the
+  design §6 argues against ("many updates, even on the same file, do not
+  affect the same parts of the file").
+"""
+
+from repro.baselines.felix import FelixFileService, FileBusy
+from repro.baselines.locking import LockingFileService, WouldBlock
+from repro.baselines.timestamp import TimestampFileService
+
+__all__ = [
+    "FelixFileService",
+    "FileBusy",
+    "LockingFileService",
+    "TimestampFileService",
+    "WouldBlock",
+]

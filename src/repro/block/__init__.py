@@ -1,0 +1,29 @@
+"""The block service: the bottom of the paper's storage hierarchy.
+
+"We assume the block service implements as a minimum commands to allocate,
+deallocate, read and write fixed size blocks of data" (§4).  This package
+provides:
+
+* :mod:`repro.block.disk` — a simulated disk: fixed-size blocks, atomic
+  writes, crash and corruption injection, optional write-once (optical)
+  mode.
+* :mod:`repro.block.server` — the block server: allocation, per-account
+  protection, block locks, an atomic test-and-set (the primitive the file
+  service's commit relies on), and the recovery listing.
+* :mod:`repro.block.stable` — companion-pair stable storage: every block on
+  two disks behind two servers, companion-first writes, collision
+  detection, intentions lists and crash resynchronisation.
+"""
+
+from repro.block.disk import SimDisk, DiskStats
+from repro.block.server import BlockServer, BLOCK_SIZE
+from repro.block.stable import StablePair, StableClient
+
+__all__ = [
+    "SimDisk",
+    "DiskStats",
+    "BlockServer",
+    "BLOCK_SIZE",
+    "StablePair",
+    "StableClient",
+]

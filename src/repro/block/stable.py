@@ -1,0 +1,539 @@
+"""Companion-pair stable storage (§4 of the paper).
+
+"In our proposed method, each block is stored by two servers on two
+different disk drives (in contrast to Lampson and Sturgis' method which
+uses one server and two disk drives)."
+
+The protocol, as the paper gives it:
+
+* **Allocate & write** — the receiving server A allocates a block number,
+  sends data + number to its companion B; B writes at that address and
+  acknowledges; finally A writes its own copy and returns the identifier.
+* **Write** — same companion-first message exchange.
+* **Read** — served locally; the companion is consulted only when the local
+  copy is corrupted.
+* **Collisions** — two clients allocating (or writing) the same block
+  number simultaneously through the two different servers are "detected
+  before any damage is done, because writes are always carried out on the
+  companion disk first"; the losing operation is redone after a wait.
+* **Crashes** — "After a crash, the block server compares notes with its
+  companion, and restores its disk before accepting any requests.  To this
+  end, block servers make intentions lists for crashed companion servers.
+  Clients send requests to the alternative block server if the primary
+  fails to respond."
+
+Collision detection here uses *pending-operation markers*: a server marks a
+block while it has an operation in flight on it; a companion-step arriving
+at a server that has its own pending operation on the same block raises
+:class:`CompanionConflict`.  Because every operation visits the other
+server before finishing locally, any two concurrent operations on the same
+block through different servers are guaranteed to meet at one origin's
+marker, whatever the interleaving (tests enumerate these interleavings via
+the explicit ``begin_*`` / ``finish_op`` steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    CompanionConflict,
+    CorruptBlock,
+    ServerCrashed,
+    ServerUnreachable,
+    WriteOnceViolation,
+)
+from repro.block.disk import SimDisk
+from repro.block.server import BLOCK_SIZE, BlockServer, TasResult
+from repro.sim.network import Network
+from repro.sim.rpc import Request, RpcEndpoint, Transaction
+
+
+@dataclass
+class _PendingOp:
+    """An operation in flight at its origin server."""
+
+    op_id: int
+    kind: str  # "alloc" or "write" or "free" or "tas"
+    account: int
+    block_no: int
+    data: bytes = b""
+    companion_done: bool = False
+
+
+@dataclass
+class _Intention:
+    """One entry of the intentions list kept for a crashed companion."""
+
+    kind: str  # "write" or "free"
+    account: int
+    block_no: int
+    data: bytes = b""
+
+
+class StableServer:
+    """One half of a companion pair.
+
+    Exposes the block-server command set (allocate_write / write / read /
+    free / test_and_set / lock / unlock / recover) with companion-first
+    replication underneath, plus the companion-facing commands.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        companion_name: str,
+        disk: SimDisk,
+        network: Network,
+    ) -> None:
+        self.name = name
+        self.companion_name = companion_name
+        self.network = network
+        self.local = BlockServer(name + ".bs", disk)
+        self._pending: dict[int, _PendingOp] = {}
+        self._next_op = 1
+        self._intentions: list[_Intention] = []
+        self._recovering = False
+        self._crashed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash this half: in-memory pending markers are lost, the network
+        stops routing to it, the disk keeps its contents."""
+        self._crashed = True
+        self._pending.clear()
+        self.local.crash()
+        self.network.detach(self.name)
+
+    def restart(self) -> None:
+        """Restart after a crash; the server answers companion traffic but
+        refuses client commands until :meth:`resync` has run ("restores its
+        disk before accepting any requests")."""
+        self._crashed = False
+        self._recovering = True
+        self.local.restart()
+        self.network.reattach(self.name)
+
+    def resync(self) -> int:
+        """Compare notes with the companion: fetch and apply the intentions
+        list recorded while this server was down.  Returns the number of
+        intentions applied.
+
+        Two-phase: the fetch leaves the list in place at the companion and
+        only the acknowledgement after a full apply clears it — so a crash
+        mid-resync loses nothing (the next resync re-applies; the writes
+        are idempotent)."""
+        intentions: list[_Intention] = self._call_companion("fetch_intentions")
+        for intent in intentions:
+            if intent.kind == "write":
+                if self.local.owner_of(intent.block_no) is None:
+                    self.local.allocate(intent.account, hint=intent.block_no)
+                self.local.write(intent.account, intent.block_no, intent.data)
+            elif intent.kind == "reserve":
+                if self.local.owner_of(intent.block_no) is None:
+                    self.local.allocate(intent.account, hint=intent.block_no)
+            elif intent.kind == "free":
+                if self.local.owner_of(intent.block_no) is not None:
+                    self.local.free(intent.account, intent.block_no)
+        self._call_companion("ack_intentions", count=len(intentions))
+        self._recovering = False
+        return len(intentions)
+
+    @property
+    def available(self) -> bool:
+        return not self._crashed and not self._recovering
+
+    def _check_serving(self) -> None:
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        if self._recovering:
+            raise ServerCrashed(f"{self.name} is recovering; resync first")
+
+    # -- companion messaging ------------------------------------------------
+
+    def _call_companion(self, command: str, **params: Any) -> Any:
+        """One message exchange with the companion (counted by the network).
+
+        Dropped messages are retried — the Amoeba transaction primitive the
+        servers talk over does its own retransmission.
+        """
+        from repro.errors import MessageDropped
+
+        last: Exception | None = None
+        for _ in range(4):
+            try:
+                return self.network.send(
+                    self.name, self.companion_name, Request(command, params)
+                )
+            except MessageDropped as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def _companion_step(self, op: _PendingOp) -> None:
+        """Send the operation to the companion (the companion-first write).
+
+        On companion unreachability, record an intention instead; the
+        operation then completes locally only, as the paper prescribes.
+        On :class:`CompanionConflict` the pending marker is dropped and the
+        conflict propagates to the client for retry.
+        """
+        try:
+            if op.kind == "reserve":
+                self._call_companion(
+                    "companion_reserve",
+                    account=op.account,
+                    block_no=op.block_no,
+                )
+            elif op.kind in ("alloc", "write", "tas"):
+                self._call_companion(
+                    "companion_write",
+                    origin=self.name,
+                    account=op.account,
+                    block_no=op.block_no,
+                    data=op.data,
+                )
+            elif op.kind == "free":
+                self._call_companion(
+                    "companion_free", account=op.account, block_no=op.block_no
+                )
+            op.companion_done = True
+        except CompanionConflict:
+            self._pending.pop(op.block_no, None)
+            raise
+        except (ServerUnreachable, ServerCrashed):
+            if op.kind == "free":
+                self._intentions.append(
+                    _Intention("free", op.account, op.block_no)
+                )
+            elif op.kind == "reserve":
+                self._intentions.append(
+                    _Intention("reserve", op.account, op.block_no)
+                )
+            else:
+                self._intentions.append(
+                    _Intention("write", op.account, op.block_no, op.data)
+                )
+
+    # -- stepwise operation API (tests interleave begin/finish) -------------
+
+    def begin_allocate_write(self, account: int, data: bytes) -> _PendingOp:
+        """Choose a block number, mark it pending, run the companion step."""
+        self._check_serving()
+        block_no = self._choose_block()
+        op = self._new_op("alloc", account, block_no, data)
+        self._companion_step(op)
+        return op
+
+    def begin_allocate(self, account: int) -> _PendingOp:
+        """Reserve a block number on both disks without writing data yet
+        (used by deferred-write page stores: the number is needed for
+        parent references before the data is final)."""
+        self._check_serving()
+        block_no = self._choose_block()
+        op = self._new_op("reserve", account, block_no)
+        self._companion_step(op)
+        return op
+
+    def begin_write(self, account: int, block_no: int, data: bytes) -> _PendingOp:
+        """Mark an existing block pending and run the companion step."""
+        self._check_serving()
+        self.local._check_owner(block_no, account)  # protection first
+        op = self._new_op("write", account, block_no, data)
+        self._companion_step(op)
+        return op
+
+    def begin_free(self, account: int, block_no: int) -> _PendingOp:
+        self._check_serving()
+        self.local._check_owner(block_no, account)
+        op = self._new_op("free", account, block_no)
+        self._companion_step(op)
+        return op
+
+    def finish_op(self, op: _PendingOp) -> int:
+        """Complete the local half of an operation and clear its marker."""
+        self._check_serving()
+        if op.kind == "alloc":
+            self.local.allocate(op.account, hint=op.block_no)
+            self.local.write(op.account, op.block_no, op.data)
+        elif op.kind == "reserve":
+            self.local.allocate(op.account, hint=op.block_no)
+        elif op.kind in ("write", "tas"):
+            self.local.write(op.account, op.block_no, op.data)
+        elif op.kind == "free":
+            self.local.free(op.account, op.block_no)
+        self._pending.pop(op.block_no, None)
+        return op.block_no
+
+    def _new_op(self, kind: str, account: int, block_no: int, data: bytes = b"") -> _PendingOp:
+        if block_no in self._pending:
+            # Two clients of the *same* server: serialized by the server
+            # itself in real Amoeba; in the simulation a same-server overlap
+            # is a conflict the client retries.
+            raise CompanionConflict(
+                f"{self.name}: block {block_no} already has an operation in flight"
+            )
+        op = _PendingOp(self._next_op, kind, account, block_no, data)
+        self._next_op += 1
+        self._pending[block_no] = op
+        return op
+
+    def _choose_block(self) -> int:
+        """Pick a block number free on the local disk and not pending here.
+
+        Both halves choose independently from the same number space, so
+        simultaneous allocations can "accidentally" collide — which the
+        companion step detects (§4, allocate collisions).
+        """
+        hint = 1
+        while True:
+            candidate = self.local.disk.first_free(hint)
+            if candidate not in self._pending and self.local.owner_of(candidate) is None:
+                return candidate
+            hint = candidate + 1
+
+    # -- client command set ---------------------------------------------------
+
+    def cmd_allocate_write(self, account: int, data: bytes) -> int:
+        op = self.begin_allocate_write(account, data)
+        return self.finish_op(op)
+
+    def cmd_allocate(self, account: int) -> int:
+        op = self.begin_allocate(account)
+        return self.finish_op(op)
+
+    def cmd_write(self, account: int, block_no: int, data: bytes) -> None:
+        op = self.begin_write(account, block_no, data)
+        self.finish_op(op)
+
+    def cmd_read(self, account: int, block_no: int) -> bytes:
+        """Read locally; on corruption, fetch from the companion and repair.
+
+        "For reads, the block server need not consult its companion server,
+        except when the block on its disk is corrupted."
+        """
+        self._check_serving()
+        try:
+            return self.local.read(account, block_no)
+        except CorruptBlock:
+            data = self._call_companion(
+                "companion_read", account=account, block_no=block_no
+            )
+            try:
+                self.local.write(account, block_no, data)  # repair in place
+            except WriteOnceViolation:
+                pass  # optical media cannot be repaired; serve the copy
+            return data
+
+    def cmd_free(self, account: int, block_no: int) -> None:
+        op = self.begin_free(account, block_no)
+        self.finish_op(op)
+
+    def cmd_test_and_set(
+        self, account: int, block_no: int, offset: int, expected: bytes, new: bytes
+    ) -> TasResult:
+        """Atomic compare-and-swap, replicated to both disks.
+
+        The compare runs against the local copy; on success the swapped
+        block is propagated companion-first like any write, so concurrent
+        test-and-sets through different halves collide and one retries —
+        giving the mutual exclusion §5.2's commit depends on.
+        """
+        self._check_serving()
+        self.local._check_owner(block_no, account)
+        data = self.local.disk.read(block_no)
+        end = offset + len(expected)
+        if len(new) != len(expected):
+            raise ValueError("test_and_set: expected and new must be equal length")
+        if end > len(data):
+            raise ValueError("test_and_set range beyond block")
+        current = data[offset:end]
+        if current != expected:
+            return TasResult(False, current)
+        swapped = data[:offset] + new + data[end:]
+        op = self._new_op("tas", account, block_no, swapped)
+        self._companion_step(op)
+        self.finish_op(op)
+        return TasResult(True, new)
+
+    def cmd_lock(self, block_no: int, locker: int) -> bool:
+        self._check_serving()
+        return self.local.lock(block_no, locker)
+
+    def cmd_unlock(self, block_no: int, locker: int) -> None:
+        self._check_serving()
+        return self.local.unlock(block_no, locker)
+
+    def cmd_recover(self, account: int) -> list[int]:
+        self._check_serving()
+        return self.local.recover(account)
+
+    # -- companion command set -------------------------------------------------
+
+    def cmd_companion_write(
+        self, origin: str, account: int, block_no: int, data: bytes
+    ) -> None:
+        """The companion-first write arriving from the other half.
+
+        Collision check: if *this* server has its own operation in flight
+        on the same block, two clients hit the same block through different
+        servers simultaneously — refuse, before any damage is done.
+        """
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        mine = self._pending.get(block_no)
+        if mine is not None:
+            raise CompanionConflict(
+                f"{self.name}: companion write collides with local {mine.kind} "
+                f"op on block {block_no}"
+            )
+        if self.local.owner_of(block_no) is None:
+            self.local.allocate(account, hint=block_no)
+        self.local.write(account, block_no, data)
+
+    def cmd_companion_reserve(self, account: int, block_no: int) -> None:
+        """Reserve an allocation chosen by the other half (no data yet)."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        mine = self._pending.get(block_no)
+        if mine is not None:
+            raise CompanionConflict(
+                f"{self.name}: companion reserve collides with local {mine.kind} "
+                f"op on block {block_no}"
+            )
+        if self.local.owner_of(block_no) is None:
+            self.local.allocate(account, hint=block_no)
+
+    def cmd_companion_free(self, account: int, block_no: int) -> None:
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        if block_no in self._pending:
+            raise CompanionConflict(
+                f"{self.name}: companion free collides on block {block_no}"
+            )
+        if self.local.owner_of(block_no) is not None:
+            self.local.free(account, block_no)
+
+    def cmd_companion_read(self, account: int, block_no: int) -> bytes:
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        return self.local.read(account, block_no)
+
+    def cmd_fetch_intentions(self) -> list[_Intention]:
+        """Hand the restarting companion the operations it missed.  The
+        list stays here until the companion acknowledges having applied
+        it — a crash mid-resync must not lose the missed writes."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        return list(self._intentions)
+
+    def cmd_ack_intentions(self, count: int) -> None:
+        """The companion applied the first ``count`` intentions: drop them."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        self._intentions = self._intentions[count:]
+
+
+class StablePair:
+    """A companion pair: construction convenience plus a direct API.
+
+    Builds two :class:`StableServer` halves over two disks, attaches both to
+    the network on one shared service ``port`` (so a
+    :class:`repro.sim.rpc.Transaction` fails over between them), and keeps
+    references for tests and fault injection.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        port: int,
+        capacity: int = 4096,
+        block_size: int = BLOCK_SIZE,
+        name_a: str = "blockA",
+        name_b: str = "blockB",
+        write_once: bool = False,
+    ) -> None:
+        self.network = network
+        self.port = port
+        self.disk_a = SimDisk(capacity, block_size, network.clock, write_once)
+        self.disk_b = SimDisk(capacity, block_size, network.clock, write_once)
+        self.a = StableServer(name_a, name_b, self.disk_a, network)
+        self.b = StableServer(name_b, name_a, self.disk_b, network)
+        self.endpoint_a = RpcEndpoint(network, name_a, port, self.a)
+        self.endpoint_b = RpcEndpoint(network, name_b, port, self.b)
+
+    def halves(self) -> tuple[StableServer, StableServer]:
+        return self.a, self.b
+
+    def consistent(self) -> bool:
+        """Whether both disks agree on every allocated block (audit)."""
+        blocks = set(self.a.local.allocated_blocks()) | set(
+            self.b.local.allocated_blocks()
+        )
+        for block_no in blocks:
+            da = self.disk_a._blocks.get(block_no)
+            db = self.disk_b._blocks.get(block_no)
+            if da is not None and db is not None and da != db:
+                return False
+        return True
+
+
+class StableClient:
+    """Client-side view of a stable pair (or a single block server) by port.
+
+    Wraps a :class:`Transaction` with the block-service verbs; failover
+    between the halves comes from the port registry.  The file service
+    talks to block storage exclusively through this class, so every disk
+    access is a counted network transaction.
+    """
+
+    def __init__(
+        self, network: Network, client_node: str, port: int, account: int
+    ) -> None:
+        self.txn = Transaction(network, client_node)
+        self.port = port
+        self.account = account
+
+    def allocate_write(self, data: bytes) -> int:
+        return self.txn.call(
+            self.port, "allocate_write", account=self.account, data=data
+        )
+
+    def allocate(self) -> int:
+        """Reserve a block on both disks without writing data yet."""
+        return self.txn.call(self.port, "allocate", account=self.account)
+
+    def write(self, block_no: int, data: bytes) -> None:
+        self.txn.call(
+            self.port, "write", account=self.account, block_no=block_no, data=data
+        )
+
+    def read(self, block_no: int) -> bytes:
+        return self.txn.call(self.port, "read", account=self.account, block_no=block_no)
+
+    def free(self, block_no: int) -> None:
+        self.txn.call(self.port, "free", account=self.account, block_no=block_no)
+
+    def test_and_set(
+        self, block_no: int, offset: int, expected: bytes, new: bytes
+    ) -> TasResult:
+        return self.txn.call(
+            self.port,
+            "test_and_set",
+            account=self.account,
+            block_no=block_no,
+            offset=offset,
+            expected=expected,
+            new=new,
+        )
+
+    def lock(self, block_no: int, locker: int) -> bool:
+        return self.txn.call(self.port, "lock", block_no=block_no, locker=locker)
+
+    def unlock(self, block_no: int, locker: int) -> None:
+        self.txn.call(self.port, "unlock", block_no=block_no, locker=locker)
+
+    def recover(self) -> list[int]:
+        return self.txn.call(self.port, "recover", account=self.account)

@@ -1,0 +1,12 @@
+"""Client-side library: the view from a host using the file service.
+
+:class:`repro.client.api.FileClient` talks to the file service port over
+the simulated network (failing over between replicated servers), keeps the
+per-file page cache of §5.4, and wraps the redo loop that optimistic
+concurrency control pushes onto clients ("the client must redo the
+update").
+"""
+
+from repro.client.api import ClientUpdate, FileClient
+
+__all__ = ["FileClient", "ClientUpdate"]

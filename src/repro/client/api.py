@@ -1,0 +1,378 @@
+"""The client library.
+
+A :class:`FileClient` is what runs on a host that uses the file service:
+
+* it addresses the *service port*, so requests fail over between
+  replicated file server processes ("clients do not have to wait until the
+  server is restored, because they can use another server");
+* it maintains the client-side page cache of §5.4, revalidated through the
+  server's serialisability test (no unsolicited messages);
+* it provides :meth:`FileClient.transact`, the redo loop: run the update
+  against a fresh version, commit, and on :class:`CommitConflict` redo it,
+  exactly as the optimistic method demands;
+* it waits out super-file locks with the §5.3 waiter protocol (including
+  taking over a dead holder's recovery) via the service's recovery command.
+
+All page data moves as bytes; path names move in their textual form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.capability import Capability
+from repro.errors import CommitConflict, FileLocked, ReproError
+from repro.core.cache import ClientFileCache
+from repro.core.pathname import PagePath
+from repro.core.service import VersionHandle
+from repro.sim.network import Network
+from repro.sim.rpc import Transaction
+
+
+@dataclass
+class ClientStats:
+    """What the client observed (benchmarks report these)."""
+
+    commits: int = 0
+    conflicts: int = 0
+    redos: int = 0
+    lock_waits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class FileClient:
+    """A host-side handle on the file service."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: str,
+        service_port: int,
+        prefer_server: str | None = None,
+        use_cache: bool = True,
+        buffer_writes: bool = False,
+    ) -> None:
+        self.node = node
+        self.txn = Transaction(network, node)
+        self.service_port = service_port
+        self.prefer_server = prefer_server
+        self.cache = ClientFileCache() if use_cache else None
+        self.buffer_writes = buffer_writes
+        self.stats = ClientStats()
+
+    # -- raw command helpers ------------------------------------------------
+
+    def _call(self, command: str, **params: Any) -> Any:
+        return self.txn.call(
+            self.service_port, command, prefer=self.prefer_server, **params
+        )
+
+    # -- file management --------------------------------------------------------
+
+    def create_file(self, initial_data: bytes = b"") -> Capability:
+        """Create a new file; returns its owner capability."""
+        return self._call("create_file", initial_data=initial_data)
+
+    def delete_file(self, file_cap: Capability) -> None:
+        self._call("delete_file", file_cap=file_cap)
+        if self.cache is not None:
+            self.cache.drop(file_cap)
+
+    def current_version(self, file_cap: Capability) -> Capability:
+        return self._call("current_version", file_cap=file_cap)
+
+    # -- snapshot reads -----------------------------------------------------------
+
+    def read(self, file_cap: Capability, path: PagePath = PagePath.ROOT) -> bytes:
+        """Read a page of the file's current state, going through the cache.
+
+        The cache is revalidated first (the §5.4 serialisability test);
+        for a file nobody else modified this costs one small message and
+        no page transfers.
+        """
+        if self.cache is not None:
+            entry = self.cache.entry(file_cap)
+            if entry is not None:
+                self.revalidate(file_cap)
+                data = self.cache.get(file_cap, path)
+                if data is not None:
+                    self.stats.cache_hits += 1
+                    return data
+                self.stats.cache_misses += 1
+        current = self.current_version(file_cap)
+        data = self._call("read_page", version_cap=current, path=str(path))
+        if self.cache is not None:
+            if self.cache.entry(file_cap) is None:
+                self.cache.remember(file_cap, current, {path: data})
+            else:
+                self.cache.put(file_cap, path, data)
+        return data
+
+    def history(self, file_cap: Capability) -> list[Capability]:
+        """Capabilities for every committed version, oldest to current —
+        committed versions are immutable snapshots, so these stay readable
+        forever (until history pruning)."""
+        return self._call("committed_versions", file_cap=file_cap)
+
+    def read_version(
+        self, version_cap: Capability, path: PagePath = PagePath.ROOT
+    ) -> bytes:
+        """Read a page of a specific (usually historical) version."""
+        return self._call("read_page", version_cap=version_cap, path=str(path))
+
+    def revalidate(self, file_cap: Capability) -> int:
+        """Run the cache-validation test for one file; returns the number
+        of cached pages discarded."""
+        if self.cache is None:
+            return 0
+        entry = self.cache.entry(file_cap)
+        if entry is None:
+            return 0
+        discard_texts, current = self._call(
+            "validate_cache",
+            file_cap=file_cap,
+            cached_version_cap=entry.version_cap,
+        )
+        discards = [PagePath.parse(text) for text in discard_texts]
+        return self.cache.apply_discards(file_cap, discards, current)
+
+    # -- updates ----------------------------------------------------------------
+
+    def begin(
+        self,
+        file_cap: Capability,
+        respect_soft_lock: bool = False,
+        buffer_writes: bool | None = None,
+    ) -> "ClientUpdate":
+        """Create a version and return an update handle.
+
+        Waits out inner locks (enclosing super-file updates) using the
+        §5.3 waiter protocol: probe, recover if the holder died, retry.
+
+        ``buffer_writes`` (default: the client's setting) enables the
+        client-side write-behind cache of §5.4: page writes are held
+        locally and shipped in one burst just before commit, so a page
+        rewritten n times crosses the network once.
+        """
+        handle = self._begin_waiting(file_cap, respect_soft_lock)
+        buffering = self.buffer_writes if buffer_writes is None else buffer_writes
+        return ClientUpdate(self, file_cap, handle, buffering)
+
+    def _begin_waiting(
+        self,
+        file_cap: Capability,
+        respect_soft_lock: bool,
+        max_waits: int = 64,
+    ) -> VersionHandle:
+        for _ in range(max_waits):
+            try:
+                return self._call(
+                    "create_version",
+                    file_cap=file_cap,
+                    owner=self.node,
+                    respect_soft_lock=respect_soft_lock,
+                )
+            except FileLocked:
+                self.stats.lock_waits += 1
+                # One waiter step: clears or finishes a dead holder's work,
+                # or tells us the holder is alive (keep waiting).
+                self._call("recover_lock", file_cap=file_cap)
+        raise FileLocked(f"file {file_cap.obj}: still locked after {max_waits} waits")
+
+    def transact(
+        self,
+        file_cap: Capability,
+        update_fn: Callable[["ClientUpdate"], Any],
+        max_redos: int = 16,
+        respect_soft_lock: bool = False,
+    ) -> Any:
+        """The optimistic redo loop: apply ``update_fn`` to a fresh version
+        and commit; on a serialisability conflict, redo from scratch.
+
+        Returns ``update_fn``'s result from the attempt that committed.
+        """
+        last: ReproError | None = None
+        for attempt in range(max_redos):
+            update = self.begin(file_cap, respect_soft_lock)
+            try:
+                outcome = update_fn(update)
+            except ReproError:
+                update.abort()
+                raise
+            try:
+                update.commit()
+                return outcome
+            except CommitConflict as conflict:
+                self.stats.conflicts += 1
+                self.stats.redos += 1
+                last = conflict
+        raise CommitConflict(
+            f"update on file {file_cap.obj} failed after {max_redos} redos"
+        ) from last
+
+
+class ClientUpdate:
+    """One update in progress on one file (a version plus local bookkeeping).
+
+    With ``buffering`` on, page writes stay in client memory ("the page
+    cache does not have to be a 'write through' cache", §5.4) and are
+    shipped just before commit; reading a buffered page is served locally
+    (reading your own write depends on nothing in the base version, so no
+    server-side R flag is needed for it).  Structural operations flush the
+    buffer first — they renumber paths, which the buffer is keyed by.
+    """
+
+    def __init__(
+        self,
+        client: FileClient,
+        file_cap: Capability,
+        handle: VersionHandle,
+        buffering: bool = False,
+    ) -> None:
+        self.client = client
+        self.file_cap = file_cap
+        self.handle = handle
+        self.buffering = buffering
+        self.done = False
+        self._written: dict[PagePath, bytes] = {}
+        self._buffered: dict[PagePath, bytes] = {}
+
+    @property
+    def version(self) -> Capability:
+        return self.handle.version
+
+    # -- the write-behind buffer ---------------------------------------------
+
+    def flush(self) -> int:
+        """Ship buffered writes to the server; returns how many pages."""
+        count = 0
+        for path, data in sorted(self._buffered.items()):
+            self.client._call(
+                "write_page", version_cap=self.version, path=str(path), data=data
+            )
+            count += 1
+        self._buffered.clear()
+        return count
+
+    # -- page operations ---------------------------------------------------
+
+    def read(self, path: PagePath = PagePath.ROOT) -> bytes:
+        if path in self._buffered:
+            return self._buffered[path]
+        data = self.client._call(
+            "read_page", version_cap=self.version, path=str(path)
+        )
+        return data
+
+    def write(self, path: PagePath, data: bytes) -> None:
+        if self.buffering:
+            self._buffered[path] = data
+        else:
+            self.client._call(
+                "write_page", version_cap=self.version, path=str(path), data=data
+            )
+        self._written[path] = data
+
+    def _forget_under(self, parent: PagePath) -> None:
+        """Drop local write records below ``parent``: a structural change
+        renumbers sibling paths, so path-keyed records there go stale."""
+        for path in [p for p in self._written if parent.is_ancestor_of(p) and p != parent]:
+            del self._written[path]
+
+    def append_page(self, parent: PagePath, data: bytes = b"") -> PagePath:
+        self.flush()
+        text = self.client._call(
+            "append_page", version_cap=self.version, parent_path=str(parent), data=data
+        )
+        path = PagePath.parse(text)
+        self._written[path] = data
+        return path
+
+    def insert_page(self, parent: PagePath, index: int, data: bytes = b"") -> PagePath:
+        self.flush()
+        text = self.client._call(
+            "insert_page",
+            version_cap=self.version,
+            parent_path=str(parent),
+            index=index,
+            data=data,
+        )
+        self._forget_under(parent)
+        path = PagePath.parse(text)
+        self._written[path] = data
+        return path
+
+    def remove_page(self, path: PagePath) -> None:
+        self.flush()
+        self.client._call("remove_page", version_cap=self.version, path=str(path))
+        self._forget_under(path.parent())
+
+    def make_hole(self, path: PagePath) -> None:
+        self.flush()
+        self.client._call("make_hole", version_cap=self.version, path=str(path))
+        self._written.pop(path, None)
+        self._forget_under(path)
+
+    def remove_hole(self, path: PagePath) -> None:
+        self.flush()
+        self.client._call("remove_hole", version_cap=self.version, path=str(path))
+        self._forget_under(path.parent())
+
+    def fill_hole(self, path: PagePath, data: bytes = b"") -> None:
+        self.flush()
+        self.client._call(
+            "fill_hole", version_cap=self.version, path=str(path), data=data
+        )
+        self._written[path] = data
+
+    def split_page(self, path: PagePath, at: int) -> PagePath:
+        self.flush()
+        text = self.client._call(
+            "split_page", version_cap=self.version, path=str(path), at=at
+        )
+        self._written.pop(path, None)
+        self._forget_under(path.parent())
+        return PagePath.parse(text)
+
+    def move_subtree(
+        self, src: PagePath, dst_parent: PagePath, dst_index: int
+    ) -> PagePath:
+        self.flush()
+        text = self.client._call(
+            "move_subtree",
+            version_cap=self.version,
+            src=str(src),
+            dst_parent=str(dst_parent),
+            dst_index=dst_index,
+        )
+        self._written.pop(src, None)
+        self._forget_under(src.parent())
+        self._forget_under(dst_parent)
+        return PagePath.parse(text)
+
+    def structure(self, path: PagePath = PagePath.ROOT) -> list[int]:
+        self.flush()
+        return self.client._call(
+            "page_structure", version_cap=self.version, path=str(path)
+        )
+
+    # -- ending the update ----------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit; buffered writes ship first ("postponed until just
+        before commit", §5.4), and on success the written pages seed the
+        client cache."""
+        self.flush()
+        self.client._call("commit", version_cap=self.version)
+        self.done = True
+        self.client.stats.commits += 1
+        if self.client.cache is not None and self._written:
+            self.client.cache.remember(self.file_cap, self.version, self._written)
+
+    def abort(self) -> None:
+        if not self.done:
+            self._buffered.clear()
+            self.client._call("abort", version_cap=self.version)
+            self.done = True

@@ -1,0 +1,38 @@
+"""The Amoeba File Service proper (§5 of the paper).
+
+The file system is a tree of pages; files are subtrees; versions are page
+trees sharing unchanged pages with the versions they were based on
+(differential files).  Optimistic concurrency control validates commits via
+the Kung-Robinson conditions, reduced to a single test-and-set on the
+commit reference plus the `serialise` tree walk; super-files add the
+top/inner locking layer.
+
+Public surface:
+
+* :class:`repro.core.service.FileService` — the server.
+* :class:`repro.core.page.Page` / :class:`repro.core.page.PageRef` — the
+  Figure 3 page layout.
+* :class:`repro.core.pathname.PagePath` — page path names.
+* :mod:`repro.core.occ` — the serialisability test and merge.
+* :mod:`repro.core.cache` — client/server page caches.
+* :mod:`repro.core.gc` — the parallel garbage collector.
+"""
+
+from repro.core.flags import Flags
+from repro.core.page import Page, PageRef, NIL
+from repro.core.pathname import PagePath
+from repro.core.service import FileService, VersionHandle
+from repro.core.cache import PageCache
+from repro.core.gc import GarbageCollector
+
+__all__ = [
+    "Flags",
+    "Page",
+    "PageRef",
+    "NIL",
+    "PagePath",
+    "FileService",
+    "VersionHandle",
+    "PageCache",
+    "GarbageCollector",
+]

@@ -1,0 +1,164 @@
+"""Page caches (§5.4).
+
+"The Amoeba File Service — by design — is especially suited for caching.
+A version, from the moment of its creation, behaves like a private copy of
+a file that cannot change without the owner's consent.  Both Amoeba File
+Servers and their clients can therefore maintain a cache."
+
+Two caches live here:
+
+* :class:`PageCache` — a bounded LRU of deserialised pages keyed by block
+  number, used *inside* file servers.  Blocks written by copy-on-write are
+  immutable once shared, so cache entries never go stale except for version
+  pages (whose commit-reference/lock fields change in place); the page
+  store invalidates those explicitly.
+* :class:`ClientFileCache` — a client-held cache of pages of "the most
+  recent version it has had locally", keyed by path name.  On reuse the
+  client asks a server to validate the entry against the current version
+  (the serialisability test of §5.4); the server returns the path names to
+  discard, and "it is not necessary to transmit pages while making the
+  serialisability test".  For a file nobody else touched, the test is a
+  null operation and every page stays valid.
+
+Client caches "do not have to be write-through": dirty pages are kept
+locally and flushed just before commit (the page store's deferred-write
+mode implements the same idea server-side).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.capability import Capability
+from repro.core.page import Page
+from repro.core.pathname import PagePath
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PageCache:
+    """A bounded LRU cache of deserialised pages by block number."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._pages: OrderedDict[int, Page] = OrderedDict()
+
+    def get(self, block: int) -> Page | None:
+        page = self._pages.get(block)
+        if page is None:
+            self.stats.misses += 1
+            return None
+        self._pages.move_to_end(block)
+        self.stats.hits += 1
+        return page
+
+    def put(self, block: int, page: Page) -> None:
+        self._pages[block] = page
+        self._pages.move_to_end(block)
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+
+    def invalidate(self, block: int) -> None:
+        if self._pages.pop(block, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._pages
+
+
+@dataclass
+class ClientCacheEntry:
+    """A client's cached pages for one file."""
+
+    file_cap: Capability
+    version_cap: Capability  # the version the pages came from
+    pages: dict[PagePath, bytes] = field(default_factory=dict)
+
+
+class ClientFileCache:
+    """A client-side per-file page cache with server-assisted validation.
+
+    Usage pattern (see :class:`repro.client.api.FileClient`):
+
+    1. after working on a version, ``remember`` its pages;
+    2. before the next update, ``revalidate`` against the service — the
+       server replies with the path names whose pages must be discarded
+       (an empty list for unshared files: the null-operation case);
+    3. ``get`` serves page reads without network traffic.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, ClientCacheEntry] = {}
+        self.stats = CacheStats()
+
+    def remember(
+        self,
+        file_cap: Capability,
+        version_cap: Capability,
+        pages: dict[PagePath, bytes],
+    ) -> None:
+        """Install or replace the cache entry for a file."""
+        self._entries[file_cap.obj] = ClientCacheEntry(
+            file_cap, version_cap, dict(pages)
+        )
+
+    def entry(self, file_cap: Capability) -> ClientCacheEntry | None:
+        return self._entries.get(file_cap.obj)
+
+    def get(self, file_cap: Capability, path: PagePath) -> bytes | None:
+        entry = self._entries.get(file_cap.obj)
+        if entry is None or path not in entry.pages:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry.pages[path]
+
+    def put(self, file_cap: Capability, path: PagePath, data: bytes) -> None:
+        entry = self._entries.get(file_cap.obj)
+        if entry is not None:
+            entry.pages[path] = data
+
+    def apply_discards(
+        self, file_cap: Capability, discards: list[PagePath], new_version: Capability
+    ) -> int:
+        """Drop the pages the server said are stale; returns how many died.
+
+        A discard path also kills every cached page *below* it, because a
+        structural change (M) invalidates the whole subtree's path names.
+        """
+        entry = self._entries.get(file_cap.obj)
+        if entry is None:
+            return 0
+        dead = [
+            path
+            for path in entry.pages
+            if any(bad.is_ancestor_of(path) for bad in discards)
+        ]
+        for path in dead:
+            del entry.pages[path]
+            self.stats.invalidations += 1
+        entry.version_cap = new_version
+        return len(dead)
+
+    def drop(self, file_cap: Capability) -> None:
+        self._entries.pop(file_cap.obj, None)

@@ -1,0 +1,124 @@
+"""The C, R, W, S, M page-reference flags and their 4-bit encoding.
+
+Each page reference carries five flags (§5.1):
+
+* **C** — the referred-to page was *copied* (shadowed) and is no longer
+  shared with the version it was based on.
+* **R** — the page's data was *read*.
+* **W** — the page's data was *written* (changed).
+* **S** — the page's references were used (*searched*).
+* **M** — the page's references were *modified* (insert page, remove page,
+  make hole, remove hole).
+
+Two dependencies constrain the combinations: "it is not possible to access
+a page without copying it, nor is it possible to modify the references
+without looking at them".  Accessing means any of R, W, S, M; hence
+
+* any of R/W/S/M set implies C set, and
+* M set implies S set.
+
+That reduces the 32 raw combinations to 13 valid ones (C clear forces all
+clear: 1; C set allows R,W free and (S,M) in {00,10,11}: 12), "which allows
+encoding the flags in four bits.  Amoeba uses 28 bits for a block number
+and four bits for the flags."  This module implements precisely that
+encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Flags:
+    """An immutable C/R/W/S/M flag combination."""
+
+    c: bool = False
+    r: bool = False
+    w: bool = False
+    s: bool = False
+    m: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.r or self.w or self.s or self.m) and not self.c:
+            raise ValueError(f"{self}: access flags require the copied flag")
+        if self.m and not self.s:
+            raise ValueError(f"{self}: modified implies searched")
+
+    # -- derived accessors (what the OCC test reads) -------------------------
+
+    @property
+    def accessed(self) -> bool:
+        """Whether the page was touched at all in this version."""
+        return self.r or self.w or self.s or self.m
+
+    @property
+    def in_read_set(self) -> bool:
+        """Whether this page belongs to the version's read set: its data was
+        read, or its references were searched."""
+        return self.r or self.s
+
+    @property
+    def in_write_set(self) -> bool:
+        """Whether this page belongs to the version's write set: its data was
+        written, or its references were modified."""
+        return self.w or self.m
+
+    # -- transitions -----------------------------------------------------------
+
+    def copy(self) -> "Flags":
+        return Flags(True, self.r, self.w, self.s, self.m)
+
+    def read(self) -> "Flags":
+        return Flags(True, True, self.w, self.s, self.m)
+
+    def write(self) -> "Flags":
+        return Flags(True, self.r, True, self.s, self.m)
+
+    def search(self) -> "Flags":
+        return Flags(True, self.r, self.w, True, self.m)
+
+    def modify(self) -> "Flags":
+        return Flags(True, self.r, self.w, True, True)
+
+    # -- the 4-bit encoding ------------------------------------------------------
+
+    def encode(self) -> int:
+        """Encode to the 4-bit code (0..12)."""
+        if not self.c:
+            return 0
+        rw = int(self.r) + 2 * int(self.w)
+        if not self.s:
+            sm = 0
+        elif not self.m:
+            sm = 1
+        else:
+            sm = 2
+        return 1 + rw + 4 * sm
+
+    @staticmethod
+    def decode(code: int) -> "Flags":
+        """Decode a 4-bit code; codes 13-15 are invalid."""
+        if not 0 <= code <= 12:
+            raise ValueError(f"invalid flag code {code}")
+        if code == 0:
+            return Flags()
+        code -= 1
+        rw, sm = code % 4, code // 4
+        return Flags(
+            c=True,
+            r=bool(rw & 1),
+            w=bool(rw & 2),
+            s=sm >= 1,
+            m=sm == 2,
+        )
+
+    @staticmethod
+    def all_valid() -> list["Flags"]:
+        """The 13 valid combinations, in encoding order."""
+        return [Flags.decode(code) for code in range(13)]
+
+    def __str__(self) -> str:
+        letters = "CRWSM"
+        values = (self.c, self.r, self.w, self.s, self.m)
+        return "".join(l if v else "-" for l, v in zip(letters, values))

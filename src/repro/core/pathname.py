@@ -1,0 +1,130 @@
+"""Page path names.
+
+"Pages within a file are referred to by a pathname which is constructed as
+follows: The root page has an empty pathname.  The pathname of a page that
+is not the root, is the concatenation of the pathname of its parent page
+with the index of its reference in the array of references in the parent
+page." (§5)
+
+"Pages thus have path names consisting of a string of n-bit numbers.
+These path names are visible to clients, giving them explicit control over
+the structure of their files." (§5.1)
+
+A :class:`PagePath` is an immutable sequence of reference indices.  The
+textual form joins indices with ``/`` (the root is the empty string), which
+is what the cache-validation command returns to clients as its discard
+list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import BadPathName
+
+
+class PagePath:
+    """An immutable page path name: a tuple of reference-table indices."""
+
+    __slots__ = ("_indices",)
+
+    ROOT: "PagePath"
+
+    def __init__(self, indices: tuple[int, ...] = ()) -> None:
+        for index in indices:
+            if not isinstance(index, int) or index < 0:
+                raise BadPathName(f"path index {index!r} must be a non-negative int")
+        self._indices = tuple(indices)
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def of(*indices: int) -> "PagePath":
+        """Build a path from individual indices: ``PagePath.of(3, 0, 5)``."""
+        return PagePath(tuple(indices))
+
+    @staticmethod
+    def parse(text: str) -> "PagePath":
+        """Parse the textual form; the empty string is the root."""
+        if text == "":
+            return PagePath.ROOT
+        try:
+            return PagePath(tuple(int(part) for part in text.split("/")))
+        except ValueError as exc:
+            raise BadPathName(f"cannot parse path name {text!r}") from exc
+
+    # -- navigation ----------------------------------------------------------
+
+    def child(self, index: int) -> "PagePath":
+        """The path of the child behind reference ``index``."""
+        if index < 0:
+            raise BadPathName(f"negative reference index {index}")
+        return PagePath(self._indices + (index,))
+
+    def parent(self) -> "PagePath":
+        """The parent path; the root has no parent."""
+        if not self._indices:
+            raise BadPathName("the root page has no parent")
+        return PagePath(self._indices[:-1])
+
+    @property
+    def is_root(self) -> bool:
+        return not self._indices
+
+    @property
+    def last(self) -> int:
+        """The final index: this page's slot in its parent's reference table."""
+        if not self._indices:
+            raise BadPathName("the root page has no parent slot")
+        return self._indices[-1]
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        return self._indices
+
+    @property
+    def depth(self) -> int:
+        return len(self._indices)
+
+    def is_ancestor_of(self, other: "PagePath") -> bool:
+        """Proper-or-equal ancestry (a path is an ancestor of itself)."""
+        return other._indices[: len(self._indices)] == self._indices
+
+    def relative_to(self, ancestor: "PagePath") -> "PagePath":
+        """This path re-rooted at ``ancestor`` (which must be an ancestor)."""
+        if not ancestor.is_ancestor_of(self):
+            raise BadPathName(f"{ancestor} is not an ancestor of {self}")
+        return PagePath(self._indices[len(ancestor._indices):])
+
+    def joined(self, suffix: "PagePath") -> "PagePath":
+        """Concatenate two paths."""
+        return PagePath(self._indices + suffix._indices)
+
+    # -- dunder plumbing ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._indices)
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, i: int) -> int:
+        return self._indices[i]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PagePath) and self._indices == other._indices
+
+    def __hash__(self) -> int:
+        return hash(self._indices)
+
+    def __lt__(self, other: "PagePath") -> bool:
+        return self._indices < other._indices
+
+    def __str__(self) -> str:
+        return "/".join(str(i) for i in self._indices)
+
+    def __repr__(self) -> str:
+        return f"PagePath({self._indices!r})"
+
+
+PagePath.ROOT = PagePath(())

@@ -1,0 +1,1022 @@
+"""The Amoeba File Service: files, versions, copy-on-write, commit.
+
+One :class:`FileService` instance is one file *server process*.  Several
+instances may serve the same file system ("replicated server processes",
+§5.4.1): they share the block storage (through the network), the capability
+issuer, and the :class:`repro.core.registry.FileRegistry` (the replicated
+file table).  Any server can resolve, update and commit any file; a server
+crash loses only its in-memory page cache and dirty pages of *uncommitted*
+versions, which clients must be prepared to redo anyway.
+
+The update cycle (§5):
+
+1. ``create_version`` — the new version "initially behaves like a copy of
+   the current version": its page tree is fully shared with the base, and
+   only the version page (the root, "always copied") is private.
+2. ``read_page`` / ``write_page`` / tree operations — pages touched by the
+   update are *shadowed* (copied to fresh blocks) on first access, because
+   recording any access means changing the parent's flags, and changing a
+   committed page is impossible; "every change thus bubbles up from the
+   leaves of the page tree to the root page".  Private pages are written
+   in place thereafter, deferred until commit (§5.4: the cache is not
+   write-through).
+3. ``commit`` — flush, then test-and-set the base's commit reference (the
+   single critical section).  If the base is no longer current, run
+   ``serialise`` against each intervening committed version, merging as it
+   goes, and retry; on a conflict the version is removed and
+   :class:`repro.errors.CommitConflict` tells the client to redo the
+   update (§5.2).
+4. ``abort`` — discard an uncommitted version and free its private pages.
+
+Flag bookkeeping (who reads these: the serialisability test): navigating
+*through* a page sets S on the reference to it; reading a page's data sets
+R; writing sets W; restructuring a page's reference table sets M on the
+reference to that page.  All flags live in the parent's reference entry;
+the root's own flags live in the version-page header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capability import (
+    ALL_RIGHTS,
+    Capability,
+    CapabilityIssuer,
+    RIGHT_COMMIT,
+    RIGHT_CREATE,
+    RIGHT_DESTROY,
+    RIGHT_READ,
+    RIGHT_WRITE,
+    new_port,
+)
+from repro.errors import (
+    BadPathName,
+    CommitConflict,
+    CrossesSubFile,
+    FileLocked,
+    HoleReference,
+    PageTooLarge,
+    VersionAborted,
+    VersionCommitted,
+)
+from repro.block.stable import StableClient
+from repro.core.cache import PageCache
+from repro.core.flags import Flags
+from repro.core.locks import LockOps, LockSnapshot
+from repro.core.occ import collect_write_paths, serialise
+from repro.core.page import NIL, PAGE_BODY_SIZE, Page, PageRef, REF_SIZE
+from repro.core.pathname import PagePath
+from repro.core.registry import FileEntry, FileRegistry, VersionEntry
+from repro.core.store import PageStore
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class VersionHandle:
+    """What a client gets back from ``create_version``: the capabilities it
+    needs to work on the update and to find the file again."""
+
+    version: Capability
+    file: Capability
+
+
+@dataclass
+class ServiceMetrics:
+    """Per-server operation counters (benchmarks and dashboards read these)."""
+
+    files_created: int = 0
+    versions_created: int = 0
+    commits: int = 0
+    fast_commits: int = 0  # base still current: pure test-and-set
+    merged_commits: int = 0  # went through serialise at least once
+    conflicts: int = 0
+    aborts: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    serialise_runs: int = 0
+    serialise_pages_visited: int = 0
+
+
+class FileService:
+    """One Amoeba file server process."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        registry: FileRegistry,
+        issuer: CapabilityIssuer,
+        block_port: int,
+        account: int,
+        cache_capacity: int = 4096,
+        deferred_writes: bool = True,
+        rng=None,
+        store: PageStore | None = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.clock = network.clock
+        self.registry = registry
+        self.issuer = issuer
+        self.account = account
+        self.rng = rng
+        if store is not None:
+            # An injected store (e.g. a HybridPageStore over mixed media).
+            self.store = store
+        else:
+            self.store = PageStore(
+                StableClient(network, name, block_port, account),
+                PageCache(cache_capacity),
+                deferred_writes,
+            )
+        self.locks = LockOps(self.store)
+        self.metrics = ServiceMetrics()
+        self._crashed = False
+        # §5.4: "The Amoeba File Servers can also conveniently cache the
+        # concurrency control administration, the flag bits.  This allows
+        # serialisability tests without having to read the page tree.
+        # However, the flags must also be present in the files themselves
+        # to make crash recovery possible."  Per committed version page:
+        # its write paths, as cache validation consumes them.
+        self._write_paths_cache: dict[int, list[PagePath]] = {}
+        # Ports of updates this server process is managing.  Deliberately
+        # in-memory only: "when the server crashes, the outstanding
+        # transactions with the server crash as well, telling all servers
+        # waiting on locks that the process holding the locks has crashed."
+        self._live_updates: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash this server process.  Dirty pages and cache are lost; the
+        file system on stable storage stays consistent — that is the
+        paper's headline property."""
+        self._crashed = True
+        self.store._dirty.clear()
+        self.store.cache.clear()
+        self._live_updates.clear()
+        self._write_paths_cache.clear()  # recoverable: flags are on disk
+        self.network.detach(self.name)
+
+    def restart(self) -> None:
+        self._crashed = False
+        self.network.reattach(self.name)
+
+    def _check_up(self) -> None:
+        if self._crashed:
+            from repro.errors import ServerCrashed
+
+            raise ServerCrashed(f"file server {self.name} is crashed")
+
+    # ------------------------------------------------------------------
+    # capability plumbing
+    # ------------------------------------------------------------------
+
+    def _file_entry(self, cap: Capability, rights: int = 0) -> FileEntry:
+        obj = self.issuer.validate(cap, rights)
+        return self.registry.file(obj)
+
+    def _version_entry(self, cap: Capability, rights: int = 0) -> VersionEntry:
+        obj = self.issuer.validate(cap, rights)
+        return self.registry.version(obj)
+
+    def _writable_version(self, cap: Capability) -> VersionEntry:
+        entry = self._version_entry(cap, RIGHT_WRITE)
+        if entry.status == "committed":
+            raise VersionCommitted(f"version {entry.obj} already committed")
+        if entry.status == "aborted":
+            raise VersionAborted(f"version {entry.obj} was aborted")
+        return entry
+
+    # ------------------------------------------------------------------
+    # file management
+    # ------------------------------------------------------------------
+
+    def create_file(self, initial_data: bytes = b"") -> Capability:
+        """Create a file whose initial committed version holds
+        ``initial_data`` in its root page."""
+        self._check_up()
+        file_cap = self.issuer.mint(ALL_RIGHTS, self.rng)
+        version_cap = self.issuer.mint(ALL_RIGHTS, self.rng)
+        root = Page(
+            file_cap=file_cap,
+            version_cap=version_cap,
+            is_version_page=True,
+            data=initial_data,
+        )
+        root.check_fits()
+        block = self.store.store_new(root)
+        self.store.flush()  # the initial version is committed: durable now
+        self.registry.add_file(
+            FileEntry(file_cap.obj, block, self.issuer.secret_of(file_cap.obj))
+        )
+        self.registry.add_version(
+            VersionEntry(
+                version_cap.obj,
+                file_cap.obj,
+                block,
+                self.issuer.secret_of(version_cap.obj),
+                status="committed",
+            )
+        )
+        self.metrics.files_created += 1
+        return file_cap
+
+    def delete_file(self, file_cap: Capability) -> None:
+        """Drop a file from the file table; its blocks become garbage that
+        the collector reclaims."""
+        self._check_up()
+        entry = self._file_entry(file_cap, RIGHT_DESTROY)
+        self.registry.drop_file(entry.obj)
+        self.issuer.revoke(entry.obj)
+
+    def _resolve_current(self, entry: FileEntry) -> int:
+        """Find the current version's block by chasing commit references
+        from the (possibly stale) file-table entry, advancing the entry."""
+        block, _ = self._resolve_current_page(entry)
+        return block
+
+    def _resolve_current_page(self, entry: FileEntry) -> tuple[int, Page]:
+        """Like :meth:`_resolve_current`, also returning the loaded page."""
+        block = entry.entry_block
+        while True:
+            page = self.store.load(block, fresh=True)
+            if page.commit_ref == NIL:
+                entry.entry_block = block
+                return block, page
+            block = page.commit_ref
+
+    def current_version(self, file_cap: Capability) -> Capability:
+        """The capability of the file's current (committed) version."""
+        self._check_up()
+        entry = self._file_entry(file_cap, RIGHT_READ)
+        block = self._resolve_current(entry)
+        return self._version_cap_for_block(entry.obj, block)
+
+    def _version_cap_for_block(self, file_obj: int, block: int) -> Capability:
+        """A capability for the committed version page in ``block``,
+        minting a registry entry lazily — needed after a registry restore,
+        whose durable half records files but not versions."""
+        version = self.registry.version_by_block(block)
+        if version is not None:
+            return self.issuer.mint_for(version.obj, ALL_RIGHTS, self.rng)
+        obj = self.registry.fresh_obj()
+        cap = self.issuer.mint_for(obj, ALL_RIGHTS, self.rng)
+        self.registry.add_version(
+            VersionEntry(
+                obj,
+                file_obj,
+                block,
+                self.issuer.secret_of(obj),
+                status="committed",
+            )
+        )
+        return cap
+
+    # ------------------------------------------------------------------
+    # version creation (§5, §5.3's small-file lock rule)
+    # ------------------------------------------------------------------
+
+    def create_version(
+        self,
+        file_cap: Capability,
+        owner: str = "",
+        respect_soft_lock: bool = False,
+        set_soft_lock: bool = True,
+        max_lock_retries: int = 16,
+    ) -> VersionHandle:
+        """Create an uncommitted version based on the current version.
+
+        Small-file rule (§5.3): "If the file is a small file, only the
+        inner lock must be tested, but the top lock set."  A set inner lock
+        means an enclosing super-file update owns this file right now:
+        :class:`FileLocked` is raised and the client waits (see
+        :mod:`repro.core.locks` for the waiting-and-recovery protocol).
+        The top lock is set regardless but does not exclude anyone — it is
+        the *soft lock* hint, honoured only when the client asks
+        (``respect_soft_lock=True``, for updates known to be large).
+
+        ``set_soft_lock=False`` skips planting the hint, saving the
+        test-and-set round trip — the Bauer-principle option for private
+        temporary files that nobody else will ever look at.
+        """
+        self._check_up()
+        entry = self._file_entry(file_cap, RIGHT_CREATE)
+        update_port = new_port(self.rng)
+        for _ in range(max_lock_retries):
+            cur_block, cur_page = self._resolve_current_page(entry)
+            snapshot = LockSnapshot(cur_page.top_lock, cur_page.inner_lock)
+            if snapshot.inner != 0:
+                raise FileLocked(
+                    f"file {entry.obj}: inner lock held by update "
+                    f"{snapshot.inner:#x} (super-file update in progress)"
+                )
+            if respect_soft_lock and snapshot.top != 0:
+                raise FileLocked(
+                    f"file {entry.obj}: soft top lock held by update "
+                    f"{snapshot.top:#x}"
+                )
+            if not set_soft_lock:
+                break
+            if self.locks.set_top(cur_block, snapshot, update_port):
+                break
+        else:
+            raise FileLocked(f"file {entry.obj}: could not set top lock")
+        return self._new_version_from(
+            entry, cur_block, owner, update_port if set_soft_lock else 0, cur_page
+        )
+
+    def _new_version_from(
+        self,
+        entry: FileEntry,
+        cur_block: int,
+        owner: str,
+        update_port: int,
+        cur_page: Page | None = None,
+    ) -> VersionHandle:
+        """Build the version page of a new version based on ``cur_block``."""
+        if cur_page is None:
+            cur_page = self.store.load(cur_block, fresh=True)
+        version_cap = self.issuer.mint(ALL_RIGHTS, self.rng)
+        file_cap = self.issuer.mint_for(entry.obj, ALL_RIGHTS, self.rng)
+        v_page = cur_page.clone()
+        v_page.file_cap = file_cap
+        v_page.version_cap = version_cap
+        v_page.commit_ref = NIL
+        v_page.top_lock = 0
+        v_page.inner_lock = 0
+        v_page.base_ref = cur_block
+        v_page.root_flags = Flags()
+        v_page.clear_access_flags()  # share the whole tree with the base
+        v_block = self.store.store_new(v_page)
+        if update_port:
+            self._live_updates.add(update_port)
+        self.registry.add_version(
+            VersionEntry(
+                version_cap.obj,
+                entry.obj,
+                v_block,
+                self.issuer.secret_of(version_cap.obj),
+                status="uncommitted",
+                owner=owner or self.name,
+                update_port=update_port,
+                server=self.name,
+            )
+        )
+        self.metrics.versions_created += 1
+        return VersionHandle(version=version_cap, file=file_cap)
+
+    # ------------------------------------------------------------------
+    # the walk: shadowing and flag bookkeeping
+    # ------------------------------------------------------------------
+
+    def _walk(self, entry: VersionEntry, path: PagePath, mode: str) -> tuple[int, Page]:
+        """Descend an uncommitted version to ``path``, shadowing every page
+        on the way and recording access flags; returns the private target.
+
+        ``mode`` is what the client is about to do to the target page:
+        ``read`` (its data), ``write`` (its data), ``search`` (its
+        references), ``modify`` (its references).
+        """
+        block = entry.root_block
+        page = self.store.load(block)
+        if path.is_root:
+            page.root_flags = _apply_mode(page.root_flags, mode)
+            self.store.store_in_place(block, page)
+            return block, page
+        # Navigating below the root uses the root's references.
+        new_root_flags = page.root_flags.search()
+        if new_root_flags != page.root_flags:
+            page.root_flags = new_root_flags
+            self.store.store_in_place(block, page)
+        for depth, index in enumerate(path):
+            if index >= page.nrefs:
+                raise BadPathName(
+                    f"path {path}: index {index} out of range "
+                    f"({page.nrefs} references) at depth {depth}"
+                )
+            ref = page.ref(index)
+            if ref.is_nil:
+                raise HoleReference(f"path {path}: hole at depth {depth}")
+            last = depth == len(path) - 1
+            if not ref.flags.c:
+                child = self.store.load(ref.block)
+                if child.is_version_page:
+                    raise CrossesSubFile(
+                        f"path {path} crosses a sub-file boundary at depth "
+                        f"{depth}; open the sub-file instead"
+                    )
+                shadow = child.clone()
+                shadow.base_ref = ref.block
+                shadow.clear_access_flags()
+                new_block = self.store.store_new(shadow)
+                ref = PageRef(new_block, ref.flags.copy())
+            else:
+                child_probe = self.store.load(ref.block)
+                if child_probe.is_version_page:
+                    raise CrossesSubFile(
+                        f"path {path} crosses a sub-file boundary at depth "
+                        f"{depth}; open the sub-file instead"
+                    )
+            new_flags = _apply_mode(ref.flags, mode) if last else ref.flags.search()
+            new_ref = PageRef(ref.block, new_flags)
+            if new_ref != page.ref(index):
+                page.set_ref(index, new_ref)
+                self.store.store_in_place(block, page)
+            block = ref.block
+            page = self.store.load(block)
+        return block, page
+
+    def _walk_readonly(self, root_block: int, path: PagePath) -> Page:
+        """Descend a committed (immutable) version without any bookkeeping."""
+        page = self.store.load(root_block)
+        for depth, index in enumerate(path):
+            if index >= page.nrefs:
+                raise BadPathName(
+                    f"path {path}: index {index} out of range at depth {depth}"
+                )
+            ref = page.ref(index)
+            if ref.is_nil:
+                raise HoleReference(f"path {path}: hole at depth {depth}")
+            page = self.store.load(ref.block)
+        return page
+
+    # ------------------------------------------------------------------
+    # page access
+    # ------------------------------------------------------------------
+
+    def read_page(self, version_cap: Capability, path: PagePath) -> bytes:
+        """Read a page's data.
+
+        On an uncommitted version this records the read (R flags) —
+        the read set is what commit validation protects.  On a committed
+        version it is a plain snapshot read with no bookkeeping.
+        """
+        self._check_up()
+        entry = self._version_entry(version_cap, RIGHT_READ)
+        if entry.status == "committed":
+            return self._walk_readonly(entry.root_block, path).data
+        if entry.status == "aborted":
+            raise VersionAborted(f"version {entry.obj} was aborted")
+        _, page = self._walk(entry, path, "read")
+        self.metrics.pages_read += 1
+        return page.data
+
+    def write_page(self, version_cap: Capability, path: PagePath, data: bytes) -> None:
+        """Write a page's data (copy-on-write shadowing underneath)."""
+        self._check_up()
+        entry = self._writable_version(version_cap)
+        block, page = self._walk(entry, path, "write")
+        if len(data) + REF_SIZE * page.nrefs > PAGE_BODY_SIZE:
+            raise PageTooLarge(
+                f"{len(data)} data bytes + {page.nrefs} references exceed "
+                f"the {PAGE_BODY_SIZE}-byte page"
+            )
+        page.data = data
+        self.store.store_in_place(block, page)
+        self.metrics.pages_written += 1
+
+    def page_structure(self, version_cap: Capability, path: PagePath) -> list[int]:
+        """The block-validity view of a page's reference table: for each
+        entry, 1 if it refers to a page and 0 if it is a hole.  Reading the
+        structure of an uncommitted version records a search (S)."""
+        self._check_up()
+        entry = self._version_entry(version_cap, RIGHT_READ)
+        if entry.status == "committed":
+            page = self._walk_readonly(entry.root_block, path)
+        else:
+            if entry.status == "aborted":
+                raise VersionAborted(f"version {entry.obj} was aborted")
+            _, page = self._walk(entry, path, "search")
+        return [0 if ref.is_nil else 1 for ref in page.refs]
+
+    # ------------------------------------------------------------------
+    # tree shape commands (§5, §5.1; implemented in tree_ops)
+    # ------------------------------------------------------------------
+
+    def insert_page(
+        self,
+        version_cap: Capability,
+        parent_path: PagePath,
+        index: int,
+        data: bytes = b"",
+        nref_slots: int = 0,
+    ) -> PagePath:
+        """Insert a new page as a child of ``parent_path`` (shifts later
+        references right); see :func:`repro.core.tree_ops.insert_page`."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        return tree_ops.insert_page(
+            self, version_cap, parent_path, index, data, nref_slots
+        )
+
+    def append_page(
+        self,
+        version_cap: Capability,
+        parent_path: PagePath,
+        data: bytes = b"",
+        nref_slots: int = 0,
+    ) -> PagePath:
+        """Append a new child page to the page at ``parent_path``."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        return tree_ops.append_page(
+            self, version_cap, parent_path, data, nref_slots
+        )
+
+    def remove_page(self, version_cap: Capability, path: PagePath) -> None:
+        """Remove the page (and subtree) at ``path``; later siblings shift."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        tree_ops.remove_page(self, version_cap, path)
+
+    def make_hole(self, version_cap: Capability, path: PagePath) -> None:
+        """Turn the reference at ``path`` into a hole (keeps sibling paths)."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        tree_ops.make_hole(self, version_cap, path)
+
+    def remove_hole(self, version_cap: Capability, path: PagePath) -> None:
+        """Delete a hole slot; later siblings shift left."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        tree_ops.remove_hole(self, version_cap, path)
+
+    def fill_hole(
+        self,
+        version_cap: Capability,
+        path: PagePath,
+        data: bytes = b"",
+        nref_slots: int = 0,
+    ) -> None:
+        """Replace the hole at ``path`` with a fresh page."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        tree_ops.fill_hole(self, version_cap, path, data, nref_slots)
+
+    def split_page(
+        self, version_cap: Capability, path: PagePath, at: int
+    ) -> PagePath:
+        """Split a page's data at offset ``at`` into the page plus a new
+        right sibling; returns the sibling's path."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        return tree_ops.split_page(self, version_cap, path, at)
+
+    def move_subtree(
+        self,
+        version_cap: Capability,
+        src: PagePath,
+        dst_parent: PagePath,
+        dst_index: int,
+    ) -> PagePath:
+        """Move a subtree elsewhere in the tree; returns its new path."""
+        self._check_up()
+        from repro.core import tree_ops
+
+        return tree_ops.move_subtree(self, version_cap, src, dst_parent, dst_index)
+
+    # ------------------------------------------------------------------
+    # commit and abort (§5.2)
+    # ------------------------------------------------------------------
+
+    def commit(self, version_cap: Capability, max_rounds: int = 64) -> None:
+        """Commit an uncommitted version, making it the current version.
+
+        Raises :class:`CommitConflict` when the update cannot be serialised
+        after the concurrently committed updates; the version is then
+        removed and the client must redo the update on a fresh version.
+        """
+        self._check_up()
+        entry = self._version_entry(version_cap, RIGHT_COMMIT)
+        if entry.status == "committed":
+            raise VersionCommitted(f"version {entry.obj} already committed")
+        if entry.status == "aborted":
+            raise VersionAborted(f"version {entry.obj} was aborted")
+        v_block = entry.root_block
+        base = self.store.load(v_block).base_ref
+        for round_number in range(max_rounds):
+            # "First it ascertains that all of V.b's pages are safely on
+            # disk" — then the single critical section: test-and-set the
+            # base's commit reference.
+            self.store.flush()
+            result = self.store.tas_commit_ref(base, v_block)
+            if result.success:
+                entry.status = "committed"
+                file_entry = self.registry.file(entry.file_obj)
+                file_entry.entry_block = v_block
+                self._live_updates.discard(entry.update_port)
+                # Cache the flag administration while it is still in memory.
+                self._write_paths_cache[v_block] = collect_write_paths(
+                    self.store, v_block
+                ).paths
+                while len(self._write_paths_cache) > 4096:
+                    self._write_paths_cache.pop(
+                        next(iter(self._write_paths_cache))
+                    )
+                self.metrics.commits += 1
+                if round_number == 0:
+                    self.metrics.fast_commits += 1
+                else:
+                    self.metrics.merged_commits += 1
+                return
+            successor = int.from_bytes(result.current, "big")
+            outcome = serialise(self.store, v_block, successor)
+            self.metrics.serialise_runs += 1
+            self.metrics.serialise_pages_visited += outcome.pages_visited
+            if not outcome.ok:
+                self.metrics.conflicts += 1
+                self._remove_version(entry)
+                raise CommitConflict(
+                    f"version {entry.obj} conflicts with committed update at "
+                    f"page '{outcome.conflict_path}': {outcome.reason}"
+                )
+            base = successor
+        raise CommitConflict(
+            f"version {entry.obj}: commit did not settle in {max_rounds} rounds"
+        )
+
+    def abort(self, version_cap: Capability) -> None:
+        """Explicitly discard an uncommitted version."""
+        self._check_up()
+        entry = self._version_entry(version_cap)
+        if entry.status == "committed":
+            raise VersionCommitted(f"version {entry.obj} already committed")
+        if entry.status == "aborted":
+            return
+        self.metrics.aborts += 1
+        self._remove_version(entry)
+
+    def _remove_version(self, entry: VersionEntry) -> None:
+        """Free a dead version's private pages and mark it aborted.
+
+        Private pages are those behind references carrying the C flag;
+        parts grafted from other versions during merge carry clear flags
+        and are shared, so they survive.  Pages orphaned by wholesale table
+        grafts are left to the garbage collector.
+        """
+        from repro.errors import BlockError
+
+        entry.status = "aborted"
+        self._live_updates.discard(entry.update_port)
+        # A version owned by a crashed server may have allocated blocks it
+        # never flushed; tolerate the holes and free what exists.
+        base = NIL
+        try:
+            self._free_private(entry.root_block)
+            base = self.store.load(entry.root_block, fresh=True).base_ref
+        except BlockError:
+            pass
+        if base != NIL and entry.update_port:
+            self.locks.clear_top_if(base, entry.update_port)
+        try:
+            self.store.free(entry.root_block)
+        except BlockError:
+            pass
+        # The registry entry stays (status "aborted") so the owner's stale
+        # capability gets an informative error; the GC purges it later.
+
+    def _free_private(self, block: int) -> None:
+        from repro.errors import BlockError
+
+        try:
+            page = self.store.load(block)
+        except BlockError:
+            return
+        for ref in page.refs:
+            if not ref.is_nil and ref.flags.c:
+                self._free_private(ref.block)
+                try:
+                    self.store.free(ref.block)
+                except BlockError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # cache validation (§5.4)
+    # ------------------------------------------------------------------
+
+    def validate_cache(
+        self,
+        file_cap: Capability,
+        cached_version_cap: Capability,
+        allow_delegate: bool = True,
+    ) -> tuple[list[PagePath], Capability]:
+        """The §5.4 cache check: which of the client's cached page paths
+        must be discarded, and what the current version is.
+
+        "When a request for a new version of the file is made, a
+        serialisability test is made between the cache entry and the
+        current version [...] the server returns a list of path names of
+        pages to be discarded."  For a file nobody else changed the answer
+        is the empty list and no page tree is read at all (the null
+        operation of claim C5).
+
+        Delegation ("the server responsible for carrying out the test can
+        make the test itself, or it can delegate the task to the server
+        holding the most recent version for efficiency"): if another live
+        server committed the current version — so *its* flag-bits cache is
+        warm — and ours is cold, the test is forwarded there.
+        """
+        self._check_up()
+        file_entry = self._file_entry(file_cap, RIGHT_READ)
+        cached = self._version_entry(cached_version_cap)
+
+        if allow_delegate:
+            delegate = self._validation_delegate(file_entry)
+            if delegate is not None:
+                from repro.sim.rpc import Request
+
+                try:
+                    texts, current = self.network.send(
+                        self.name,
+                        delegate,
+                        Request(
+                            "validate_cache",
+                            {
+                                "file_cap": file_cap,
+                                "cached_version_cap": cached_version_cap,
+                                "allow_delegate": False,
+                            },
+                        ),
+                    )
+                    return [PagePath.parse(t) for t in texts], current
+                except Exception:
+                    pass  # the delegate vanished: do the test ourselves
+
+        discards: list[PagePath] = []
+        block = cached.root_block
+        seen_root_discard = False
+        while True:
+            page = self.store.load(block, fresh=True)
+            if page.commit_ref == NIL:
+                break
+            block = page.commit_ref
+            if seen_root_discard:
+                continue  # everything is dead already; just find current
+            cached_paths = self._write_paths_cache.get(block)
+            if cached_paths is None:
+                cached_paths = collect_write_paths(self.store, block).paths
+                self._write_paths_cache[block] = cached_paths
+            for path in cached_paths:
+                discards.append(path)
+                if path.is_root:
+                    seen_root_discard = True
+        file_entry.entry_block = block
+        current_cap = self._version_cap_for_block(file_entry.obj, block)
+        return discards, current_cap
+
+    def _validation_delegate(self, file_entry: FileEntry) -> str | None:
+        """Pick the server to delegate a cache-validation test to: the
+        live server that committed the file's newest version, provided it
+        is not us and our own flag cache is cold for that version."""
+        newest: VersionEntry | None = None
+        for version in self.registry.versions.values():
+            if version.file_obj != file_entry.obj or version.status != "committed":
+                continue
+            if newest is None or version.obj > newest.obj:
+                newest = version
+        if newest is None or not newest.server or newest.server == self.name:
+            return None
+        if newest.root_block in self._write_paths_cache:
+            return None  # we already hold the flag administration
+        if not self.network.is_up(newest.server):
+            return None
+        return newest.server
+
+    # ------------------------------------------------------------------
+    # introspection (Figure 4: the family tree)
+    # ------------------------------------------------------------------
+
+    def family_tree(self, file_cap: Capability) -> dict:
+        """The file's version family: the committed chain (oldest to
+        current) and the uncommitted versions hanging off it — Figure 4."""
+        self._check_up()
+        entry = self._file_entry(file_cap, RIGHT_READ)
+        current = self._resolve_current(entry)
+        # Walk back along base references to the oldest committed version.
+        chain = [current]
+        while True:
+            page = self.store.load(chain[-1], fresh=True)
+            if page.base_ref == NIL:
+                break
+            base_page = self.store.load(page.base_ref, fresh=True)
+            # Stop if the base is not a committed predecessor (safety).
+            if base_page.commit_ref != chain[-1]:
+                break
+            chain.append(page.base_ref)
+        chain.reverse()
+        uncommitted = [
+            {"version": v.obj, "based_on": self.store.load(v.root_block).base_ref}
+            for v in self.registry.versions.values()
+            if v.file_obj == entry.obj and v.status == "uncommitted"
+        ]
+        return {
+            "file": entry.obj,
+            "committed": chain,
+            "current": current,
+            "uncommitted": uncommitted,
+        }
+
+
+    # ------------------------------------------------------------------
+    # the persisted file table (§5.4.1's replicated file table)
+    # ------------------------------------------------------------------
+
+    def checkpoint_registry(self, table_block: int | None = None) -> int:
+        """Write the file table to stable storage; returns its block.
+
+        With ``table_block`` given, the existing table block is rewritten
+        in place (the table lives on the magnetic/rewritable side); without
+        it a fresh block is allocated.  Call after creating files — commits
+        never need re-checkpointing, because entry blocks are only hints
+        (resolution chases commit references from any committed version).
+        """
+        self._check_up()
+        raw = self.registry.serialize()
+        if table_block is None:
+            return self.blocks_allocate_write_table(raw)
+        self.store.blocks.write(table_block, raw)
+        return table_block
+
+    def blocks_allocate_write_table(self, raw: bytes) -> int:
+        """Allocate the table's block (magnetic side on hybrid media)."""
+        blocks = self.store.blocks
+        if hasattr(blocks, "allocate_magnetic"):
+            block = blocks.allocate_magnetic()
+            blocks.write(block, raw)
+            return block
+        return blocks.allocate_write(raw)
+
+    def restore_registry(self, table_block: int) -> int:
+        """Rebuild this server's registry and capability secrets from a
+        persisted file table; returns the number of files restored.
+
+        This is the cheap §4 recovery path (the expensive fallback, when
+        even the table is lost, is :func:`repro.tools.salvage.salvage`).
+        """
+        self._check_up()
+        recovered = FileRegistry.deserialize(self.store.blocks.read(table_block))
+        self.registry.restore_from(recovered)
+        for entry in self.registry.files.values():
+            self.issuer.install_secret(entry.obj, entry.secret)
+        return len(self.registry.files)
+
+    def committed_versions(self, file_cap: Capability) -> list[Capability]:
+        """Capabilities for every committed version, oldest to current.
+
+        Committed versions are immutable snapshots; handing out their
+        capabilities is how history stays readable (the source-control
+        service is built on exactly this)."""
+        self._check_up()
+        tree = self.family_tree(file_cap)
+        caps: list[Capability] = []
+        for block in tree["committed"]:
+            version = self.registry.version_by_block(block)
+            if version is None:
+                continue
+            caps.append(self.issuer.mint_for(version.obj, ALL_RIGHTS, self.rng))
+        return caps
+
+    # ------------------------------------------------------------------
+    # RPC command surface (clients reach all of the above over the network)
+    # ------------------------------------------------------------------
+
+    def cmd_committed_versions(self, file_cap: Capability) -> list[Capability]:
+        return self.committed_versions(file_cap)
+
+    def cmd_create_file(self, initial_data: bytes = b"") -> Capability:
+        return self.create_file(initial_data)
+
+    def cmd_delete_file(self, file_cap: Capability) -> None:
+        return self.delete_file(file_cap)
+
+    def cmd_current_version(self, file_cap: Capability) -> Capability:
+        return self.current_version(file_cap)
+
+    def cmd_create_version(
+        self,
+        file_cap: Capability,
+        owner: str = "",
+        respect_soft_lock: bool = False,
+        set_soft_lock: bool = True,
+    ) -> VersionHandle:
+        return self.create_version(
+            file_cap, owner, respect_soft_lock, set_soft_lock
+        )
+
+    def cmd_read_page(self, version_cap: Capability, path: str) -> bytes:
+        return self.read_page(version_cap, PagePath.parse(path))
+
+    def cmd_write_page(self, version_cap: Capability, path: str, data: bytes) -> None:
+        return self.write_page(version_cap, PagePath.parse(path), data)
+
+    def cmd_page_structure(self, version_cap: Capability, path: str) -> list[int]:
+        return self.page_structure(version_cap, PagePath.parse(path))
+
+    def cmd_insert_page(
+        self,
+        version_cap: Capability,
+        parent_path: str,
+        index: int,
+        data: bytes = b"",
+        nref_slots: int = 0,
+    ) -> str:
+        return str(
+            self.insert_page(
+                version_cap, PagePath.parse(parent_path), index, data, nref_slots
+            )
+        )
+
+    def cmd_append_page(
+        self,
+        version_cap: Capability,
+        parent_path: str,
+        data: bytes = b"",
+        nref_slots: int = 0,
+    ) -> str:
+        return str(
+            self.append_page(version_cap, PagePath.parse(parent_path), data, nref_slots)
+        )
+
+    def cmd_remove_page(self, version_cap: Capability, path: str) -> None:
+        return self.remove_page(version_cap, PagePath.parse(path))
+
+    def cmd_make_hole(self, version_cap: Capability, path: str) -> None:
+        return self.make_hole(version_cap, PagePath.parse(path))
+
+    def cmd_remove_hole(self, version_cap: Capability, path: str) -> None:
+        return self.remove_hole(version_cap, PagePath.parse(path))
+
+    def cmd_fill_hole(
+        self, version_cap: Capability, path: str, data: bytes = b"", nref_slots: int = 0
+    ) -> None:
+        return self.fill_hole(version_cap, PagePath.parse(path), data, nref_slots)
+
+    def cmd_split_page(self, version_cap: Capability, path: str, at: int) -> str:
+        return str(self.split_page(version_cap, PagePath.parse(path), at))
+
+    def cmd_move_subtree(
+        self, version_cap: Capability, src: str, dst_parent: str, dst_index: int
+    ) -> str:
+        return str(
+            self.move_subtree(
+                version_cap, PagePath.parse(src), PagePath.parse(dst_parent), dst_index
+            )
+        )
+
+    def cmd_commit(self, version_cap: Capability) -> None:
+        return self.commit(version_cap)
+
+    def cmd_abort(self, version_cap: Capability) -> None:
+        return self.abort(version_cap)
+
+    def cmd_validate_cache(
+        self,
+        file_cap: Capability,
+        cached_version_cap: Capability,
+        allow_delegate: bool = True,
+    ) -> tuple[list[str], Capability]:
+        discards, current = self.validate_cache(
+            file_cap, cached_version_cap, allow_delegate
+        )
+        return [str(path) for path in discards], current
+
+    def cmd_family_tree(self, file_cap: Capability) -> dict:
+        return self.family_tree(file_cap)
+
+    def cmd_probe_update(self, update_port: int) -> bool:
+        """Whether this server process still manages the given update —
+        the lock waiter's liveness probe (§5.3's warning mechanism)."""
+        return update_port in self._live_updates
+
+    def cmd_recover_lock(self, file_cap: Capability) -> str:
+        """One §5.3 waiter step on behalf of a blocked client: probe the
+        lock holder and clear or finish its work if it died."""
+        from repro.core.system_tree import SystemTree
+
+        return SystemTree(self).wait_or_recover(file_cap)
+
+    def cmd_ping(self) -> str:
+        return self.name
+
+
+def _apply_mode(flags: Flags, mode: str) -> Flags:
+    if mode == "read":
+        return flags.read()
+    if mode == "write":
+        return flags.write()
+    if mode == "search":
+        return flags.search()
+    if mode == "modify":
+        return flags.modify()
+    raise ValueError(f"unknown access mode {mode!r}")

@@ -1,0 +1,235 @@
+"""The page store: a file server's view of block storage.
+
+Wraps a :class:`repro.block.stable.StableClient` with
+
+* (de)serialisation between :class:`repro.core.page.Page` and disk blocks,
+* a server-side :class:`repro.core.cache.PageCache`, and
+* **deferred writes** for private pages: "When a page in a version is
+  written, it need not be written to stable storage immediately.  This can
+  be postponed until just before commit." (§5.4).  Private (shadowed) pages
+  accumulate dirty in memory; :meth:`flush` pushes them out, and commit
+  calls it first — "First it ascertains that all of V.b's pages are safely
+  on disk" (§5.2).
+
+Shared, committed pages are immutable on disk (copy-on-write), so caching
+them is always safe.  Version pages are the exception — their commit
+reference and lock fields change in place — so every operation that can
+mutate a version page on disk (test-and-set, lock writes) invalidates its
+cache entry, and reads of version pages during commit bypass the cache.
+"""
+
+from __future__ import annotations
+
+from repro.block.stable import StableClient
+from repro.block.server import TasResult
+from repro.core.cache import PageCache
+from repro.core.page import (
+    COMMIT_REF_OFFSET,
+    NIL_COMMIT_REF,
+    Page,
+    pack_commit_ref,
+)
+
+
+class PageStore:
+    """Block I/O for one file server."""
+
+    def __init__(
+        self,
+        blocks: StableClient,
+        cache: PageCache | None = None,
+        deferred_writes: bool = True,
+    ) -> None:
+        self.blocks = blocks
+        self.cache = cache if cache is not None else PageCache()
+        self.deferred_writes = deferred_writes
+        self._dirty: dict[int, Page] = {}
+
+    # -- reads -----------------------------------------------------------
+
+    def load(self, block: int, fresh: bool = False) -> Page:
+        """Load the page stored in ``block``.
+
+        ``fresh=True`` bypasses the cache (used on version pages whose
+        commit reference another server may have just set).  Dirty
+        not-yet-flushed pages are always served from memory.
+        """
+        if block in self._dirty:
+            return self._dirty[block]
+        if not fresh:
+            cached = self.cache.get(block)
+            if cached is not None:
+                return cached
+        page = Page.from_bytes(self.blocks.read(block))
+        self.cache.put(block, page)
+        return page
+
+    # -- writes ------------------------------------------------------------
+
+    def store_new(self, page: Page) -> int:
+        """Allocate a fresh block for a page and write it.
+
+        Even with deferred writes enabled the allocation happens eagerly
+        (the block *number* is needed for the parent's reference), but the
+        data write is deferred.
+        """
+        if self.deferred_writes:
+            block = self.blocks.allocate()
+            self._dirty[block] = page
+        else:
+            block = self.blocks.allocate_write(page.to_bytes())
+        self.cache.put(block, page)
+        return block
+
+    def store_in_place(self, block: int, page: Page) -> None:
+        """Rewrite a private page in its existing block.
+
+        "After it has been copied for writing, it can be written in place
+        when it is written again."  Deferred unless configured otherwise.
+        """
+        if self.deferred_writes:
+            self._dirty[block] = page
+        else:
+            self.blocks.write(block, page.to_bytes())
+        self.cache.put(block, page)
+
+    def flush(self) -> int:
+        """Write all dirty pages to stable storage; returns how many."""
+        count = 0
+        for block, page in sorted(self._dirty.items()):
+            self.blocks.write(block, page.to_bytes())
+            count += 1
+        self._dirty.clear()
+        return count
+
+    def flush_one(self, block: int) -> bool:
+        """Flush a single dirty page (e.g. a new sub-file's version page
+        that must be durable mid-update, without disturbing the rest of
+        the deferred set)."""
+        page = self._dirty.pop(block, None)
+        if page is None:
+            return False
+        self.blocks.write(block, page.to_bytes())
+        return True
+
+    def store_mutable(self, block: int, page: Page) -> int:
+        """Store an updated private page, returning its (possibly new)
+        block number.
+
+        On rewritable media this is :meth:`store_in_place`.  Hybrid stores
+        override it: a page whose optical block is already burned must
+        *relocate* to a fresh block — the merge walk propagates the new
+        number into the parent's reference table.
+        """
+        self.store_in_place(block, page)
+        return block
+
+    def forget(self, block: int) -> None:
+        """Drop a block from the dirty set and cache (aborted versions)."""
+        self._dirty.pop(block, None)
+        self.cache.invalidate(block)
+
+    def free(self, block: int) -> None:
+        """Deallocate a block (GC, aborts)."""
+        self._dirty.pop(block, None)
+        self.cache.invalidate(block)
+        self.blocks.free(block)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    # -- the commit critical section ------------------------------------------
+
+    # Which primitive realises the commit critical section.  §5.2 offers
+    # both: "only one server may be allowed to read the version block, test
+    # the commit reference, set it, and write it back.  If the disk server
+    # implements a test-and-set operation, any server can be allowed to
+    # carry out a commit."  "tas" uses the disk-level compare-and-swap;
+    # "lock" uses the block server's simple locking facility around a
+    # read-test-write sequence (§4's suggestion).
+    commit_protocol: str = "tas"
+
+    def tas_commit_ref(self, block: int, new_successor: int) -> TasResult:
+        """Atomically set ``block``'s commit reference from nil to
+        ``new_successor``; on failure the result carries the commit
+        reference that was already there (the winning successor).
+
+        This is the paper's single critical section: "test and set the
+        commit reference".  The page must already be flushed (commit flushes
+        before calling this).
+        """
+        assert block not in self._dirty, "flush before test-and-set"
+        if self.commit_protocol == "lock":
+            return self._locked_commit_ref(block, new_successor)
+        result = self.blocks.test_and_set(
+            block, COMMIT_REF_OFFSET, NIL_COMMIT_REF, pack_commit_ref(new_successor)
+        )
+        self.cache.invalidate(block)
+        return result
+
+    # A private locker identity for the lock-based commit protocol.
+    _LOCKER = 0x1985
+
+    def _locked_commit_ref(self, block: int, new_successor: int) -> TasResult:
+        """The §4 alternative: lock the block, read it, test and set the
+        commit reference, write it back, unlock."""
+        while not self.blocks.lock(block, self._LOCKER):
+            pass  # single-process simulation: the holder finishes first
+        try:
+            raw = self.blocks.read(block)
+            current = raw[COMMIT_REF_OFFSET:COMMIT_REF_OFFSET + len(NIL_COMMIT_REF)]
+            if current != NIL_COMMIT_REF:
+                return TasResult(False, current)
+            patched = (
+                raw[:COMMIT_REF_OFFSET]
+                + pack_commit_ref(new_successor)
+                + raw[COMMIT_REF_OFFSET + len(NIL_COMMIT_REF):]
+            )
+            self.blocks.write(block, patched)
+            return TasResult(True, pack_commit_ref(new_successor))
+        finally:
+            self.blocks.unlock(block, self._LOCKER)
+            self.cache.invalidate(block)
+
+    def read_commit_ref(self, block: int) -> int:
+        """The commit reference currently stored in a version page."""
+        page = self.load(block, fresh=True)
+        return page.commit_ref
+
+
+class HybridPageStore(PageStore):
+    """A page store over hybrid media (Figure 2): version pages on the
+    magnetic pair, everything else on the write-once optical pair.
+
+    Requires deferred writes — an optical block must be written exactly
+    once, which the flush-at-commit discipline guarantees (each private
+    page reaches its optical block once, with its final content).
+    """
+
+    def __init__(self, blocks, cache: PageCache | None = None) -> None:
+        super().__init__(blocks, cache, deferred_writes=True)
+
+    def store_new(self, page: Page) -> int:
+        if page.is_version_page:
+            block = self.blocks.allocate_magnetic()
+        else:
+            block = self.blocks.allocate_optical()
+        self._dirty[block] = page
+        self.cache.put(block, page)
+        return block
+
+    def store_mutable(self, block: int, page: Page) -> int:
+        """Store an updated private page; relocate if its optical block is
+        already burned (version pages on magnetic media stay in place)."""
+        if block in self._dirty or not self.blocks.is_optical(block):
+            self.store_in_place(block, page)
+            return block
+        # The old optical copy is unreachable garbage the moment the
+        # parent's reference moves; account the loss and burn a new block.
+        self.blocks.free(block)
+        self.cache.invalidate(block)
+        new_block = self.blocks.allocate_optical()
+        self._dirty[new_block] = page
+        self.cache.put(new_block, page)
+        return new_block

@@ -1,0 +1,195 @@
+"""Exception hierarchy for the Amoeba File Service reproduction.
+
+Every layer of the stack raises exceptions derived from :class:`ReproError`,
+so callers can catch coarsely (``except ReproError``) or finely (e.g.
+``except CommitConflict``).  The hierarchy mirrors the layering of the
+system: simulation substrate, block service, file service, client library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Capability / protection errors
+# ---------------------------------------------------------------------------
+
+
+class CapabilityError(ReproError):
+    """Base class for capability and protection failures."""
+
+
+class BadCapability(CapabilityError):
+    """A capability failed its check-field validation (forged or corrupted)."""
+
+
+class InsufficientRights(CapabilityError):
+    """A capability is genuine but does not carry the required rights."""
+
+
+class UnknownObject(CapabilityError):
+    """A capability refers to an object the server does not know about."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the simulated network / scheduler."""
+
+
+class ServerUnreachable(SimulationError):
+    """No server is listening on the addressed port, or it is crashed
+    or partitioned away; models a transaction timeout in Amoeba."""
+
+
+class MessageDropped(SimulationError):
+    """The network dropped the message (fault injection)."""
+
+
+class ServerCrashed(SimulationError):
+    """The addressed server process has crashed and cannot serve requests."""
+
+
+# ---------------------------------------------------------------------------
+# Block service errors
+# ---------------------------------------------------------------------------
+
+
+class BlockError(ReproError):
+    """Base class for block-server failures."""
+
+
+class NoSuchBlock(BlockError):
+    """The referenced block number is not allocated."""
+
+
+class BlockExists(BlockError):
+    """Allocation collision: the block number is already allocated."""
+
+
+class DiskFull(BlockError):
+    """The disk has no free blocks left."""
+
+
+class BlockTooLarge(BlockError):
+    """Data does not fit in a fixed-size block."""
+
+
+class CorruptBlock(BlockError):
+    """The stored block failed its integrity check (bit rot / torn write)."""
+
+
+class DiskCrashed(BlockError):
+    """The disk (or its server) is crashed / temporarily inaccessible."""
+
+
+class WriteOnceViolation(BlockError):
+    """An overwrite was attempted on write-once (optical) media."""
+
+
+class NotBlockOwner(BlockError):
+    """Per-account protection: the caller does not own the block."""
+
+
+class BlockLocked(BlockError):
+    """The block is locked by another client (block-server soft locks)."""
+
+
+class CompanionConflict(BlockError):
+    """Companion-pair collision detected (simultaneous allocate or write
+    of the same block number through both servers of a stable pair)."""
+
+
+# ---------------------------------------------------------------------------
+# File service errors
+# ---------------------------------------------------------------------------
+
+
+class FileServiceError(ReproError):
+    """Base class for Amoeba File Service failures."""
+
+
+class NoSuchFile(FileServiceError):
+    """The file capability does not name a known file."""
+
+
+class NoSuchVersion(FileServiceError):
+    """The version capability does not name a known (live) version."""
+
+
+class NoSuchPage(FileServiceError):
+    """A page path name does not resolve to a page in this version."""
+
+
+class BadPathName(FileServiceError):
+    """A page path name is syntactically invalid or indexes out of range."""
+
+
+class VersionCommitted(FileServiceError):
+    """The version has already committed and can no longer be written."""
+
+
+class VersionAborted(FileServiceError):
+    """The version was aborted (explicitly or by a failed commit)."""
+
+
+class CommitConflict(FileServiceError):
+    """Serialisability validation failed: the update conflicts with a
+    committed concurrent update and must be redone by the client."""
+
+
+class PageTooLarge(FileServiceError):
+    """Page data + references exceed the maximum page size (32K)."""
+
+
+class ReferenceTableFull(FileServiceError):
+    """No room for another page reference in the parent page."""
+
+
+class FileLocked(FileServiceError):
+    """A top or inner lock blocks this operation (super-file locking)."""
+
+
+class NotASuperFile(FileServiceError):
+    """A super-file operation was applied to a small file."""
+
+
+class HoleReference(FileServiceError):
+    """The path name traverses a hole (a nil reference) in the page tree."""
+
+
+class CrossesSubFile(FileServiceError):
+    """A path descends into a nested sub-file; sub-files are opened with
+    their own capabilities, or via a super-file update (§5.3)."""
+
+
+# ---------------------------------------------------------------------------
+# Baseline (comparator) errors
+# ---------------------------------------------------------------------------
+
+
+class BaselineError(ReproError):
+    """Base class for baseline comparator systems (XDFS-style, SWALLOW-style)."""
+
+
+class LockTimeout(BaselineError):
+    """A lock could not be acquired before its patience expired
+    (XDFS-style vulnerable locks)."""
+
+
+class Deadlock(BaselineError):
+    """Lock acquisition would deadlock; the transaction is chosen as victim."""
+
+
+class TransactionAborted(BaselineError):
+    """The baseline transaction was aborted and must be retried."""
+
+
+class TimestampConflict(BaselineError):
+    """Timestamp-ordering violation (SWALLOW-style baseline)."""

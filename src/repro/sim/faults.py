@@ -1,0 +1,95 @@
+"""Declarative fault injection for the simulation.
+
+The paper's central robustness claims are about behaviour *under failure*:
+server crashes mid-update, disk crashes, lost messages.  This module gives
+tests and benchmarks a small vocabulary for scheduling those faults
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CrashSchedule:
+    """Crash a component after a fixed number of operations.
+
+    ``after_ops`` counts calls to :meth:`tick`; when the count reaches the
+    threshold, :meth:`tick` returns True exactly once and the component is
+    expected to crash itself.  ``after_ops=None`` never fires.
+    """
+
+    after_ops: int | None = None
+    _count: int = field(default=0, repr=False)
+    _fired: bool = field(default=False, repr=False)
+
+    def tick(self) -> bool:
+        """Record one operation; return True when the crash should happen."""
+        if self.after_ops is None or self._fired:
+            return False
+        self._count += 1
+        if self._count >= self.after_ops:
+            self._fired = True
+            return True
+        return False
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def reset(self) -> None:
+        self._count = 0
+        self._fired = False
+
+
+@dataclass
+class DropPolicy:
+    """Decide which messages the network drops.
+
+    ``drop_every`` drops every k-th message (1-based); ``drop_nth`` drops
+    specific message sequence numbers.  Both may be combined.  The default
+    policy drops nothing.
+    """
+
+    drop_every: int | None = None
+    drop_nth: frozenset[int] = frozenset()
+    _seq: int = field(default=0, repr=False)
+    dropped: int = field(default=0, repr=False)
+
+    def should_drop(self) -> bool:
+        """Advance the message sequence number and decide this message's fate."""
+        self._seq += 1
+        drop = False
+        if self.drop_every is not None and self._seq % self.drop_every == 0:
+            drop = True
+        if self._seq in self.drop_nth:
+            drop = True
+        if drop:
+            self.dropped += 1
+        return drop
+
+    def reset(self) -> None:
+        self._seq = 0
+        self.dropped = 0
+
+
+@dataclass
+class FaultPlan:
+    """A bundle of fault schedules for one experiment run.
+
+    Components look up their crash schedule by name; the network consults
+    the drop policy.  Missing entries mean "no faults".
+    """
+
+    crashes: dict[str, CrashSchedule] = field(default_factory=dict)
+    drops: DropPolicy = field(default_factory=DropPolicy)
+
+    def crash_schedule(self, name: str) -> CrashSchedule:
+        """Return the crash schedule for ``name`` (a never-firing default)."""
+        return self.crashes.setdefault(name, CrashSchedule())
+
+    def reset(self) -> None:
+        for schedule in self.crashes.values():
+            schedule.reset()
+        self.drops.reset()

@@ -1,0 +1,133 @@
+"""Amoeba-style transactions: request/response RPC addressed to ports.
+
+Amoeba's primitive is the *transaction*: a client sends a request to a
+service *port* and blocks for the reply.  Several server processes may
+listen on the same port (replicated services); the paper relies on this for
+availability ("clients ... can use another server").
+
+This module layers ports on the name-addressed :class:`repro.sim.network.
+Network`:
+
+* an :class:`RpcEndpoint` registers a server object under a port;
+* ``Transaction.call(port, request)`` routes to a live server listening on
+  that port, trying alternatives if the preferred one is unreachable —
+  exactly the failover behaviour §4 of the paper prescribes for companion
+  block servers.
+
+Requests are ``(command, kwargs)`` pairs; servers expose commands as
+methods named ``cmd_<command>``.  Exceptions raised by the server that
+derive from :class:`repro.errors.ReproError` propagate to the caller (they
+are the service's error replies); anything else is a bug and propagates
+too, loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import MessageDropped, ServerUnreachable
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class Request:
+    """A transaction request: a command name plus keyword parameters."""
+
+    command: str
+    params: dict[str, Any]
+
+
+class RpcEndpoint:
+    """Server-side binding of a server object to a (port, node name).
+
+    The server object's ``cmd_*`` methods are the service's command set.
+    """
+
+    def __init__(self, network: Network, node: str, port: int, server: Any) -> None:
+        self.network = network
+        self.node = node
+        self.port = port
+        self.server = server
+        network.attach(node, self._handle)
+        _registry(network).setdefault(port, [])
+        if node not in _registry(network)[port]:
+            _registry(network)[port].append(node)
+
+    def _handle(self, sender: str, payload: Any) -> Any:
+        request: Request = payload
+        method = getattr(self.server, f"cmd_{request.command}", None)
+        if method is None:
+            raise ServerUnreachable(
+                f"port {self.port:#x}: unknown command {request.command!r}"
+            )
+        return method(**request.params)
+
+    def detach(self) -> None:
+        """Take this server off the network (crash)."""
+        self.network.detach(self.node)
+
+    def reattach(self) -> None:
+        """Bring this server back (restart)."""
+        self.network.reattach(self.node)
+
+
+def _registry(network: Network) -> dict[int, list[str]]:
+    """Per-network port registry, stored on the network object itself."""
+    registry = getattr(network, "_port_registry", None)
+    if registry is None:
+        registry = {}
+        network._port_registry = registry
+    return registry
+
+
+class Transaction:
+    """Client-side transaction interface.
+
+    ``call`` addresses a port.  If several servers listen on the port the
+    first reachable one (in registration order, starting from ``prefer`` if
+    given) serves the request; unreachable servers are skipped, reproducing
+    the paper's "clients send requests to the alternative block server if
+    the primary fails to respond".
+    """
+
+    def __init__(self, network: Network, client_node: str) -> None:
+        self.network = network
+        self.client_node = client_node
+
+    def call(
+        self,
+        port: int,
+        command: str,
+        prefer: str | None = None,
+        retries_on_drop: int = 3,
+        **params: Any,
+    ) -> Any:
+        """Run one transaction against ``port``.
+
+        Dropped messages are retried (idempotence is the server's concern,
+        as it was in Amoeba); unreachable servers trigger failover to the
+        next server on the port.  If no server on the port is reachable,
+        :class:`ServerUnreachable` is raised.
+        """
+        nodes = list(_registry(self.network).get(port, []))
+        if prefer is not None and prefer in nodes:
+            nodes.remove(prefer)
+            nodes.insert(0, prefer)
+        if not nodes:
+            raise ServerUnreachable(f"no server registered on port {port:#x}")
+        request = Request(command, params)
+        last_error: Exception | None = None
+        for node in nodes:
+            attempts = retries_on_drop + 1
+            for _ in range(attempts):
+                try:
+                    return self.network.send(self.client_node, node, request)
+                except MessageDropped as exc:
+                    last_error = exc
+                    continue  # retry same node
+                except ServerUnreachable as exc:
+                    last_error = exc
+                    break  # fail over to next node
+        assert last_error is not None
+        raise last_error

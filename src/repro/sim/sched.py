@@ -1,0 +1,125 @@
+"""A cooperative round-robin scheduler.
+
+The paper's concurrency story ("two updates are done concurrently", "the
+garbage collector runs independent of, and in parallel with, the operation
+of the system") is reproduced with explicit, deterministic interleaving:
+each concurrent activity is a Python generator that yields between
+operations, and the scheduler interleaves ready tasks round-robin (or in a
+caller-supplied order, which lets property tests explore interleavings).
+
+Using generators instead of threads keeps every run reproducible and lets
+hypothesis drive the interleaving as test input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+
+class Yield:
+    """Sentinel value tasks yield to give up the processor.
+
+    Yielding anything (including None) works; this class just gives scripts
+    something explicit to say.
+    """
+
+
+@dataclass
+class Task:
+    """One schedulable activity."""
+
+    name: str
+    gen: Generator[Any, None, Any]
+    done: bool = False
+    result: Any = None
+    error: BaseException | None = None
+    steps: int = field(default=0)
+
+    def step(self) -> bool:
+        """Advance the task one yield; return True if it is still running."""
+        if self.done:
+            return False
+        try:
+            next(self.gen)
+            self.steps += 1
+            return True
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return False
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised by run()
+            self.done = True
+            self.error = exc
+            return False
+
+
+class Scheduler:
+    """Round-robin cooperative scheduler over generator tasks."""
+
+    def __init__(self) -> None:
+        self.tasks: list[Task] = []
+
+    def spawn(self, name: str, gen: Generator[Any, None, Any]) -> Task:
+        """Register a generator as a task; it runs when :meth:`run` is called."""
+        task = Task(name, gen)
+        self.tasks.append(task)
+        return task
+
+    def spawn_fn(self, name: str, fn: Callable[[], Any]) -> Task:
+        """Register a plain function as a single-step task."""
+
+        def _gen() -> Generator[Any, None, Any]:
+            return fn()
+            yield  # pragma: no cover - makes this a generator
+
+        return self.spawn(name, _gen())
+
+    def run(
+        self,
+        order: Iterable[int] | None = None,
+        max_steps: int = 1_000_000,
+        raise_errors: bool = True,
+    ) -> list[Task]:
+        """Run tasks to completion.
+
+        ``order``: optional infinite-ish iterable of task indices used to
+        pick which *live* task steps next; indices are taken modulo the
+        number of live tasks, so any sequence of ints is a valid schedule
+        (this is the hook hypothesis uses).  Without ``order``, tasks step
+        round-robin.
+
+        Raises the first task error encountered unless ``raise_errors`` is
+        False (errors stay recorded on the tasks either way).
+        """
+        schedule = iter(order) if order is not None else None
+        steps = 0
+        while True:
+            live = [t for t in self.tasks if not t.done]
+            if not live:
+                break
+            if steps >= max_steps:
+                raise RuntimeError(f"scheduler exceeded {max_steps} steps")
+            if schedule is None:
+                # Round-robin: step every live task once per sweep.
+                for task in live:
+                    task.step()
+                    steps += 1
+            else:
+                try:
+                    pick = next(schedule)
+                except StopIteration:
+                    schedule = None
+                    continue
+                task = live[pick % len(live)]
+                task.step()
+                steps += 1
+        if raise_errors:
+            for task in self.tasks:
+                if task.error is not None:
+                    raise task.error
+        return self.tasks
+
+    def results(self) -> dict[str, Any]:
+        """Map of task name to result (None for tasks that errored)."""
+        return {t.name: t.result for t in self.tasks}

@@ -1,0 +1,186 @@
+"""One-call construction of a complete simulated deployment.
+
+Everything above the block layer needs the same scaffolding: a network, a
+stable pair (or single block server), one or more replicated file server
+processes, a shared registry and capability issuer.  :func:`build_cluster`
+assembles it; tests, benchmarks and examples all start here.
+
+    cluster = build_cluster(servers=2, seed=7)
+    cap = cluster.fs().create_file(b"hello")
+
+The cluster is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.capability import CapabilityIssuer, new_port
+from repro.block.stable import StablePair
+from repro.core.gc import GarbageCollector
+from repro.core.registry import FileRegistry
+from repro.core.service import FileService
+from repro.core.system_tree import SystemTree
+from repro.sim.faults import FaultPlan
+from repro.sim.network import Network
+from repro.sim.rpc import RpcEndpoint
+
+# The account under which the file service owns its blocks.
+FILE_SERVICE_ACCOUNT = 1
+
+
+@dataclass
+class Cluster:
+    """A running simulated deployment."""
+
+    network: Network
+    rng: random.Random
+    block_port: int
+    service_port: int
+    pair: StablePair
+    registry: FileRegistry
+    issuer: CapabilityIssuer
+    servers: list[FileService]
+    endpoints: list[RpcEndpoint]
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    optical_pair: StablePair | None = None  # set on hybrid deployments
+
+    def fs(self, index: int = 0) -> FileService:
+        """The ``index``-th file server process."""
+        return self.servers[index]
+
+    def system_tree(self, index: int = 0) -> SystemTree:
+        """Super-file operations bound to one server."""
+        return SystemTree(self.servers[index])
+
+    def gc(self, index: int = 0) -> GarbageCollector:
+        """A garbage collector bound to one server."""
+        return GarbageCollector(self.servers[index])
+
+    @property
+    def clock(self):
+        return self.network.clock
+
+
+def build_hybrid_cluster(
+    servers: int = 1,
+    seed: int = 42,
+    magnetic_capacity: int = 1 << 16,
+    optical_capacity: int = 1 << 20,
+    cache_capacity: int = 4096,
+    hop_ticks: int = 10,
+) -> Cluster:
+    """Build a deployment on hybrid media (Figure 2): version pages on a
+    rewritable magnetic pair, all other pages on a genuinely write-once
+    optical pair (overwrites raise).  ``cluster.pair`` is the magnetic
+    pair; the optical pair hangs off ``cluster.optical_pair``.
+    """
+    from repro.block.hybrid import HybridBlockClient
+    from repro.core.store import HybridPageStore
+    from repro.core.cache import PageCache
+
+    rng = random.Random(seed)
+    network = Network(hop_ticks=hop_ticks)
+    magnetic_port = new_port(rng)
+    optical_port = new_port(rng)
+    service_port = new_port(rng)
+    magnetic = StablePair(
+        network, magnetic_port, capacity=magnetic_capacity,
+        name_a="magA", name_b="magB",
+    )
+    optical = StablePair(
+        network, optical_port, capacity=optical_capacity,
+        name_a="optA", name_b="optB", write_once=True,
+    )
+    registry = FileRegistry()
+    issuer = CapabilityIssuer(service_port)
+    fs_list: list[FileService] = []
+    endpoints: list[RpcEndpoint] = []
+    for i in range(servers):
+        name = f"fs{i}"
+        from repro.block.stable import StableClient
+
+        hybrid = HybridBlockClient(
+            StableClient(network, name, magnetic_port, FILE_SERVICE_ACCOUNT),
+            StableClient(network, name, optical_port, FILE_SERVICE_ACCOUNT),
+        )
+        service = FileService(
+            name,
+            network,
+            registry,
+            issuer,
+            magnetic_port,
+            FILE_SERVICE_ACCOUNT,
+            rng=rng,
+            store=HybridPageStore(hybrid, PageCache(cache_capacity)),
+        )
+        fs_list.append(service)
+        endpoints.append(RpcEndpoint(network, name, service_port, service))
+    cluster = Cluster(
+        network=network,
+        rng=rng,
+        block_port=magnetic_port,
+        service_port=service_port,
+        pair=magnetic,
+        registry=registry,
+        issuer=issuer,
+        servers=fs_list,
+        endpoints=endpoints,
+    )
+    cluster.optical_pair = optical
+    return cluster
+
+
+def build_cluster(
+    servers: int = 1,
+    seed: int = 42,
+    disk_capacity: int = 1 << 20,
+    cache_capacity: int = 4096,
+    deferred_writes: bool = True,
+    write_once: bool = False,
+    hop_ticks: int = 10,
+) -> Cluster:
+    """Build a network + stable block pair + ``servers`` file servers.
+
+    All file servers share the block storage, the registry (the replicated
+    file table) and the capability issuer, so any server can serve any
+    file — the deployment §5.4.1 describes.
+    """
+    rng = random.Random(seed)
+    network = Network(hop_ticks=hop_ticks)
+    block_port = new_port(rng)
+    service_port = new_port(rng)
+    pair = StablePair(
+        network, block_port, capacity=disk_capacity, write_once=write_once
+    )
+    registry = FileRegistry()
+    issuer = CapabilityIssuer(service_port)
+    fs_list: list[FileService] = []
+    endpoints: list[RpcEndpoint] = []
+    for i in range(servers):
+        name = f"fs{i}"
+        service = FileService(
+            name,
+            network,
+            registry,
+            issuer,
+            block_port,
+            FILE_SERVICE_ACCOUNT,
+            cache_capacity=cache_capacity,
+            deferred_writes=deferred_writes,
+            rng=rng,
+        )
+        fs_list.append(service)
+        endpoints.append(RpcEndpoint(network, name, service_port, service))
+    return Cluster(
+        network=network,
+        rng=rng,
+        block_port=block_port,
+        service_port=service_port,
+        pair=pair,
+        registry=registry,
+        issuer=issuer,
+        servers=fs_list,
+        endpoints=endpoints,
+    )

@@ -1,0 +1,27 @@
+"""Operational tools: the file-system checker and the trace inspector.
+
+* :mod:`repro.tools.check` — ``fsck`` for the Amoeba File Service: audits
+  every structural invariant the design relies on (version-chain
+  well-formedness, flag-encoding legality, copy-on-write sharing
+  discipline, block reachability and leak detection, companion-pair
+  agreement).  The test suite uses it as an oracle after adversarial
+  scenarios.
+* :mod:`repro.tools.inspect` — human-readable dumps of files, versions and
+  page trees for debugging and teaching.
+* :mod:`repro.tools.salvage` — rebuild the file table from the blocks
+  themselves after total service loss (§4's severe-crash recovery path).
+"""
+
+from repro.tools.check import CheckReport, check_cluster, check_file
+from repro.tools.inspect import dump_family, dump_page_tree
+from repro.tools.salvage import SalvageReport, salvage
+
+__all__ = [
+    "CheckReport",
+    "check_cluster",
+    "check_file",
+    "dump_family",
+    "dump_page_tree",
+    "SalvageReport",
+    "salvage",
+]

@@ -1,0 +1,49 @@
+"""Workload generators and the cross-system comparison driver.
+
+:mod:`repro.workloads.generators` produces transaction specifications
+(sequences of page reads/writes) for the scenarios the paper motivates:
+compiler temporaries, shared files, hotspots, and the §6 airline
+reservation system.
+
+:mod:`repro.workloads.driver` runs the same workload against the Amoeba
+file service and the two baselines through a uniform adapter interface,
+interleaving concurrent clients with the cooperative scheduler and
+reporting committed work, redone work, logical time, messages and disk
+traffic — the currencies the benchmark tables use.
+"""
+
+from repro.workloads.generators import (
+    TxnSpec,
+    airline_workload,
+    compiler_temp_sizes,
+    hotspot_workload,
+    read_mostly_workload,
+    uniform_workload,
+    write_burst_workload,
+    zipf_workload,
+)
+from repro.workloads.driver import (
+    AmoebaAdapter,
+    FelixAdapter,
+    LockingAdapter,
+    RunResult,
+    TimestampAdapter,
+    run_workload,
+)
+
+__all__ = [
+    "TxnSpec",
+    "uniform_workload",
+    "zipf_workload",
+    "hotspot_workload",
+    "airline_workload",
+    "read_mostly_workload",
+    "write_burst_workload",
+    "compiler_temp_sizes",
+    "AmoebaAdapter",
+    "FelixAdapter",
+    "LockingAdapter",
+    "TimestampAdapter",
+    "RunResult",
+    "run_workload",
+]

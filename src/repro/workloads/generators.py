@@ -1,0 +1,204 @@
+"""Transaction workload generators.
+
+A workload is a list of per-client transaction lists; each transaction is
+a :class:`TxnSpec` — the page indices it reads and writes.  The driver
+replays specs against any of the systems under test.
+
+The shapes mirror the paper's motivating scenarios:
+
+* **uniform** — every page equally likely; conflict probability is set by
+  the update-size/file-size ratio, the knob behind the paper's claim that
+  optimism "works best when updates are small and the likelihood that an
+  item is the subject of two simultaneous updates is small".
+* **zipf / hotspot** — skewed access, the regime where locking starts to
+  pay off (the complementarity claim, C3).
+* **airline** — read-modify-write of one flight's seat count per booking;
+  bookings on different flights must not conflict (§6's San Francisco /
+  Amsterdam example).
+* **compiler temporaries** — one-page private files, the Bauer-principle
+  case: no sharing, no concurrency-control cost (C6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TxnSpec:
+    """One transaction: ordered page reads and writes."""
+
+    reads: tuple[int, ...] = ()
+    writes: tuple[int, ...] = ()
+
+    @property
+    def pages_touched(self) -> set[int]:
+        return set(self.reads) | set(self.writes)
+
+
+def uniform_workload(
+    rng: random.Random,
+    clients: int,
+    txns_per_client: int,
+    n_pages: int,
+    reads_per_txn: int = 2,
+    writes_per_txn: int = 1,
+    read_your_writes: bool = True,
+) -> list[list[TxnSpec]]:
+    """Uniformly random page access."""
+    workload = []
+    for _ in range(clients):
+        txns = []
+        for _ in range(txns_per_client):
+            writes = tuple(
+                rng.randrange(n_pages) for _ in range(writes_per_txn)
+            )
+            if read_your_writes:
+                reads = writes[: reads_per_txn] + tuple(
+                    rng.randrange(n_pages)
+                    for _ in range(max(0, reads_per_txn - len(writes)))
+                )
+            else:
+                reads = tuple(rng.randrange(n_pages) for _ in range(reads_per_txn))
+            txns.append(TxnSpec(reads=reads, writes=writes))
+        workload.append(txns)
+    return workload
+
+
+def zipf_workload(
+    rng: random.Random,
+    clients: int,
+    txns_per_client: int,
+    n_pages: int,
+    skew: float = 1.0,
+    reads_per_txn: int = 2,
+    writes_per_txn: int = 1,
+) -> list[list[TxnSpec]]:
+    """Zipf-skewed page access: low ranks are hot."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n_pages)]
+    population = list(range(n_pages))
+
+    def pick(k: int) -> tuple[int, ...]:
+        return tuple(rng.choices(population, weights=weights, k=k))
+
+    workload = []
+    for _ in range(clients):
+        txns = []
+        for _ in range(txns_per_client):
+            writes = pick(writes_per_txn)
+            reads = writes + pick(max(0, reads_per_txn - writes_per_txn))
+            txns.append(TxnSpec(reads=reads[:reads_per_txn], writes=writes))
+        workload.append(txns)
+    return workload
+
+
+def hotspot_workload(
+    rng: random.Random,
+    clients: int,
+    txns_per_client: int,
+    n_pages: int,
+    hot_pages: int = 4,
+    hot_probability: float = 0.8,
+    reads_per_txn: int = 2,
+    writes_per_txn: int = 1,
+) -> list[list[TxnSpec]]:
+    """A small hot set absorbs most of the traffic."""
+
+    def pick_one() -> int:
+        if rng.random() < hot_probability:
+            return rng.randrange(min(hot_pages, n_pages))
+        return rng.randrange(n_pages)
+
+    workload = []
+    for _ in range(clients):
+        txns = []
+        for _ in range(txns_per_client):
+            writes = tuple(pick_one() for _ in range(writes_per_txn))
+            reads = writes + tuple(
+                pick_one() for _ in range(max(0, reads_per_txn - writes_per_txn))
+            )
+            txns.append(TxnSpec(reads=reads[:reads_per_txn], writes=writes))
+        workload.append(txns)
+    return workload
+
+
+def airline_workload(
+    rng: random.Random,
+    clients: int,
+    bookings_per_client: int,
+    n_flights: int,
+    popular_flight_bias: float = 0.0,
+) -> list[list[TxnSpec]]:
+    """One booking = read-modify-write of one flight's page.
+
+    With ``popular_flight_bias`` > 0, that fraction of bookings goes to
+    flight 0 (the San Francisco–Los Angeles shuttle); the rest spread
+    uniformly (Amsterdam–London and friends).
+    """
+    workload = []
+    for _ in range(clients):
+        txns = []
+        for _ in range(bookings_per_client):
+            if rng.random() < popular_flight_bias:
+                flight = 0
+            else:
+                flight = rng.randrange(n_flights)
+            txns.append(TxnSpec(reads=(flight,), writes=(flight,)))
+        workload.append(txns)
+    return workload
+
+
+def read_mostly_workload(
+    rng: random.Random,
+    clients: int,
+    txns_per_client: int,
+    n_pages: int,
+    write_fraction: float = 0.1,
+    reads_per_txn: int = 4,
+) -> list[list[TxnSpec]]:
+    """Mostly-read transactions with an occasional writer — the regime
+    where the paper's caches shine and conflicts are rarest."""
+    workload = []
+    for _ in range(clients):
+        txns = []
+        for _ in range(txns_per_client):
+            reads = tuple(rng.randrange(n_pages) for _ in range(reads_per_txn))
+            if rng.random() < write_fraction:
+                writes = (rng.choice(reads),)
+            else:
+                writes = ()
+            txns.append(TxnSpec(reads=reads, writes=writes))
+        workload.append(txns)
+    return workload
+
+
+def write_burst_workload(
+    rng: random.Random,
+    clients: int,
+    txns_per_client: int,
+    n_pages: int,
+    burst_size: int = 6,
+) -> list[list[TxnSpec]]:
+    """Large blind-write transactions (bulk loads): many pages written,
+    nothing read — the "large and unwieldy" updates the paper says suit
+    locking better."""
+    workload = []
+    for _ in range(clients):
+        txns = []
+        for _ in range(txns_per_client):
+            start = rng.randrange(n_pages)
+            writes = tuple(
+                (start + offset) % n_pages for offset in range(burst_size)
+            )
+            txns.append(TxnSpec(reads=(), writes=writes))
+        workload.append(txns)
+    return workload
+
+
+def compiler_temp_sizes(
+    rng: random.Random, files: int, max_bytes: int = 24_000
+) -> list[int]:
+    """Sizes for one-page temporary files (compiler output): everything
+    fits in a single 32K page, §6's cheap-and-fast case."""
+    return [rng.randrange(512, max_bytes) for _ in range(files)]

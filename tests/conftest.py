@@ -1,0 +1,37 @@
+"""Shared fixtures: clusters, clients, deterministic RNGs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.api import FileClient
+from repro.testbed import Cluster, build_cluster
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xA0EBA)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A single-server deployment."""
+    return build_cluster(servers=1, seed=7)
+
+
+@pytest.fixture
+def cluster2() -> Cluster:
+    """A two-server (replicated) deployment."""
+    return build_cluster(servers=2, seed=7)
+
+
+@pytest.fixture
+def fs(cluster: Cluster):
+    return cluster.fs()
+
+
+@pytest.fixture
+def client(cluster: Cluster) -> FileClient:
+    return FileClient(cluster.network, "host0", cluster.service_port)

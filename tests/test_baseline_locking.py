@@ -1,0 +1,160 @@
+"""The XDFS-style 2PL baseline: locks, intentions lists, recovery."""
+
+import pytest
+
+from repro.errors import BaselineError, TransactionAborted
+from repro.baselines.locking import (
+    VULNERABLE_AGE,
+    LockingFileService,
+    WouldBlock,
+)
+from repro.testbed import build_cluster
+
+
+@pytest.fixture
+def setup():
+    cluster = build_cluster(seed=5)
+    service = LockingFileService("lk", cluster.network, cluster.block_port, 9)
+    file_id = service.create_file([b"p0", b"p1", b"p2"])
+    return cluster, service, file_id
+
+
+def test_transactional_read_write(setup):
+    _, svc, fid = setup
+    txn = svc.open_transaction()
+    assert svc.read(txn, fid, 0) == b"p0"
+    svc.write(txn, fid, 1, b"new1")
+    assert svc.read(txn, fid, 1) == b"new1"  # own writes visible
+    svc.close_transaction(txn)
+    assert svc.read_committed(fid, 1) == b"new1"
+
+
+def test_abort_discards_buffered_writes(setup):
+    _, svc, fid = setup
+    txn = svc.open_transaction()
+    svc.write(txn, fid, 0, b"junk")
+    svc.abort_transaction(txn)
+    assert svc.read_committed(fid, 0) == b"p0"
+    with pytest.raises(TransactionAborted):
+        svc.read(txn, fid, 0)
+
+
+def test_read_locks_are_shared(setup):
+    _, svc, fid = setup
+    t1, t2 = svc.open_transaction(), svc.open_transaction()
+    assert svc.read(t1, fid, 0) == b"p0"
+    assert svc.read(t2, fid, 0) == b"p0"
+    svc.close_transaction(t1)
+    svc.close_transaction(t2)
+
+
+def test_iwrite_locks_exclusive(setup):
+    _, svc, fid = setup
+    t1, t2 = svc.open_transaction(), svc.open_transaction()
+    svc.write(t1, fid, 0, b"t1")
+    with pytest.raises(WouldBlock):
+        svc.write(t2, fid, 0, b"t2")
+    svc.close_transaction(t1)
+    svc.write(t2, fid, 0, b"t2")
+    svc.close_transaction(t2)
+    assert svc.read_committed(fid, 0) == b"t2"
+
+
+def test_read_compatible_with_iwrite(setup):
+    """XDFS semantics: readers coexist with intention-writers; only the
+    commit upgrade excludes them."""
+    _, svc, fid = setup
+    writer, reader = svc.open_transaction(), svc.open_transaction()
+    svc.write(writer, fid, 0, b"pending")
+    assert svc.read(reader, fid, 0) == b"p0"  # pre-commit state
+    with pytest.raises(WouldBlock):
+        svc.close_transaction(writer)  # commit lock blocked by reader
+    svc.close_transaction(reader)
+    svc.close_transaction(writer)
+    assert svc.read_committed(fid, 0) == b"pending"
+
+
+def test_vulnerable_lock_prodding(setup):
+    """"When a server has locked a datum for some time [...] another
+    server, waiting on that lock, can then prod the first."""
+    cluster, svc, fid = setup
+    old = svc.open_transaction()
+    svc.write(old, fid, 0, b"slow")
+    cluster.clock.advance(VULNERABLE_AGE + 1)
+    young = svc.open_transaction()
+    svc.write(young, fid, 0, b"fast")  # prod aborts the stale holder
+    svc.close_transaction(young)
+    assert svc.stats_aborted_by_prod == 1
+    with pytest.raises(TransactionAborted):
+        svc.read(old, fid, 0)
+
+
+def test_prod_ignored_while_committing(setup):
+    """"If it is in a state to do so, it releases its lock, otherwise it
+    ignores the prod" — a committing transaction is not wounded."""
+    cluster, svc, fid = setup
+    committer = svc.open_transaction()
+    svc.write(committer, fid, 0, b"c")
+    reader = svc.open_transaction()
+    svc.read(reader, fid, 0)
+    with pytest.raises(WouldBlock):
+        svc.close_transaction(committer)  # now in committing state
+    cluster.clock.advance(VULNERABLE_AGE + 1)
+    intruder = svc.open_transaction()
+    with pytest.raises(WouldBlock):
+        svc.write(intruder, fid, 0, b"i")  # prod ignored: still blocked
+    assert svc.stats_aborted_by_prod == 0
+    svc.close_transaction(reader)
+    svc.close_transaction(committer)
+
+
+def test_recovery_replays_intentions(setup):
+    """Crash after the intentions list is durable but before cleanup:
+    recovery REDOes the list."""
+    cluster, svc, fid = setup
+    txn = svc.open_transaction()
+    svc.write(txn, fid, 0, b"committed-data")
+    t = svc._txns[txn]
+    t.status = "committing"
+    for key in sorted(t.intentions):
+        svc._acquire(t, key, "commit")
+    svc._write_intentions(t)  # durable
+    svc.crash()  # died before applying
+    report = svc.recover()
+    assert report["intentions_replayed"] == 1
+    assert svc.read_committed(fid, 0) == b"committed-data"
+
+
+def test_recovery_clears_locks_and_rolls_back(setup):
+    """Crash with open transactions: their locks are cleared and buffered
+    updates discarded — recovery work OCC does not have."""
+    cluster, svc, fid = setup
+    t1 = svc.open_transaction()
+    svc.write(t1, fid, 0, b"lost")
+    t2 = svc.open_transaction()
+    svc.read(t2, fid, 1)
+    svc.crash()
+    report = svc.recover()
+    assert report["locks_cleared"] >= 2
+    assert report["transactions_rolled_back"] == 2
+    assert svc.read_committed(fid, 0) == b"p0"
+    fresh = svc.open_transaction()
+    svc.write(fresh, fid, 0, b"after")
+    svc.close_transaction(fresh)
+
+
+def test_unknown_transaction(setup):
+    _, svc, fid = setup
+    with pytest.raises(BaselineError):
+        svc.read(99, fid, 0)
+    with pytest.raises(BaselineError):
+        svc.read(svc.open_transaction(), 42, 0)
+
+
+def test_commit_twice_rejected(setup):
+    _, svc, fid = setup
+    txn = svc.open_transaction()
+    svc.write(txn, fid, 0, b"x")
+    svc.close_transaction(txn)
+    with pytest.raises(BaselineError):
+        svc.close_transaction(txn)

@@ -1,0 +1,111 @@
+"""The SWALLOW-style timestamp-ordered baseline."""
+
+import pytest
+
+from repro.errors import BaselineError, TimestampConflict, TransactionAborted
+from repro.baselines.timestamp import TimestampFileService
+from repro.testbed import build_cluster
+
+
+@pytest.fixture
+def setup():
+    cluster = build_cluster(seed=5)
+    service = TimestampFileService("ts", cluster.network, cluster.block_port, 9)
+    file_id = service.create_file([b"p0", b"p1"])
+    return cluster, service, file_id
+
+
+def test_read_write_commit(setup):
+    _, svc, fid = setup
+    txn = svc.open_transaction()
+    assert svc.read(txn, fid, 0) == b"p0"
+    svc.write(txn, fid, 0, b"new")
+    assert svc.read(txn, fid, 0) == b"new"
+    svc.close_transaction(txn)
+    assert svc.read_committed(fid, 0) == b"new"
+
+
+def test_older_writer_aborted_after_younger_read(setup):
+    """A later reader recorded its stamp: an earlier writer must abort."""
+    _, svc, fid = setup
+    old = svc.open_transaction()
+    young = svc.open_transaction()
+    svc.read(young, fid, 0)
+    with pytest.raises(TimestampConflict):
+        svc.write(old, fid, 0, b"too late")
+    with pytest.raises(TransactionAborted):
+        svc.read(old, fid, 0)
+
+
+def test_older_writer_aborted_after_younger_write(setup):
+    _, svc, fid = setup
+    old = svc.open_transaction()
+    young = svc.open_transaction()
+    svc.write(young, fid, 0, b"young")
+    svc.close_transaction(young)
+    with pytest.raises(TimestampConflict):
+        svc.write(old, fid, 0, b"old")
+
+
+def test_multiversion_reads_never_block(setup):
+    """An old reader sees the version visible at its pseudo time even
+    after newer commits — reads are never rejected."""
+    _, svc, fid = setup
+    old_reader = svc.open_transaction()
+    writer = svc.open_transaction()
+    svc.write(writer, fid, 0, b"v2")
+    svc.close_transaction(writer)
+    assert svc.read(old_reader, fid, 0) == b"p0"
+    svc.close_transaction(old_reader)
+
+
+def test_commit_installs_atomically(setup):
+    _, svc, fid = setup
+    txn = svc.open_transaction()
+    svc.write(txn, fid, 0, b"a")
+    svc.write(txn, fid, 1, b"b")
+    # Not visible before commit.
+    assert svc.read_committed(fid, 0) == b"p0"
+    svc.close_transaction(txn)
+    assert svc.read_committed(fid, 0) == b"a"
+    assert svc.read_committed(fid, 1) == b"b"
+
+
+def test_commit_validation_catches_late_conflicts(setup):
+    _, svc, fid = setup
+    old = svc.open_transaction()
+    svc.write(old, fid, 0, b"buffered")  # passes: nothing newer yet
+    young = svc.open_transaction()
+    svc.read(young, fid, 0)  # young read stamps the page
+    with pytest.raises(TimestampConflict):
+        svc.close_transaction(old)
+
+
+def test_prune_drops_old_versions(setup):
+    _, svc, fid = setup
+    for n in range(3):
+        txn = svc.open_transaction()
+        svc.write(txn, fid, 0, b"v%d" % n)
+        svc.close_transaction(txn)
+    freed = svc.prune(keep=1)
+    assert freed >= 3  # older versions of page 0 (and page 1's initial twin)
+    assert svc.read_committed(fid, 0) == b"v2"
+
+
+def test_conflict_counter(setup):
+    _, svc, fid = setup
+    old = svc.open_transaction()
+    young = svc.open_transaction()
+    svc.read(young, fid, 0)
+    with pytest.raises(TimestampConflict):
+        svc.write(old, fid, 0, b"x")
+    assert svc.stats_conflicts == 1
+
+
+def test_unknown_handles(setup):
+    _, svc, fid = setup
+    with pytest.raises(BaselineError):
+        svc.read(77, fid, 0)
+    txn = svc.open_transaction()
+    with pytest.raises(BaselineError):
+        svc.read(txn, 99, 0)

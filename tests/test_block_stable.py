@@ -1,0 +1,205 @@
+"""Companion-pair stable storage (§4): replication, collisions, recovery."""
+
+import pytest
+
+from repro.errors import CompanionConflict, ServerCrashed, ServerUnreachable
+from repro.capability import new_port
+from repro.block.stable import StableClient, StablePair
+from repro.sim.network import Network
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+@pytest.fixture
+def pair(net):
+    return StablePair(net, 0x500, capacity=64, block_size=256)
+
+
+@pytest.fixture
+def client(net, pair):
+    return StableClient(net, "cli", 0x500, account=1)
+
+
+def test_write_lands_on_both_disks(pair, client):
+    block = client.allocate_write(b"twice")
+    assert pair.disk_a.read(block) == pair.disk_b.read(block)
+    assert pair.consistent()
+
+
+def test_companion_first_ordering(pair):
+    """The companion's disk is written before the receiving server's."""
+    op = pair.a.begin_allocate_write(1, b"data")
+    # After the begin (companion step), B has the block, A does not yet.
+    assert pair.disk_b.holds(op.block_no)
+    assert not pair.disk_a.holds(op.block_no)
+    pair.a.finish_op(op)
+    assert pair.disk_a.holds(op.block_no)
+
+
+def test_read_served_locally(pair, client, net):
+    block = client.allocate_write(b"x")
+    reads_b = pair.disk_b.stats.reads
+    client.read(block)
+    assert pair.disk_b.stats.reads == reads_b  # companion not consulted
+
+
+def test_corrupted_read_repaired_from_companion(pair, client):
+    block = client.allocate_write(b"precious")
+    pair.disk_a.corrupt(block)
+    assert client.read(block) == b"precious"
+    # Local copy was repaired in place.
+    assert pair.disk_a.read(block) == b"precious"
+
+
+def test_allocate_collision_detected(pair):
+    """Both halves pick the same number simultaneously; the op whose
+    companion step arrives second is refused before any damage."""
+    op_a = pair.a._new_op("alloc", 1, pair.a._choose_block(), b"A")
+    op_b = pair.b._new_op("alloc", 1, pair.b._choose_block(), b"B")
+    assert op_a.block_no == op_b.block_no  # the accidental collision
+    # A's companion step reaches B, which has its own pending op: refused.
+    with pytest.raises(CompanionConflict):
+        pair.a._companion_step(op_a)
+    # B's operation proceeds unharmed.
+    pair.b._companion_step(op_b)
+    pair.b.finish_op(op_b)
+    assert pair.consistent()
+    # A retries and gets a different block.
+    retry = pair.a.begin_allocate_write(1, b"A")
+    assert retry.block_no != op_b.block_no
+    pair.a.finish_op(retry)
+    assert pair.consistent()
+
+
+def test_write_collision_detected(pair, client, net):
+    block = client.allocate_write(b"base")
+    op_a = pair.a.begin_write(1, block, b"via A")
+    # A second client writes the same block through B while A's op is in
+    # flight: B's companion step reaches A, which has a pending marker.
+    with pytest.raises(CompanionConflict):
+        pair.b.cmd_write(1, block, b"via B")
+    pair.a.finish_op(op_a)
+    assert pair.disk_a.read(block) == pair.disk_b.read(block) == b"via A"
+    # After completion the other write goes through.
+    pair.b.cmd_write(1, block, b"via B")
+    assert pair.disk_a.read(block) == pair.disk_b.read(block) == b"via B"
+
+
+def test_same_server_overlap_is_conflict(pair, client):
+    block = client.allocate_write(b"base")
+    op = pair.a.begin_write(1, block, b"first")
+    with pytest.raises(CompanionConflict):
+        pair.a.begin_write(1, block, b"second")
+    pair.a.finish_op(op)
+
+
+def test_client_fails_over_to_companion(pair, client):
+    block = client.allocate_write(b"durable")
+    pair.a.crash()
+    assert client.read(block) == b"durable"
+
+
+def test_writes_while_companion_down_use_intentions(pair, client):
+    block = client.allocate_write(b"v1")
+    pair.b.crash()
+    client.write(block, b"v2")  # served by A alone, intention recorded
+    fresh = client.allocate_write(b"new")  # also A alone
+    assert pair.disk_a.read(block) == b"v2"
+    assert not pair.disk_b.holds(fresh)
+    # B restarts: refuses clients until resync, then catches up.
+    pair.b.restart()
+    with pytest.raises(ServerCrashed):
+        pair.b.cmd_read(1, block)
+    applied = pair.b.resync()
+    assert applied >= 2
+    assert pair.disk_b.read(block) == b"v2"
+    assert pair.disk_b.read(fresh) == b"new"
+    assert pair.consistent()
+
+
+def test_crash_during_resync_loses_nothing(pair, client):
+    """The two-phase resync: a crash after fetching but before finishing
+    the apply leaves the intentions at the companion; the next resync
+    re-applies them (idempotently)."""
+    block = client.allocate_write(b"v1")
+    pair.b.crash()
+    client.write(block, b"v2")
+    client.write(block, b"v3")
+    pair.b.restart()
+    # Simulate a crash mid-resync: fetch (non-destructively), apply only
+    # the first intention, then die before acknowledging.
+    intentions = pair.b._call_companion("fetch_intentions")
+    assert len(intentions) == 2
+    first = intentions[0]
+    pair.b.local.write(first.account, first.block_no, first.data)
+    pair.b.crash()
+    # The intentions are all still at A.
+    assert len(pair.a._intentions) == 2
+    # A full restart + resync completes the job.
+    pair.b.restart()
+    applied = pair.b.resync()
+    assert applied == 2
+    assert pair.disk_b.read(block) == b"v3"
+    assert pair.consistent()
+    # And the acknowledged list is gone.
+    assert pair.a._intentions == []
+
+
+def test_free_replicates(pair, client):
+    block = client.allocate_write(b"bye")
+    client.free(block)
+    assert not pair.disk_a.holds(block)
+    assert not pair.disk_b.holds(block)
+
+
+def test_free_while_companion_down(pair, client):
+    block = client.allocate_write(b"x")
+    pair.b.crash()
+    client.free(block)
+    pair.b.restart()
+    pair.b.resync()
+    assert not pair.disk_b.holds(block)
+
+
+def test_test_and_set_through_pair(pair, client):
+    block = client.allocate_write(b"ref:" + b"\x00" * 4)
+    result = client.test_and_set(block, 4, b"\x00" * 4, b"\x00\x00\x00\x07")
+    assert result.success
+    assert pair.disk_a.read(block) == pair.disk_b.read(block)
+    # Second CAS with stale expectation fails and reports the winner.
+    result2 = client.test_and_set(block, 4, b"\x00" * 4, b"\x00\x00\x00\x09")
+    assert not result2.success
+    assert result2.current == b"\x00\x00\x00\x07"
+
+
+def test_recover_lists_blocks(pair, client):
+    blocks = {client.allocate_write(b"%d" % i) for i in range(4)}
+    assert set(client.recover()) == blocks
+
+
+def test_lock_facility_via_client(pair, client):
+    block = client.allocate_write(b"x")
+    assert client.lock(block, locker=7)
+    assert not client.lock(block, locker=8)
+    client.unlock(block, locker=7)
+    assert client.lock(block, locker=8)
+
+
+def test_reserve_then_write(pair, net):
+    """Deferred-write allocation: number reserved on both halves first."""
+    client = StableClient(net, "cli", 0x500, account=1)
+    block = client.allocate()
+    assert pair.a.local.owner_of(block) == 1
+    assert pair.b.local.owner_of(block) == 1
+    client.write(block, b"later")
+    assert pair.disk_a.read(block) == b"later"
+    assert pair.consistent()
+
+
+def test_crashed_half_rejects_companion_traffic(pair):
+    pair.b.crash()
+    with pytest.raises((ServerCrashed, ServerUnreachable)):
+        pair.b.cmd_companion_write("blockA", 1, 5, b"x")

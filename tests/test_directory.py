@@ -1,0 +1,91 @@
+"""The directory server: naming, nesting, concurrent binds."""
+
+import pytest
+
+from repro.apps.directory import (
+    DirectoryEntryExists,
+    DirectoryServer,
+    NoSuchEntry,
+)
+from repro.client.api import FileClient
+
+
+@pytest.fixture
+def dirs(client):
+    return DirectoryServer(client)
+
+
+@pytest.fixture
+def root(dirs):
+    return dirs.create_root()
+
+
+def test_enter_and_lookup(dirs, root, client):
+    target = client.create_file(b"content")
+    dirs.enter(root, "readme", target)
+    assert dirs.lookup(root, "readme") == target
+
+
+def test_duplicate_name_rejected(dirs, root, client):
+    cap = client.create_file(b"x")
+    dirs.enter(root, "name", cap)
+    with pytest.raises(DirectoryEntryExists):
+        dirs.enter(root, "name", cap)
+
+
+def test_replace_overwrites(dirs, root, client):
+    first = client.create_file(b"1")
+    second = client.create_file(b"2")
+    dirs.enter(root, "name", first)
+    dirs.replace(root, "name", second)
+    assert dirs.lookup(root, "name") == second
+
+
+def test_unlink(dirs, root, client):
+    cap = client.create_file(b"x")
+    dirs.enter(root, "gone", cap)
+    dirs.unlink(root, "gone")
+    with pytest.raises(NoSuchEntry):
+        dirs.lookup(root, "gone")
+    with pytest.raises(NoSuchEntry):
+        dirs.unlink(root, "gone")
+
+
+def test_list_sorted(dirs, root, client):
+    for name in ("zebra", "alpha", "mid"):
+        dirs.enter(root, name, client.create_file(name.encode()))
+    assert dirs.list(root) == ["alpha", "mid", "zebra"]
+
+
+def test_mkdir_and_nested_resolution(dirs, root, client):
+    sub = dirs.mkdir(root, "src")
+    target = client.create_file(b"main")
+    dirs.enter(sub, "main.py", target)
+    assert dirs.resolve(root, "src/main.py") == target
+    assert dirs.resolve(root, "/src/main.py") == target  # leading slash ok
+
+
+def test_bind_path_creates_intermediates(dirs, root, client):
+    target = client.create_file(b"deep")
+    dirs.bind_path(root, "/a/b/c/file", target)
+    assert dirs.resolve(root, "a/b/c/file") == target
+    assert dirs.list(dirs.resolve(root, "a/b")) == ["c"]
+
+
+def test_unicode_names(dirs, root, client):
+    cap = client.create_file(b"x")
+    dirs.enter(root, "bestanden-ñämé", cap)
+    assert dirs.lookup(root, "bestanden-ñämé") == cap
+
+
+def test_concurrent_binds_both_land(cluster):
+    net = cluster.network
+    c1 = FileClient(net, "c1", cluster.service_port)
+    c2 = FileClient(net, "c2", cluster.service_port)
+    d1, d2 = DirectoryServer(c1), DirectoryServer(c2)
+    root = d1.create_root()
+    f1 = c1.create_file(b"1")
+    f2 = c2.create_file(b"2")
+    d1.enter(root, "one", f1)
+    d2.enter(root, "two", f2)  # may redo internally; must not lose "one"
+    assert d1.list(root) == ["one", "two"]

@@ -1,0 +1,102 @@
+"""The C/R/W/S/M flags and their 4-bit encoding (§5.1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.flags import Flags
+
+
+def test_exactly_13_valid_combinations():
+    """"This reduces the number of flag combinations to 13."""
+    valid = 0
+    for c, r, w, s, m in itertools.product([False, True], repeat=5):
+        try:
+            Flags(c, r, w, s, m)
+            valid += 1
+        except ValueError:
+            pass
+    assert valid == 13
+    assert len(Flags.all_valid()) == 13
+
+
+def test_access_requires_copied():
+    for kwargs in ({"r": True}, {"w": True}, {"s": True, "m": False}):
+        with pytest.raises(ValueError):
+            Flags(c=False, **kwargs)
+
+
+def test_modified_implies_searched():
+    with pytest.raises(ValueError):
+        Flags(c=True, m=True, s=False)
+
+
+def test_encoding_is_a_bijection_on_valid_combos():
+    seen = set()
+    for flags in Flags.all_valid():
+        code = flags.encode()
+        assert 0 <= code <= 12
+        assert code not in seen
+        seen.add(code)
+        assert Flags.decode(code) == flags
+
+
+def test_decode_rejects_invalid_codes():
+    for code in (13, 14, 15, -1, 16):
+        with pytest.raises(ValueError):
+            Flags.decode(code)
+
+
+def test_clear_flags_encode_to_zero():
+    assert Flags().encode() == 0
+    assert Flags.decode(0) == Flags()
+
+
+def test_transitions_set_expected_bits():
+    f = Flags()
+    assert f.copy() == Flags(c=True)
+    assert f.read() == Flags(c=True, r=True)
+    assert f.write() == Flags(c=True, w=True)
+    assert f.search() == Flags(c=True, s=True)
+    assert f.modify() == Flags(c=True, s=True, m=True)
+
+
+def test_transitions_are_monotone():
+    f = Flags().read().write().search().modify()
+    assert f == Flags(c=True, r=True, w=True, s=True, m=True)
+
+
+def test_read_write_independent():
+    """"The two flags operate independent of one another."""
+    assert Flags().read().w is False
+    assert Flags().write().r is False
+
+
+def test_read_and_write_set_membership():
+    assert Flags().read().in_read_set
+    assert Flags().search().in_read_set
+    assert not Flags().write().in_read_set
+    assert Flags().write().in_write_set
+    assert Flags().modify().in_write_set
+    assert not Flags().read().in_write_set
+    assert not Flags(c=True).accessed
+    assert Flags().read().accessed
+
+
+def test_str_rendering():
+    assert str(Flags()) == "-----"
+    assert str(Flags(c=True, r=True, w=True, s=True, m=True)) == "CRWSM"
+
+
+@given(st.integers(min_value=0, max_value=12))
+def test_decode_encode_roundtrip(code):
+    assert Flags.decode(code).encode() == code
+
+
+@given(st.sampled_from(Flags.all_valid()))
+def test_any_transition_preserves_validity(flags):
+    for transition in ("copy", "read", "write", "search", "modify"):
+        result = getattr(flags, transition)()
+        # Constructing without exception is the validity check.
+        assert result.c

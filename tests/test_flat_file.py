@@ -1,0 +1,115 @@
+"""The flat (linear) file server."""
+
+import pytest
+
+from repro.apps.flat_file import FlatFileServer
+
+
+@pytest.fixture
+def flat(client):
+    return FlatFileServer(client, extent_size=16)
+
+
+def test_create_and_read(flat):
+    cap = flat.create(b"hello world")
+    assert flat.read(cap) == b"hello world"
+    assert flat.size(cap) == 11
+
+
+def test_empty_file(flat):
+    cap = flat.create()
+    assert flat.read(cap) == b""
+    assert flat.size(cap) == 0
+
+
+def test_multi_extent_content(flat):
+    payload = bytes(range(256)) * 2  # 512 bytes over 16-byte extents
+    cap = flat.create(payload)
+    assert flat.read(cap) == payload
+
+
+def test_partial_reads(flat):
+    cap = flat.create(b"0123456789abcdefABCDEFGHIJKLMNOP")
+    assert flat.read(cap, 0, 4) == b"0123"
+    assert flat.read(cap, 14, 4) == b"efAB"  # crosses an extent boundary
+    assert flat.read(cap, 30) == b"OP"
+    assert flat.read(cap, 100, 5) == b""
+
+
+def test_overwrite_in_place(flat):
+    cap = flat.create(b"aaaaaaaaaaaaaaaaaaaaaaaa")
+    flat.write(cap, 10, b"XYZ")
+    assert flat.read(cap) == b"aaaaaaaaaaXYZaaaaaaaaaaa"
+    assert flat.size(cap) == 24
+
+
+def test_write_extends_file(flat):
+    cap = flat.create(b"short")
+    flat.write(cap, 20, b"far")
+    assert flat.size(cap) == 23
+    data = flat.read(cap)
+    assert data[:5] == b"short"
+    assert data[20:] == b"far"
+    assert data[5:20] == b"\x00" * 15
+
+
+def test_append(flat):
+    cap = flat.create(b"start")
+    offset = flat.append(cap, b"-end")
+    assert offset == 5
+    assert flat.read(cap) == b"start-end"
+
+
+def test_binary_safety(flat):
+    """Zero bytes are data, not padding."""
+    payload = b"\x00\x01\x00" * 20
+    cap = flat.create(payload)
+    assert flat.read(cap) == payload
+
+
+def test_truncate(flat):
+    cap = flat.create(b"0123456789abcdefABCDEFGH")
+    flat.truncate(cap, 10)
+    assert flat.size(cap) == 10
+    assert flat.read(cap) == b"0123456789"
+
+
+def test_truncate_to_zero(flat):
+    cap = flat.create(b"data" * 10)
+    flat.truncate(cap, 0)
+    assert flat.read(cap) == b""
+
+
+def test_truncate_beyond_length_is_noop(flat):
+    cap = flat.create(b"data")
+    flat.truncate(cap, 100)
+    assert flat.read(cap) == b"data"
+
+
+def test_concurrent_disjoint_writes_merge(cluster):
+    """Two clients writing disjoint extents of the same flat file both
+    succeed with no redo: the paper's airline argument in file form."""
+    from repro.client.api import FileClient
+
+    a = FileClient(cluster.network, "a", cluster.service_port)
+    b = FileClient(cluster.network, "b", cluster.service_port)
+    fa, fb = FlatFileServer(a, extent_size=16), FlatFileServer(b, extent_size=16)
+    cap = fa.create(b"x" * 64)
+    fa.write(cap, 0, b"AAAA")
+    fb.write(cap, 48, b"BBBB")
+    data = fa.read(cap)
+    assert data[0:4] == b"AAAA"
+    assert data[48:52] == b"BBBB"
+
+
+def test_concurrent_appends_serialise(cluster):
+    from repro.client.api import FileClient
+
+    a = FileClient(cluster.network, "a", cluster.service_port)
+    b = FileClient(cluster.network, "b", cluster.service_port)
+    fa, fb = FlatFileServer(a, extent_size=8), FlatFileServer(b, extent_size=8)
+    cap = fa.create(b"")
+    fa.append(cap, b"1111")
+    fb.append(cap, b"2222")
+    fa.append(cap, b"3333")
+    assert fa.read(cap) == b"111122223333"

@@ -1,0 +1,198 @@
+"""Whole-system fuzzing: random operation sequences, checked by fsck.
+
+The paper's strongest property — "the file system is always in a
+consistent state" — restated as a machine-checked invariant: after ANY
+sequence of operations (updates, commits, aborts, structural changes,
+garbage collection, server crashes and restarts), the invariant checker
+must pass and all committed data must still read back.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommitConflict, FileLocked, ReproError
+from repro.core.pathname import PagePath
+from repro.testbed import build_cluster, build_hybrid_cluster
+from repro.tools.check import check_cluster
+
+ROOT = PagePath.ROOT
+
+# One fuzz step: (operation name, two parameter knobs).
+step_strategy = st.tuples(
+    st.sampled_from(
+        [
+            "begin",
+            "write",
+            "read",
+            "append",
+            "remove",
+            "hole",
+            "split",
+            "move",
+            "commit",
+            "abort",
+            "gc",
+            "crash",
+            "new_file",
+        ]
+    ),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7),
+)
+
+
+class _Fuzzer:
+    """Drives a cluster with random-but-valid operations and tracks the
+    expected committed state of every file's root page."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.files: list = []
+        self.expected_root: dict[int, bytes] = {}
+        self.open_updates: list = []  # (file_cap, handle, pending_root or None)
+        self.counter = 0
+
+    def fs(self):
+        for server in self.cluster.servers:
+            if not server._crashed:
+                return server
+        self.cluster.servers[0].restart()
+        return self.cluster.servers[0]
+
+    def step(self, op: str, a: int, b: int) -> None:
+        fs = self.fs()
+        self.counter += 1
+        try:
+            if op == "new_file" or not self.files:
+                data = b"genesis%d" % self.counter
+                cap = fs.create_file(data)
+                self.files.append(cap)
+                self.expected_root[cap.obj] = data
+                return
+            cap = self.files[a % len(self.files)]
+            if op == "begin":
+                handle = fs.create_version(cap)
+                self.open_updates.append([cap, handle, None])
+            elif op in (
+                "write", "read", "append", "remove", "hole", "split", "move"
+            ) and self.open_updates:
+                entry = self.open_updates[b % len(self.open_updates)]
+                cap_u, handle, _ = entry
+                if op == "write":
+                    data = b"w%d" % self.counter
+                    fs.write_page(handle.version, ROOT, data)
+                    entry[2] = data
+                elif op == "read":
+                    fs.read_page(handle.version, ROOT)
+                elif op == "append":
+                    fs.append_page(handle.version, ROOT, b"a%d" % self.counter)
+                elif op == "remove":
+                    structure = fs.page_structure(handle.version, ROOT)
+                    if structure:
+                        fs.remove_page(
+                            handle.version, PagePath.of(b % len(structure))
+                        )
+                elif op == "hole":
+                    structure = fs.page_structure(handle.version, ROOT)
+                    if structure and structure[b % len(structure)]:
+                        fs.make_hole(
+                            handle.version, PagePath.of(b % len(structure))
+                        )
+                elif op == "split":
+                    structure = fs.page_structure(handle.version, ROOT)
+                    if structure and structure[b % len(structure)]:
+                        fs.split_page(
+                            handle.version, PagePath.of(b % len(structure)), 0
+                        )
+                elif op == "move":
+                    structure = fs.page_structure(handle.version, ROOT)
+                    if len(structure) >= 2 and structure[b % len(structure)]:
+                        fs.move_subtree(
+                            handle.version,
+                            PagePath.of(b % len(structure)),
+                            ROOT,
+                            a % len(structure),
+                        )
+            elif op == "commit" and self.open_updates:
+                entry = self.open_updates.pop(b % len(self.open_updates))
+                cap_u, handle, pending = entry
+                try:
+                    fs.commit(handle.version)
+                    if pending is not None:
+                        self.expected_root[cap_u.obj] = pending
+                except CommitConflict:
+                    pass  # expected under concurrency
+            elif op == "abort" and self.open_updates:
+                entry = self.open_updates.pop(b % len(self.open_updates))
+                fs.abort(entry[1].version)
+            elif op == "gc":
+                self.cluster.gc(self.cluster.servers.index(fs)).collect()
+            elif op == "crash" and len(self.cluster.servers) > 1:
+                victim = self.cluster.servers[a % len(self.cluster.servers)]
+                if not victim._crashed:
+                    victim.crash()
+                    # Its open updates died with it.
+                    self.open_updates = [
+                        entry
+                        for entry in self.open_updates
+                        if fs.registry.version(entry[1].version.obj).server
+                        != victim.name
+                    ]
+                    victim.restart()
+        except (FileLocked, ReproError):
+            # Valid refusals (locked, aborted-by-conflict handles, etc.).
+            pass
+
+    def verify(self) -> None:
+        fs = self.fs()
+        # Settle: abort whatever is still open so fsck sees a quiescent system.
+        for cap_u, handle, _ in self.open_updates:
+            try:
+                fs.abort(handle.version)
+            except ReproError:
+                pass
+        self.open_updates.clear()
+        for cap in self.files:
+            try:
+                data = fs.read_page(fs.current_version(cap), ROOT)
+            except ReproError as exc:  # pragma: no cover - would be a bug
+                raise AssertionError(f"committed file unreadable: {exc}")
+            # The root's committed data must be what the model expects —
+            # commits the model recorded must never be lost.
+            assert data == self.expected_root[cap.obj], (
+                f"file {cap.obj}: expected {self.expected_root[cap.obj]!r}, "
+                f"found {data!r}"
+            )
+        report = check_cluster(self.cluster)
+        assert report.ok, report.errors
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=st.lists(step_strategy, min_size=5, max_size=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fuzz_standard_cluster(steps, seed):
+    fuzzer = _Fuzzer(build_cluster(servers=2, seed=seed))
+    for op, a, b in steps:
+        fuzzer.step(op, a, b)
+    fuzzer.verify()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    steps=st.lists(step_strategy, min_size=5, max_size=25),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fuzz_hybrid_cluster(steps, seed):
+    """Same fuzz over write-once optical media: any in-place rewrite of a
+    data page would raise WriteOnceViolation and fail the test."""
+    fuzzer = _Fuzzer(build_hybrid_cluster(seed=seed))
+    for op, a, b in steps:
+        if op == "crash":
+            continue  # single-server hybrid fixture
+        fuzzer.step(op, a, b)
+    fuzzer.verify()

@@ -1,0 +1,213 @@
+"""The garbage collector: sweep, reshare, reap, history pruning."""
+
+import pytest
+
+from repro.errors import CommitConflict
+from repro.core.pathname import PagePath
+from repro.sim.sched import Scheduler
+
+ROOT = PagePath.ROOT
+
+
+def _allocated(cluster):
+    return set(cluster.fs().store.blocks.recover())
+
+
+def test_clean_system_sweeps_nothing(cluster):
+    fs = cluster.fs()
+    cap = fs.create_file(b"x")
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, ROOT, b"y")
+    fs.commit(handle.version)
+    stats = cluster.gc().collect()
+    assert stats.swept == 0
+    assert fs.read_page(fs.current_version(cap), ROOT) == b"y"
+
+
+def test_aborted_version_leftovers_are_swept(cluster):
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(3):
+        fs.append_page(setup.version, ROOT, b"c%d" % i)
+    fs.commit(setup.version)
+    before = _allocated(cluster)
+    # A conflicting update leaves merge-orphaned blocks behind.
+    va = fs.create_version(cap)
+    vb = fs.create_version(cap)
+    fs.read_page(vb.version, PagePath.of(0))
+    fs.write_page(va.version, PagePath.of(0), b"win")
+    fs.write_page(vb.version, PagePath.of(1), b"lose")
+    fs.commit(va.version)
+    with pytest.raises(CommitConflict):
+        fs.commit(vb.version)
+    cluster.gc().collect()
+    after = _allocated(cluster)
+    # Everything the failed update allocated has been reclaimed; only the
+    # winner's shadow pages (root + child 0) remain beyond the baseline.
+    assert len(after - before) <= 2
+    assert fs.read_page(fs.current_version(cap), PagePath.of(0)) == b"win"
+
+
+def test_reshare_reclaims_read_copies(cluster):
+    """"The garbage collector may remove pages that were copied but not
+    written or modified and reshare the corresponding page"."""
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    deep = fs.append_page(setup.version, ROOT, b"leafdata")
+    fs.commit(setup.version)
+    baseline = len(_allocated(cluster))
+    # A read-only... almost: reads force shadow copies.
+    handle = fs.create_version(cap)
+    assert fs.read_page(handle.version, deep) == b"leafdata"
+    fs.commit(handle.version)
+    grown = len(_allocated(cluster))
+    assert grown > baseline  # read copies exist
+    stats = cluster.gc().collect()
+    assert stats.reshared >= 1
+    assert stats.swept >= 1
+    shrunk = len(_allocated(cluster))
+    assert shrunk < grown
+    # Data still correct.
+    assert fs.read_page(fs.current_version(cap), deep) == b"leafdata"
+
+
+def test_reshare_preserves_write_information(cluster):
+    """Resharing must not touch subtrees containing writes — later
+    serialisability tests still need the W flags."""
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    a = fs.append_page(setup.version, ROOT, b"a")
+    b = fs.append_page(setup.version, ROOT, b"b")
+    fs.commit(setup.version)
+    writer = fs.create_version(cap)
+    fs.write_page(writer.version, a, b"a2")
+    fs.read_page(writer.version, b)  # a read copy, resharable
+    fs.commit(writer.version)
+    cluster.gc().collect()
+    # The write's W flag must still be discoverable by a validation that
+    # starts from the version just before it (index 1: the setup version).
+    discards, _ = fs.validate_cache(cap, fs.committed_versions(cap)[1])
+    assert discards == [PagePath.of(0)]  # only the write; the read-copy
+    # of `b` was reshared without inventing a phantom write.
+    assert fs.read_page(fs.current_version(cap), b) == b"b"
+
+
+def test_reap_orphans_of_dead_server(cluster2):
+    fs0, fs1 = cluster2.fs(0), cluster2.fs(1)
+    cap = fs0.create_file(b"x")
+    handle = fs0.create_version(cap)
+    fs0.write_page(handle.version, ROOT, b"doomed")
+    fs0.store.flush()
+    fs0.crash()
+    gc = cluster2.gc(1)
+    stats = gc.collect()
+    assert stats.reaped_versions == 1
+    # The file is intact and updatable via the surviving server.
+    h2 = fs1.create_version(cap)
+    fs1.write_page(h2.version, ROOT, b"alive")
+    fs1.commit(h2.version)
+    assert fs1.read_page(fs1.current_version(cap), ROOT) == b"alive"
+
+
+def test_truncate_history(cluster):
+    fs = cluster.fs()
+    cap = fs.create_file(b"r0")
+    for n in range(1, 5):
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, ROOT, b"r%d" % n)
+        fs.commit(handle.version)
+    assert len(fs.committed_versions(cap)) == 5
+    gc = cluster.gc()
+    pruned = gc.truncate_history(cap, keep=2)
+    assert pruned == 3
+    remaining = fs.committed_versions(cap)
+    assert [fs.read_page(v, ROOT) for v in remaining] == [b"r3", b"r4"]
+    swept = gc.collect().swept
+    assert swept >= 3  # the pruned version pages at least
+    assert fs.read_page(fs.current_version(cap), ROOT) == b"r4"
+
+
+def test_truncate_history_keep_all_is_noop(cluster):
+    fs = cluster.fs()
+    cap = fs.create_file(b"only")
+    gc = cluster.gc()
+    assert gc.truncate_history(cap, keep=3) == 0
+    with pytest.raises(ValueError):
+        gc.truncate_history(cap, keep=0)
+
+
+def test_gc_runs_in_parallel_with_updates(cluster):
+    """The abstract's claim: the collector runs in parallel with live
+    operation — interleaved here, with updates committing mid-cycle."""
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(4):
+        fs.append_page(setup.version, ROOT, b"c%d" % i)
+    fs.commit(setup.version)
+
+    def updates():
+        for round_ in range(5):
+            handle = fs.create_version(cap)
+            fs.write_page(handle.version, PagePath.of(round_ % 4), b"u%d" % round_)
+            yield
+            fs.commit(handle.version)
+            yield
+
+    def collector():
+        stats = yield from cluster.gc().run_incremental()
+        return stats
+
+    sched = Scheduler()
+    sched.spawn("updates", updates())
+    gc_task = sched.spawn("gc", collector())
+    sched.run()
+    assert gc_task.result is not None
+    # All updates landed despite the concurrent collection.
+    current = fs.current_version(cap)
+    assert fs.read_page(current, PagePath.of(0)) == b"u4"
+    # Nothing live was swept: every page still readable.
+    for i in range(4):
+        fs.read_page(current, PagePath.of(i))
+    # A follow-up full collection finds a stable state.
+    cluster.gc().collect()
+    for i in range(4):
+        fs.read_page(fs.current_version(cap), PagePath.of(i))
+
+
+def test_gc_respects_in_flight_super_update(cluster):
+    """A GC cycle during a super-file update must neither free the
+    sub-versions' pages nor reshare under them."""
+    from repro.core.system_tree import SystemTree
+
+    fs = cluster.fs()
+    tree = SystemTree(fs)
+    parent = fs.create_file(b"P")
+    handle = fs.create_version(parent)
+    sub = tree.create_subfile(handle.version, ROOT, initial_data=b"S v1")
+    fs.commit(handle.version)
+
+    update = tree.begin_super_update(parent)
+    hs = tree.open_subfile(update, sub)
+    fs.write_page(hs.version, ROOT, b"S v2-pending")
+    stats = cluster.gc().collect()
+    # The in-flight versions' pages were marked live: nothing of theirs
+    # was swept, and the update completes normally afterwards.
+    tree.commit_super(update)
+    assert fs.read_page(fs.current_version(sub), ROOT) == b"S v2-pending"
+
+
+def test_aborted_registry_entries_purged(cluster):
+    fs = cluster.fs()
+    cap = fs.create_file(b"x")
+    handle = fs.create_version(cap)
+    fs.abort(handle.version)
+    assert fs.registry.version(handle.version.obj).status == "aborted"
+    cluster.gc().collect()
+    from repro.errors import NoSuchVersion
+
+    with pytest.raises(NoSuchVersion):
+        fs.registry.version(handle.version.obj)

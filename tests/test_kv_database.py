@@ -1,0 +1,208 @@
+"""The B-tree store, including a model-based hypothesis test."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kv_database import BTreeStore, _Node
+from repro.client.api import FileClient
+
+
+@pytest.fixture
+def bt(client):
+    return BTreeStore(client, order=4)
+
+
+@pytest.fixture
+def db(bt):
+    return bt.create()
+
+
+def test_empty_store(bt, db):
+    assert bt.get(db, b"missing") is None
+    assert bt.items(db) == []
+    assert bt.count(db) == 0
+
+
+def test_put_get(bt, db):
+    bt.put(db, b"key", b"value")
+    assert bt.get(db, b"key") == b"value"
+
+
+def test_put_replaces(bt, db):
+    bt.put(db, b"k", b"v1")
+    bt.put(db, b"k", b"v2")
+    assert bt.get(db, b"k") == b"v2"
+    assert bt.count(db) == 1
+
+
+def test_many_inserts_stay_sorted(bt, db, rng):
+    keys = [b"k%04d" % i for i in range(80)]
+    shuffled = keys[:]
+    rng.shuffle(shuffled)
+    for key in shuffled:
+        bt.put(db, key, b"v" + key)
+    assert [k for k, _ in bt.items(db)] == keys
+    for key in keys:
+        assert bt.get(db, key) == b"v" + key
+
+
+def test_range_query(bt, db):
+    for i in range(30):
+        bt.put(db, b"%02d" % i, b"x")
+    result = bt.range(db, b"10", b"15")
+    assert [k for k, _ in result] == [b"10", b"11", b"12", b"13", b"14"]
+
+
+def test_delete(bt, db):
+    bt.put(db, b"a", b"1")
+    bt.put(db, b"b", b"2")
+    assert bt.delete(db, b"a")
+    assert bt.get(db, b"a") is None
+    assert bt.get(db, b"b") == b"2"
+    assert not bt.delete(db, b"a")
+
+
+def test_put_many_atomic(bt, db):
+    bt.put_many(db, [(b"x", b"1"), (b"y", b"2"), (b"z", b"3")])
+    assert bt.count(db) == 3
+
+
+def test_update_read_modify_write(bt, db):
+    bt.put(db, b"seats", b"10")
+    result = bt.update(db, b"seats", lambda old: b"%d" % (int(old) - 1))
+    assert result == b"9"
+    assert bt.get(db, b"seats") == b"9"
+
+
+def test_update_on_absent_key(bt, db):
+    bt.update(db, b"fresh", lambda old: b"born" if old is None else b"no")
+    assert bt.get(db, b"fresh") == b"born"
+
+
+def test_snapshot_isolation_of_items(cluster, bt, db):
+    """items() reads one committed snapshot: a concurrent put does not
+    tear the iteration."""
+    for i in range(10):
+        bt.put(db, b"%02d" % i, b"old")
+    snapshot_version = bt.client.current_version(db)
+    bt.put(db, b"05", b"new")
+    # A reader holding the old version still sees the old value.
+    node = bt._load(snapshot_version, 0)
+    assert bt.get(db, b"05") == b"new"
+
+
+def test_order_validation(client):
+    with pytest.raises(ValueError):
+        BTreeStore(client, order=2)
+
+
+def test_node_encoding_roundtrip():
+    leaf = _Node(True, [b"a", b"b"], values=[b"1", b"2"])
+    assert _Node.decode(leaf.encode()).keys == [b"a", b"b"]
+    inner = _Node(False, [b"m"], children=[3, 7])
+    back = _Node.decode(inner.encode())
+    assert back.children == [3, 7]
+    assert not back.leaf
+
+
+def test_concurrent_puts_different_keys(cluster):
+    """Bookings on different flights do not conflict (§6)."""
+    net = cluster.network
+    c1 = FileClient(net, "c1", cluster.service_port)
+    c2 = FileClient(net, "c2", cluster.service_port)
+    b1, b2 = BTreeStore(c1, order=16), BTreeStore(c2, order=16)
+    db = b1.create()
+    for i in range(20):  # pre-split so leaves differ
+        b1.put(db, b"k%02d" % i, b"init")
+    before = c2.stats.conflicts
+    b1.put(db, b"k01", b"from c1")
+    b2.put(db, b"k19", b"from c2")
+    assert b1.get(db, b"k01") == b"from c1"
+    assert b2.get(db, b"k19") == b"from c2"
+
+
+def test_transact_keys_atomic_transfer(cluster, bt, db):
+    bt.put_many(db, [(b"alice", b"100"), (b"bob", b"50")])
+
+    def move(values):
+        return {
+            b"alice": b"%d" % (int(values[b"alice"]) - 30),
+            b"bob": b"%d" % (int(values[b"bob"]) + 30),
+        }
+
+    result = bt.transact_keys(db, [b"alice", b"bob"], move)
+    assert result == {b"alice": b"70", b"bob": b"80"}
+    assert bt.get(db, b"alice") == b"70"
+    assert bt.get(db, b"bob") == b"80"
+
+
+def test_transact_keys_sees_absent_keys_as_none(bt, db):
+    def create(values):
+        assert values == {b"new": None}
+        return {b"new": b"born"}
+
+    bt.transact_keys(db, [b"new"], create)
+    assert bt.get(db, b"new") == b"born"
+
+
+def test_transact_keys_conserves_under_concurrency(cluster):
+    """Interleaved transfers over shared accounts never lose money."""
+    from repro.sim.sched import Scheduler
+
+    c1 = FileClient(cluster.network, "t1", cluster.service_port)
+    c2 = FileClient(cluster.network, "t2", cluster.service_port)
+    b1, b2 = BTreeStore(c1), BTreeStore(c2)
+    db = b1.create()
+    b1.put_many(db, [(b"a", b"100"), (b"b", b"100"), (b"c", b"100")])
+
+    def transfers(store, pairs):
+        for src, dst in pairs:
+            def move(values, src=src, dst=dst):
+                return {
+                    src: b"%d" % (int(values[src]) - 10),
+                    dst: b"%d" % (int(values[dst]) + 10),
+                }
+            store.transact_keys(db, [src, dst], move)
+            yield
+
+    sched = Scheduler()
+    sched.spawn("t1", transfers(b1, [(b"a", b"b"), (b"b", b"c"), (b"a", b"c")]))
+    sched.spawn("t2", transfers(b2, [(b"c", b"a"), (b"a", b"b"), (b"b", b"a")]))
+    sched.run()
+    total = sum(int(v) for _, v in b1.items(db))
+    assert total == 300
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "get"]),
+            st.integers(min_value=0, max_value=30),
+            st.binary(min_size=1, max_size=6),
+        ),
+        max_size=40,
+    )
+)
+def test_model_based_equivalence(ops):
+    """The B-tree behaves exactly like a dict under random operations."""
+    from repro.testbed import build_cluster
+
+    cluster = build_cluster(seed=3)
+    client = FileClient(cluster.network, "h", cluster.service_port)
+    bt = BTreeStore(client, order=3)  # tiny order: lots of splits
+    db = bt.create()
+    model: dict[bytes, bytes] = {}
+    for op, key_n, value in ops:
+        key = b"key%02d" % key_n
+        if op == "put":
+            bt.put(db, key, value)
+            model[key] = value
+        elif op == "delete":
+            assert bt.delete(db, key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert bt.get(db, key) == model.get(key)
+    assert bt.items(db) == sorted(model.items())

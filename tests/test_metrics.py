@@ -1,0 +1,61 @@
+"""Service metrics: the counters benchmarks and operators read."""
+
+import pytest
+
+from repro.errors import CommitConflict
+from repro.core.pathname import PagePath
+
+ROOT = PagePath.ROOT
+
+
+def test_basic_counters(fs):
+    cap = fs.create_file(b"x")
+    handle = fs.create_version(cap)
+    fs.read_page(handle.version, ROOT)
+    fs.write_page(handle.version, ROOT, b"y")
+    fs.commit(handle.version)
+    metrics = fs.metrics
+    assert metrics.files_created == 1
+    assert metrics.versions_created >= 1
+    assert metrics.pages_read == 1
+    assert metrics.pages_written == 1
+    assert metrics.commits == 1
+    assert metrics.fast_commits == 1
+    assert metrics.merged_commits == 0
+
+
+def test_merge_and_conflict_counters(fs):
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(3):
+        fs.append_page(setup.version, ROOT, b"c%d" % i)
+    fs.commit(setup.version)
+    # A merged commit.
+    va = fs.create_version(cap)
+    vb = fs.create_version(cap)
+    fs.write_page(va.version, PagePath.of(0), b"A")
+    fs.write_page(vb.version, PagePath.of(1), b"B")
+    fs.commit(va.version)
+    fs.commit(vb.version)
+    assert fs.metrics.merged_commits == 1
+    assert fs.metrics.serialise_runs >= 1
+    assert fs.metrics.serialise_pages_visited >= 1
+    # A conflicted commit.
+    vc = fs.create_version(cap)
+    vd = fs.create_version(cap)
+    fs.read_page(vd.version, PagePath.of(2))
+    fs.write_page(vc.version, PagePath.of(2), b"C")
+    fs.write_page(vd.version, PagePath.of(0), b"D")
+    fs.commit(vc.version)
+    with pytest.raises(CommitConflict):
+        fs.commit(vd.version)
+    assert fs.metrics.conflicts == 1
+
+
+def test_abort_counter(fs):
+    cap = fs.create_file(b"x")
+    handle = fs.create_version(cap)
+    fs.abort(handle.version)
+    assert fs.metrics.aborts == 1
+    # A conflict-driven removal is counted as a conflict, not an abort.
+    assert fs.metrics.conflicts == 0

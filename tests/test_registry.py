@@ -1,0 +1,76 @@
+"""The file table (registry): lookups, persistence, restoration."""
+
+import pytest
+
+from repro.errors import NoSuchFile, NoSuchVersion
+from repro.core.registry import FileEntry, FileRegistry, VersionEntry
+
+
+@pytest.fixture
+def registry():
+    reg = FileRegistry()
+    reg.add_file(FileEntry(1, entry_block=10, secret=111))
+    reg.add_file(FileEntry(2, entry_block=20, secret=222, is_super=True, parent_obj=0))
+    reg.add_version(VersionEntry(3, file_obj=1, root_block=10, secret=333, status="committed"))
+    reg.add_version(VersionEntry(4, file_obj=1, root_block=40, secret=444))
+    return reg
+
+
+def test_lookup(registry):
+    assert registry.file(1).entry_block == 10
+    assert registry.version(4).root_block == 40
+
+
+def test_missing_lookups_raise(registry):
+    with pytest.raises(NoSuchFile):
+        registry.file(99)
+    with pytest.raises(NoSuchVersion):
+        registry.version(99)
+
+
+def test_fresh_obj_monotone(registry):
+    first = registry.fresh_obj()
+    second = registry.fresh_obj()
+    assert second == first + 1
+    assert first > 4  # past every registered object
+
+
+def test_drop_file_cascades_to_versions(registry):
+    registry.drop_file(1)
+    with pytest.raises(NoSuchFile):
+        registry.file(1)
+    with pytest.raises(NoSuchVersion):
+        registry.version(4)
+
+
+def test_version_by_block(registry):
+    assert registry.version_by_block(40).obj == 4
+    assert registry.version_by_block(999) is None
+
+
+def test_live_version_roots_excludes_aborted(registry):
+    registry.version(4).status = "aborted"
+    assert registry.live_version_roots() == {10}
+
+
+def test_serialize_roundtrip(registry):
+    raw = registry.serialize()
+    back = FileRegistry.deserialize(raw)
+    assert set(back.files) == {1, 2}
+    assert back.file(2).is_super
+    assert back.file(1).secret == 111
+    # Versions are deliberately not persisted.
+    assert back.versions == {}
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(Exception):
+        FileRegistry.deserialize(b"NOPE" + b"\x00" * 16)
+
+
+def test_restore_from_adopts_files(registry):
+    raw = registry.serialize()
+    fresh = FileRegistry()
+    fresh.restore_from(FileRegistry.deserialize(raw))
+    assert fresh.file(1).entry_block == 10
+    assert fresh.fresh_obj() > 2

@@ -1,0 +1,153 @@
+"""Fault-injection sweeps: the system under sustained adversity."""
+
+import pytest
+
+from repro.errors import CommitConflict, ReproError
+from repro.core.pathname import PagePath
+from repro.client.api import FileClient
+from repro.sim.faults import DropPolicy
+from repro.sim.sched import Scheduler
+from repro.testbed import build_cluster
+
+ROOT = PagePath.ROOT
+
+
+def test_survives_message_drops(cluster2):
+    """Dropped messages are retried at the transaction layer; the file
+    system stays consistent throughout."""
+    cluster2.network.drop_policy = DropPolicy(drop_every=17)
+    client = FileClient(cluster2.network, "host", cluster2.service_port)
+    cap = client.create_file(b"start")
+    for n in range(10):
+        client.transact(cap, lambda u, n=n: u.write(ROOT, b"n%d" % n))
+    assert client.read(cap) == b"n9"
+    assert cluster2.network.drop_policy.dropped > 0
+
+
+def test_corruption_of_any_single_block_is_survivable(cluster):
+    """Every block is on two disks: corrupt each block of one disk in
+    turn and verify every page of the file still reads correctly."""
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    handle = fs.create_version(cap)
+    for i in range(4):
+        fs.append_page(handle.version, ROOT, b"payload%d" % i)
+    fs.commit(handle.version)
+    for block in list(cluster.pair.a.local.allocated_blocks()):
+        cluster.pair.disk_a.corrupt(block)
+    fs.store.cache.clear()
+    current = fs.current_version(cap)
+    for i in range(4):
+        assert fs.read_page(current, PagePath.of(i)) == b"payload%d" % i
+    # Every block that was read got repaired in place on disk A.
+    entry = cluster.registry.version_by_block(
+        cluster.registry.file(cap.obj).entry_block
+    )
+    root_page = fs.store.load(entry.root_block)
+    for ref in root_page.refs:
+        assert cluster.pair.disk_a.read(ref.block) == cluster.pair.disk_b.read(
+            ref.block
+        )
+
+
+def test_repeated_crash_restart_cycles(cluster2):
+    client = FileClient(cluster2.network, "host", cluster2.service_port)
+    cap = client.create_file(b"0")
+    for cycle in range(5):
+        victim = cluster2.fs(cycle % 2)
+        victim.crash()
+        client.transact(cap, lambda u, c=cycle: u.write(ROOT, b"c%d" % c))
+        victim.restart()
+    assert client.read(cap) == b"c4"
+
+
+def test_interleaved_clients_with_scheduler(cluster):
+    """Many cooperative clients hammering one counter; every increment
+    must land exactly once (the read-modify-write redo loop)."""
+    net = cluster.network
+    clients = [FileClient(net, f"h{i}", cluster.service_port) for i in range(5)]
+    cap = clients[0].create_file(b"0")
+
+    def incrementer(client, times):
+        for _ in range(times):
+            done = False
+            while not done:
+                update = client.begin(cap)
+                value = int(update.read(ROOT))
+                yield
+                update.write(ROOT, b"%d" % (value + 1))
+                try:
+                    update.commit()
+                    done = True
+                except CommitConflict:
+                    pass
+            yield
+
+    sched = Scheduler()
+    for i, client in enumerate(clients):
+        sched.spawn(f"client{i}", incrementer(client, 4))
+    sched.run()
+    assert clients[0].read(cap) == b"20"
+
+
+def test_block_half_crash_mid_workload(cluster2):
+    """A block-server half dies in the middle of a stream of updates;
+    after resync the pair is bit-identical."""
+    client = FileClient(cluster2.network, "host", cluster2.service_port)
+    cap = client.create_file(b"x")
+    for n in range(3):
+        client.transact(cap, lambda u, n=n: u.write(ROOT, b"pre%d" % n))
+    cluster2.pair.b.crash()
+    for n in range(3):
+        client.transact(cap, lambda u, n=n: u.write(ROOT, b"mid%d" % n))
+    cluster2.pair.b.restart()
+    cluster2.pair.b.resync()
+    assert cluster2.pair.consistent()
+    for n in range(3):
+        client.transact(cap, lambda u, n=n: u.write(ROOT, b"post%d" % n))
+    assert client.read(cap) == b"post2"
+    assert cluster2.pair.consistent()
+
+
+def test_uncommitted_work_is_expendable_by_design(cluster2):
+    """"Uncommitted versions are therefore not as important as committed
+    versions": losing any number of them never perturbs committed state."""
+    fs0, fs1 = cluster2.fs(0), cluster2.fs(1)
+    cap = fs0.create_file(b"stable")
+    handles = [fs0.create_version(cap) for _ in range(5)]
+    for i, handle in enumerate(handles):
+        fs0.write_page(handle.version, ROOT, b"tentative%d" % i)
+    fs0.crash()  # all five uncommitted versions die with the server
+    assert fs1.read_page(fs1.current_version(cap), ROOT) == b"stable"
+    cluster2.gc(1).collect()
+    assert fs1.read_page(fs1.current_version(cap), ROOT) == b"stable"
+
+
+def test_gc_under_faults_never_frees_live_data(cluster2):
+    """Sweep safety with a crashed server's garbage interleaved with live
+    updates: all committed data remains reachable afterwards."""
+    fs0, fs1 = cluster2.fs(0), cluster2.fs(1)
+    caps = [fs0.create_file(b"file%d" % i) for i in range(3)]
+    doomed = fs0.create_version(caps[0])
+    fs0.write_page(doomed.version, ROOT, b"junk")
+    fs0.store.flush()
+    fs0.crash()
+
+    def updates():
+        for n in range(4):
+            handle = fs1.create_version(caps[n % 3])
+            fs1.write_page(handle.version, ROOT, b"u%d" % n)
+            yield
+            fs1.commit(handle.version)
+            yield
+
+    def collector():
+        return (yield from cluster2.gc(1).run_incremental())
+
+    sched = Scheduler()
+    sched.spawn("updates", updates())
+    sched.spawn("gc", collector())
+    sched.run()
+    assert fs1.read_page(fs1.current_version(caps[0]), ROOT) == b"u3"
+    assert fs1.read_page(fs1.current_version(caps[1]), ROOT) == b"u1"
+    assert fs1.read_page(fs1.current_version(caps[2]), ROOT) == b"u2"

@@ -1,0 +1,87 @@
+"""Scale smoke tests: many clients, many files, long version chains.
+
+Nothing subtle — these exist to catch accidental quadratic behaviour and
+resource leaks that small tests never see.
+"""
+
+import random
+
+from repro.core.pathname import PagePath
+from repro.client.api import FileClient
+from repro.sim.sched import Scheduler
+from repro.testbed import build_cluster
+from repro.tools.check import check_cluster
+
+ROOT = PagePath.ROOT
+
+
+def test_long_version_chain_stays_responsive():
+    cluster = build_cluster(seed=140)
+    fs = cluster.fs()
+    cap = fs.create_file(b"r0")
+    for n in range(1, 120):
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, ROOT, b"r%d" % n)
+        fs.commit(handle.version)
+    # The 120th update is as cheap as the 2nd (entry advancement).
+    disk = cluster.pair.disk_a
+    before = disk.stats.reads
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, ROOT, b"final")
+    fs.commit(handle.version)
+    assert disk.stats.reads - before < 10
+    assert fs.read_page(fs.current_version(cap), ROOT) == b"final"
+    # Pruning keeps the tail bounded.
+    pruned = cluster.gc().truncate_history(cap, keep=5)
+    assert pruned == 116
+    swept = cluster.gc().collect().swept
+    assert swept >= 100
+
+
+def test_ten_clients_forty_files_interleaved():
+    cluster = build_cluster(servers=2, seed=141)
+    rng = random.Random(142)
+    clients = [
+        FileClient(cluster.network, f"h{i}", cluster.service_port)
+        for i in range(10)
+    ]
+    caps = [clients[0].create_file(b"init") for _ in range(40)]
+
+    def worker(client, rounds):
+        for r in range(rounds):
+            cap = caps[rng.randrange(len(caps))]
+            client.transact(
+                cap, lambda u, r=r: u.write(ROOT, b"%s-%d" % (client.node.encode(), r))
+            )
+            yield
+
+    sched = Scheduler()
+    for client in clients:
+        sched.spawn(client.node, worker(client, 6))
+    sched.run()
+    # Every file readable, fsck clean, pair consistent.
+    for cap in caps:
+        clients[0].read(cap)
+    report = check_cluster(cluster)
+    assert report.ok, report.errors
+    assert cluster.pair.consistent()
+
+
+def test_wide_file_many_children():
+    cluster = build_cluster(seed=143)
+    fs = cluster.fs()
+    cap = fs.create_file(b"")
+    handle = fs.create_version(cap)
+    for i in range(500):
+        fs.append_page(handle.version, ROOT, b"p%d" % i)
+    fs.commit(handle.version)
+    current = fs.current_version(cap)
+    assert fs.read_page(current, PagePath.of(499)) == b"p499"
+    assert len(fs.page_structure(current, ROOT)) == 500
+    # A single-page update of the wide file stays cheap.
+    disk = cluster.pair.disk_a
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, PagePath.of(250), b"mid")
+    before_writes = disk.stats.writes
+    fs.commit(handle.version)
+    assert disk.stats.writes - before_writes < 8

@@ -1,0 +1,79 @@
+"""Source control on the version mechanism."""
+
+import pytest
+
+from repro.apps.sccs import SourceControl
+
+
+@pytest.fixture
+def sccs(client):
+    return SourceControl(client, chunk=8)
+
+
+def test_create_and_checkout(sccs):
+    cap = sccs.create(b"first text", "sape", "init")
+    assert sccs.checkout(cap) == b"first text"
+
+
+def test_history_metadata(sccs):
+    cap = sccs.create(b"v1", "sape", "init")
+    sccs.checkin(cap, b"v2 text", "andy", "rework")
+    history = sccs.history(cap)
+    assert [(r.number, r.author, r.message) for r in history] == [
+        (1, "sape", "init"),
+        (2, "andy", "rework"),
+    ]
+    assert history[1].length == 7
+
+
+def test_old_revisions_stay_readable(sccs):
+    cap = sccs.create(b"alpha", "a", "r1")
+    sccs.checkin(cap, b"beta", "b", "r2")
+    sccs.checkin(cap, b"gamma", "c", "r3")
+    assert sccs.checkout(cap, 1) == b"alpha"
+    assert sccs.checkout(cap, 2) == b"beta"
+    assert sccs.checkout(cap, 3) == b"gamma"
+    assert sccs.checkout(cap) == b"gamma"
+
+
+def test_unknown_revision(sccs):
+    cap = sccs.create(b"x", "a", "r1")
+    with pytest.raises(KeyError):
+        sccs.checkout(cap, 9)
+
+
+def test_multi_chunk_texts(sccs):
+    text = bytes(range(100)) * 3
+    cap = sccs.create(text, "a", "big")
+    assert sccs.checkout(cap) == text
+    longer = text + b"tail"
+    sccs.checkin(cap, longer, "a", "grow")
+    assert sccs.checkout(cap) == longer
+    shorter = text[:50]
+    sccs.checkin(cap, shorter, "a", "shrink")
+    assert sccs.checkout(cap) == shorter
+    assert sccs.checkout(cap, 2) == longer  # history intact
+
+
+def test_diff_reports_changed_chunks(sccs):
+    cap = sccs.create(b"AAAAAAAABBBBBBBB", "a", "r1")
+    sccs.checkin(cap, b"AAAAAAAACCCCCCCC", "a", "r2")
+    changes = sccs.diff(cap, 1, 2)
+    assert changes == [(1, b"BBBBBBBB", b"CCCCCCCC")]
+
+
+def test_unchanged_chunks_are_shared_on_disk(cluster, client):
+    """The differential-file property: a check-in rewriting one chunk
+    allocates far fewer blocks than one rewriting everything."""
+    sccs = SourceControl(client, chunk=8)
+    base = b"A" * 8 + b"B" * 8 + b"C" * 8 + b"D" * 8
+    cap = sccs.create(base, "a", "r1")
+    allocated_before = len(cluster.fs().store.blocks.recover())
+    small_edit = b"A" * 8 + b"B" * 8 + b"X" * 8 + b"D" * 8
+    sccs.checkin(cap, small_edit, "a", "one chunk")
+    small_growth = len(cluster.fs().store.blocks.recover()) - allocated_before
+    full_edit = bytes(reversed(small_edit))
+    before_full = len(cluster.fs().store.blocks.recover())
+    sccs.checkin(cap, full_edit, "a", "all chunks")
+    full_growth = len(cluster.fs().store.blocks.recover()) - before_full
+    assert small_growth < full_growth

@@ -1,0 +1,165 @@
+"""Flag bookkeeping during walks: where C, R, W, S, M land (§5.1).
+
+These tests pin the exact semantics the serialisability test depends on:
+
+* flags about page X live in the reference *to* X (the root's in the
+  version-page header);
+* navigating through a page sets S on the reference to it;
+* reading a page's data sets R on the reference to it; writing sets W;
+* restructuring a page's reference table sets M (and S) on the reference
+  to it;
+* any access shadows the page (C), and "the parent page of a written page
+  is not considered written or modified, although, strictly speaking, it
+  has changed".
+"""
+
+import pytest
+
+from repro.core.flags import Flags
+from repro.core.pathname import PagePath
+
+ROOT = PagePath.ROOT
+
+
+@pytest.fixture
+def deep_file(fs):
+    """A file with structure root -> a -> b, plus a sibling c of a."""
+    cap = fs.create_file(b"rootdata")
+    handle = fs.create_version(cap)
+    a = fs.append_page(handle.version, ROOT, b"a-data")  # 0
+    b = fs.append_page(handle.version, a, b"b-data")  # 0/0
+    c = fs.append_page(handle.version, ROOT, b"c-data")  # 1
+    fs.commit(handle.version)
+    return cap, a, b, c
+
+
+def _flags_along(fs, version_cap, path: PagePath) -> list[Flags]:
+    """Flags for each prefix of ``path``: [root, p[:1], p[:2], ...]."""
+    entry = fs.registry.version(version_cap.obj)
+    page = fs.store.load(entry.root_block)
+    out = [page.root_flags]
+    current = page
+    for index in path:
+        ref = current.ref(index)
+        out.append(ref.flags)
+        if not ref.flags.c:
+            break
+        current = fs.store.load(ref.block)
+    return out
+
+
+def test_read_sets_r_on_target_s_on_path(fs, deep_file):
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.read_page(handle.version, b)
+    root_f, a_f, b_f = _flags_along(fs, handle.version, b)
+    assert root_f.s and not root_f.r and not root_f.w
+    assert a_f.c and a_f.s and not a_f.r and not a_f.w
+    assert b_f.c and b_f.r and not b_f.w and not b_f.s
+    fs.abort(handle.version)
+
+
+def test_write_sets_w_on_target_only(fs, deep_file):
+    """"The parent page of a written page is not considered written."""
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, b, b"new")
+    root_f, a_f, b_f = _flags_along(fs, handle.version, b)
+    assert root_f.s and not root_f.w and not root_f.m
+    assert a_f.s and not a_f.w and not a_f.m
+    assert b_f.w and not b_f.r
+    fs.abort(handle.version)
+
+
+def test_untouched_siblings_stay_unshadowed(fs, deep_file):
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.read_page(handle.version, b)
+    entry = fs.registry.version(handle.version.obj)
+    root_page = fs.store.load(entry.root_block)
+    assert not root_page.ref(c.last).flags.c  # sibling c shared, untouched
+    fs.abort(handle.version)
+
+
+def test_structural_change_sets_m_and_s(fs, deep_file):
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.append_page(handle.version, a, b"new child of a")
+    root_f, a_f = _flags_along(fs, handle.version, a)
+    assert a_f.m and a_f.s
+    assert not a_f.w  # data untouched
+    assert root_f.s and not root_f.m
+    fs.abort(handle.version)
+
+
+def test_root_structural_change_sets_root_m(fs, deep_file):
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.append_page(handle.version, ROOT, b"new top-level")
+    root_f = _flags_along(fs, handle.version, ROOT)[0]
+    assert root_f.m and root_f.s
+    fs.abort(handle.version)
+
+
+def test_fresh_version_has_no_flags(fs, deep_file):
+    """A new version shares everything with its base: all flags clear."""
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    entry = fs.registry.version(handle.version.obj)
+    page = fs.store.load(entry.root_block)
+    assert page.root_flags == Flags()
+    assert all(ref.flags == Flags() for ref in page.refs)
+    fs.abort(handle.version)
+
+
+def test_shadow_copy_happens_once(fs, deep_file):
+    """"A page is only copied once; after it has been copied for writing,
+    it can be written in place when it is written again."""
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, b, b"w1")
+    entry = fs.registry.version(handle.version.obj)
+    root_page = fs.store.load(entry.root_block)
+    a_block_first = root_page.ref(a.last).block
+    fs.write_page(handle.version, b, b"w2")
+    root_page = fs.store.load(entry.root_block)
+    assert root_page.ref(a.last).block == a_block_first
+    fs.abort(handle.version)
+
+
+def test_shadowed_child_gets_cleared_flags_and_base_ref(fs, deep_file):
+    """"When a page is first read, the C, R, W, S and M flags it contains
+    for its child pages must be initialised to zero."""
+    cap, a, b, c = deep_file
+    old_current = fs.registry.file(cap.obj).entry_block
+    base_a_block = fs.store.load(old_current).ref(a.last).block
+    handle = fs.create_version(cap)
+    fs.read_page(handle.version, a)
+    entry = fs.registry.version(handle.version.obj)
+    shadow_a_ref = fs.store.load(entry.root_block).ref(a.last)
+    assert shadow_a_ref.flags.c
+    shadow_a = fs.store.load(shadow_a_ref.block)
+    assert shadow_a.base_ref == base_a_block
+    assert all(ref.flags == Flags() for ref in shadow_a.refs)
+    # The shadow shares its children with the base (same block numbers).
+    base_a = fs.store.load(base_a_block)
+    assert [r.block for r in shadow_a.refs] == [r.block for r in base_a.refs]
+    fs.abort(handle.version)
+
+
+def test_reading_root_data_sets_root_r(fs, deep_file):
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.read_page(handle.version, ROOT)
+    root_f = _flags_along(fs, handle.version, ROOT)[0]
+    assert root_f.r and not root_f.s
+    fs.abort(handle.version)
+
+
+def test_structure_query_sets_s_on_target(fs, deep_file):
+    cap, a, b, c = deep_file
+    handle = fs.create_version(cap)
+    fs.page_structure(handle.version, a)
+    root_f, a_f = _flags_along(fs, handle.version, a)
+    assert a_f.s and not a_f.m
+    fs.abort(handle.version)

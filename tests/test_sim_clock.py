@@ -1,0 +1,44 @@
+"""Logical clock behaviour."""
+
+import pytest
+
+from repro.sim.clock import LogicalClock
+
+
+def test_starts_at_zero():
+    assert LogicalClock().now == 0
+
+
+def test_advance_accumulates():
+    clock = LogicalClock()
+    clock.advance(5)
+    clock.advance(7)
+    assert clock.now == 12
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        LogicalClock().advance(-1)
+
+
+def test_timestamps_strictly_increase_without_time_passing():
+    clock = LogicalClock()
+    stamps = [clock.timestamp() for _ in range(100)]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 100
+
+
+def test_timestamps_order_with_time():
+    clock = LogicalClock()
+    early = clock.timestamp()
+    clock.advance(1)
+    late = clock.timestamp()
+    assert early < late
+
+
+def test_reset():
+    clock = LogicalClock()
+    clock.advance(10)
+    clock.timestamp()
+    clock.reset()
+    assert clock.now == 0

@@ -1,0 +1,52 @@
+"""Fault-injection primitives."""
+
+from repro.sim.faults import CrashSchedule, DropPolicy, FaultPlan
+
+
+def test_crash_schedule_fires_once_at_threshold():
+    crash = CrashSchedule(after_ops=3)
+    assert [crash.tick() for _ in range(5)] == [False, False, True, False, False]
+    assert crash.fired
+
+
+def test_crash_schedule_never_fires_by_default():
+    crash = CrashSchedule()
+    assert not any(crash.tick() for _ in range(100))
+
+
+def test_crash_schedule_reset():
+    crash = CrashSchedule(after_ops=1)
+    crash.tick()
+    crash.reset()
+    assert not crash.fired
+    assert crash.tick()
+
+
+def test_drop_every_kth():
+    policy = DropPolicy(drop_every=3)
+    outcomes = [policy.should_drop() for _ in range(9)]
+    assert outcomes == [False, False, True] * 3
+    assert policy.dropped == 3
+
+
+def test_drop_specific_sequence_numbers():
+    policy = DropPolicy(drop_nth=frozenset({2, 5}))
+    outcomes = [policy.should_drop() for _ in range(6)]
+    assert outcomes == [False, True, False, False, True, False]
+
+
+def test_drop_policy_reset():
+    policy = DropPolicy(drop_every=1)
+    policy.should_drop()
+    policy.reset()
+    assert policy.dropped == 0
+
+
+def test_fault_plan_defaults_and_reset():
+    plan = FaultPlan()
+    schedule = plan.crash_schedule("serverA")
+    assert not schedule.tick()  # never-firing default
+    plan.crashes["serverB"] = CrashSchedule(after_ops=1)
+    plan.crashes["serverB"].tick()
+    plan.reset()
+    assert not plan.crashes["serverB"].fired

@@ -1,0 +1,107 @@
+"""The simulated network: delivery, latency, partitions, drops, counters."""
+
+import pytest
+
+from repro.errors import MessageDropped, ServerUnreachable
+from repro.sim.faults import DropPolicy
+from repro.sim.network import Network
+
+
+@pytest.fixture
+def net():
+    return Network(hop_ticks=10)
+
+
+def _echo(sender, payload):
+    return ("echo", payload)
+
+
+def test_send_delivers_and_returns_reply(net):
+    net.attach("srv", _echo)
+    assert net.send("cli", "srv", 42) == ("echo", 42)
+
+
+def test_send_charges_two_hops(net):
+    net.attach("srv", _echo)
+    before = net.clock.now
+    net.send("cli", "srv", None)
+    assert net.clock.now - before == 20
+
+
+def test_send_counts_messages(net):
+    net.attach("srv", _echo)
+    net.send("cli", "srv", None)
+    assert net.stats.messages == 2  # request + reply
+
+
+def test_unknown_destination_unreachable(net):
+    with pytest.raises(ServerUnreachable):
+        net.send("cli", "ghost", None)
+    assert net.stats.unreachable == 1
+
+
+def test_detached_node_unreachable(net):
+    net.attach("srv", _echo)
+    net.detach("srv")
+    with pytest.raises(ServerUnreachable):
+        net.send("cli", "srv", None)
+
+
+def test_reattach_restores_delivery(net):
+    net.attach("srv", _echo)
+    net.detach("srv")
+    net.reattach("srv")
+    assert net.send("cli", "srv", 1) == ("echo", 1)
+
+
+def test_partition_blocks_both_directions(net):
+    net.attach("a", _echo)
+    net.attach("b", _echo)
+    net.partition("a", "b")
+    with pytest.raises(ServerUnreachable):
+        net.send("a", "b", None)
+    with pytest.raises(ServerUnreachable):
+        net.send("b", "a", None)
+    # Third parties still reach both.
+    assert net.send("c", "a", 1) == ("echo", 1)
+    assert net.send("c", "b", 1) == ("echo", 1)
+
+
+def test_heal_removes_partition(net):
+    net.attach("a", _echo)
+    net.partition("x", "a")
+    net.heal("x", "a")
+    assert net.send("x", "a", 1) == ("echo", 1)
+
+
+def test_drop_policy_drops(net):
+    net.attach("srv", _echo)
+    net.drop_policy = DropPolicy(drop_every=2)
+    net.send("cli", "srv", 1)  # message 1 passes... message seq counts sends
+    with pytest.raises(MessageDropped):
+        net.send("cli", "srv", 2)
+    assert net.stats.drops >= 1
+
+
+def test_stats_delta(net):
+    net.attach("srv", _echo)
+    net.send("cli", "srv", 1)
+    snapshot = net.stats.snapshot()
+    net.send("cli", "srv", 2)
+    delta = net.stats.delta(snapshot)
+    assert delta.messages == 2
+
+
+def test_reachable_and_is_up(net):
+    net.attach("srv", _echo)
+    assert net.is_up("srv")
+    assert net.reachable("cli", "srv")
+    net.detach("srv")
+    assert not net.is_up("srv")
+    assert not net.reachable("cli", "srv")
+
+
+def test_nodes_listing(net):
+    net.attach("b", _echo)
+    net.attach("a", _echo)
+    assert net.nodes() == ["a", "b"]

@@ -1,0 +1,101 @@
+"""Port-addressed transactions: dispatch, failover, drop retries."""
+
+import pytest
+
+from repro.errors import ServerUnreachable
+from repro.sim.faults import DropPolicy
+from repro.sim.network import Network
+from repro.sim.rpc import RpcEndpoint, Transaction
+
+
+class Adder:
+    def __init__(self, name):
+        self.name = name
+        self.calls = 0
+
+    def cmd_add(self, a, b):
+        self.calls += 1
+        return a + b
+
+    def cmd_whoami(self):
+        return self.name
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+def test_dispatch_to_cmd_method(net):
+    RpcEndpoint(net, "s1", 0x100, Adder("s1"))
+    txn = Transaction(net, "cli")
+    assert txn.call(0x100, "add", a=2, b=3) == 5
+
+
+def test_unknown_command_is_unreachable_error(net):
+    RpcEndpoint(net, "s1", 0x100, Adder("s1"))
+    txn = Transaction(net, "cli")
+    with pytest.raises(ServerUnreachable):
+        txn.call(0x100, "frobnicate")
+
+
+def test_no_server_on_port(net):
+    txn = Transaction(net, "cli")
+    with pytest.raises(ServerUnreachable):
+        txn.call(0x999, "add", a=1, b=2)
+
+
+def test_failover_to_second_server(net):
+    a, b = Adder("s1"), Adder("s2")
+    e1 = RpcEndpoint(net, "s1", 0x100, a)
+    RpcEndpoint(net, "s2", 0x100, b)
+    e1.detach()
+    txn = Transaction(net, "cli")
+    assert txn.call(0x100, "whoami") == "s2"
+
+
+def test_prefer_routes_to_named_server(net):
+    RpcEndpoint(net, "s1", 0x100, Adder("s1"))
+    RpcEndpoint(net, "s2", 0x100, Adder("s2"))
+    txn = Transaction(net, "cli")
+    assert txn.call(0x100, "whoami", prefer="s2") == "s2"
+    assert txn.call(0x100, "whoami") == "s1"
+
+
+def test_all_servers_down_raises(net):
+    e1 = RpcEndpoint(net, "s1", 0x100, Adder("s1"))
+    e2 = RpcEndpoint(net, "s2", 0x100, Adder("s2"))
+    e1.detach()
+    e2.detach()
+    txn = Transaction(net, "cli")
+    with pytest.raises(ServerUnreachable):
+        txn.call(0x100, "whoami")
+
+
+def test_dropped_request_is_retried(net):
+    server = Adder("s1")
+    RpcEndpoint(net, "s1", 0x100, server)
+    net.drop_policy = DropPolicy(drop_nth=frozenset({1}))
+    txn = Transaction(net, "cli")
+    assert txn.call(0x100, "add", a=1, b=1) == 2
+    assert server.calls == 1
+
+
+def test_reattach_after_detach(net):
+    server = Adder("s1")
+    endpoint = RpcEndpoint(net, "s1", 0x100, server)
+    endpoint.detach()
+    endpoint.reattach()
+    txn = Transaction(net, "cli")
+    assert txn.call(0x100, "whoami") == "s1"
+
+
+def test_exceptions_propagate_to_caller(net):
+    class Bomb:
+        def cmd_boom(self):
+            raise ValueError("kaboom")
+
+    RpcEndpoint(net, "s1", 0x100, Bomb())
+    txn = Transaction(net, "cli")
+    with pytest.raises(ValueError, match="kaboom"):
+        txn.call(0x100, "boom")

@@ -1,0 +1,113 @@
+"""The cooperative scheduler: interleaving, ordering, error handling."""
+
+import pytest
+
+from repro.sim.sched import Scheduler
+
+
+def _counter(log, name, steps):
+    for i in range(steps):
+        log.append((name, i))
+        yield
+
+
+def test_round_robin_interleaves():
+    log = []
+    sched = Scheduler()
+    sched.spawn("a", _counter(log, "a", 3))
+    sched.spawn("b", _counter(log, "b", 3))
+    sched.run()
+    assert log == [
+        ("a", 0), ("b", 0),
+        ("a", 1), ("b", 1),
+        ("a", 2), ("b", 2),
+    ]
+
+
+def test_results_captured():
+    def worker():
+        yield
+        return 42
+
+    sched = Scheduler()
+    task = sched.spawn("w", worker())
+    sched.run()
+    assert task.done
+    assert task.result == 42
+    assert sched.results() == {"w": 42}
+
+
+def test_spawn_fn_runs_plain_function():
+    sched = Scheduler()
+    sched.spawn_fn("f", lambda: 7)
+    sched.run()
+    assert sched.results()["f"] == 7
+
+
+def test_explicit_order_drives_schedule():
+    log = []
+    sched = Scheduler()
+    sched.spawn("a", _counter(log, "a", 2))
+    sched.spawn("b", _counter(log, "b", 2))
+    # Always pick task 0 of the live list: a runs to completion first.
+    sched.run(order=iter([0] * 100))
+    assert log == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+
+def test_order_indices_wrap_modulo_live():
+    log = []
+    sched = Scheduler()
+    sched.spawn("a", _counter(log, "a", 1))
+    sched.spawn("b", _counter(log, "b", 1))
+    sched.run(order=iter([5, 5, 5, 5, 5, 5]))
+    assert set(log) == {("a", 0), ("b", 0)}
+
+
+def test_errors_recorded_and_raised():
+    def bad():
+        yield
+        raise RuntimeError("task failed")
+
+    sched = Scheduler()
+    task = sched.spawn("bad", bad())
+    with pytest.raises(RuntimeError, match="task failed"):
+        sched.run()
+    assert task.error is not None
+
+
+def test_errors_suppressed_when_asked():
+    def bad():
+        yield
+        raise RuntimeError("boom")
+
+    def good():
+        yield
+        return "ok"
+
+    sched = Scheduler()
+    sched.spawn("bad", bad())
+    sched.spawn("good", good())
+    tasks = sched.run(raise_errors=False)
+    assert {t.name: t.done for t in tasks} == {"bad": True, "good": True}
+    assert sched.results()["good"] == "ok"
+
+
+def test_max_steps_guard():
+    def forever():
+        while True:
+            yield
+
+    sched = Scheduler()
+    sched.spawn("loop", forever())
+    with pytest.raises(RuntimeError, match="exceeded"):
+        sched.run(max_steps=100)
+
+
+def test_exhausted_order_falls_back_to_round_robin():
+    log = []
+    sched = Scheduler()
+    sched.spawn("a", _counter(log, "a", 3))
+    sched.spawn("b", _counter(log, "b", 3))
+    sched.run(order=iter([1]))  # one step of b, then round-robin
+    assert log[0] == ("b", 0)
+    assert len(log) == 6

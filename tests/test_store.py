@@ -1,0 +1,157 @@
+"""The page store: caching, deferred writes, the commit test-and-set."""
+
+import pytest
+
+from repro.block.stable import StableClient, StablePair
+from repro.core.page import NIL, Page
+from repro.core.store import PageStore
+from repro.sim.network import Network
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+@pytest.fixture
+def pair(net):
+    return StablePair(net, 0x600, capacity=256, block_size=33000)
+
+
+@pytest.fixture
+def store(net, pair):
+    return PageStore(StableClient(net, "fs", 0x600, account=1))
+
+
+def test_store_new_and_load(store):
+    block = store.store_new(Page(data=b"hello"))
+    assert store.load(block).data == b"hello"
+
+
+def test_deferred_write_not_on_disk_until_flush(store, pair):
+    block = store.store_new(Page(data=b"deferred"))
+    assert not pair.disk_a.holds(block)
+    assert store.dirty_count == 1
+    flushed = store.flush()
+    assert flushed == 1
+    assert pair.disk_a.holds(block)
+    assert Page.from_bytes(pair.disk_a.read(block)).data == b"deferred"
+
+
+def test_dirty_pages_served_from_memory(store):
+    block = store.store_new(Page(data=b"v1"))
+    page = store.load(block)
+    page.data = b"v2"
+    store.store_in_place(block, page)
+    assert store.load(block).data == b"v2"
+    assert store.load(block, fresh=True).data == b"v2"  # dirty wins
+
+
+def test_write_through_mode(net, pair):
+    eager = PageStore(
+        StableClient(net, "fs2", 0x600, account=1), deferred_writes=False
+    )
+    block = eager.store_new(Page(data=b"now"))
+    assert pair.disk_a.holds(block)
+    assert eager.dirty_count == 0
+
+
+def test_cache_avoids_disk_reads(store, pair):
+    block = store.store_new(Page(data=b"cached"))
+    store.flush()
+    store.cache.clear()
+    reads_before = pair.disk_a.stats.reads + pair.disk_b.stats.reads
+    store.load(block)
+    store.load(block)
+    store.load(block)
+    reads_after = pair.disk_a.stats.reads + pair.disk_b.stats.reads
+    assert reads_after - reads_before == 1
+
+
+def test_fresh_load_bypasses_cache(store, pair):
+    block = store.store_new(Page(data=b"x"))
+    store.flush()
+    store.load(block)
+    reads_before = pair.disk_a.stats.reads + pair.disk_b.stats.reads
+    store.load(block, fresh=True)
+    assert pair.disk_a.stats.reads + pair.disk_b.stats.reads > reads_before
+
+
+def test_forget_and_free(store, pair):
+    block = store.store_new(Page(data=b"x"))
+    store.forget(block)
+    assert store.dirty_count == 0
+    block2 = store.store_new(Page(data=b"y"))
+    store.flush()
+    store.free(block2)
+    assert not pair.disk_a.holds(block2)
+
+
+def test_tas_commit_ref_success_and_failure(store):
+    version = Page(is_version_page=True, commit_ref=NIL)
+    block = store.store_new(version)
+    store.flush()
+    result = store.tas_commit_ref(block, 777)
+    assert result.success
+    assert store.read_commit_ref(block) == 777
+    # Second committer loses and learns the winner.
+    again = store.tas_commit_ref(block, 888)
+    assert not again.success
+    assert int.from_bytes(again.current, "big") == 777
+
+
+def test_tas_requires_flush(store):
+    block = store.store_new(Page(is_version_page=True))
+    with pytest.raises(AssertionError):
+        store.tas_commit_ref(block, 1)
+
+
+def test_lock_based_commit_protocol(store):
+    """The §4 alternative critical section behaves identically to TAS."""
+    store.commit_protocol = "lock"
+    version = Page(is_version_page=True, commit_ref=NIL)
+    block = store.store_new(version)
+    store.flush()
+    result = store.tas_commit_ref(block, 777)
+    assert result.success
+    assert store.read_commit_ref(block) == 777
+    again = store.tas_commit_ref(block, 888)
+    assert not again.success
+    assert int.from_bytes(again.current, "big") == 777
+    # The lock was released both times.
+    assert store.blocks.lock(block, locker=1)
+    store.blocks.unlock(block, locker=1)
+
+
+def test_lock_based_commit_full_service_flow():
+    """A whole concurrent-commit scenario on the lock protocol."""
+    from repro.errors import CommitConflict
+    from repro.core.pathname import PagePath
+    from repro.testbed import build_cluster
+
+    cluster = build_cluster(seed=99)
+    fs = cluster.fs()
+    fs.store.commit_protocol = "lock"
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(3):
+        fs.append_page(setup.version, PagePath.ROOT, b"c%d" % i)
+    fs.commit(setup.version)
+    va = fs.create_version(cap)
+    vb = fs.create_version(cap)
+    fs.write_page(va.version, PagePath.of(0), b"A")
+    fs.write_page(vb.version, PagePath.of(1), b"B")
+    fs.commit(va.version)
+    fs.commit(vb.version)  # merges, then lock-protocol commit on the chain
+    current = fs.current_version(cap)
+    assert fs.read_page(current, PagePath.of(0)) == b"A"
+    assert fs.read_page(current, PagePath.of(1)) == b"B"
+    # And a genuine conflict still aborts.
+    vc = fs.create_version(cap)
+    vd = fs.create_version(cap)
+    fs.read_page(vd.version, PagePath.of(2))
+    fs.write_page(vc.version, PagePath.of(2), b"C")
+    fs.write_page(vd.version, PagePath.of(0), b"D")
+    fs.commit(vc.version)
+    with pytest.raises(CommitConflict):
+        fs.commit(vd.version)

@@ -1,0 +1,239 @@
+"""Super-files, sub-files and the §5.3 locking/recovery protocol."""
+
+import pytest
+
+from repro.errors import CrossesSubFile, FileLocked
+from repro.core.pathname import PagePath
+from repro.core.system_tree import SystemTree
+
+ROOT = PagePath.ROOT
+
+
+@pytest.fixture
+def nested(cluster):
+    """Figure 2: super-file C containing sub-files A and B."""
+    fs = cluster.fs()
+    tree = SystemTree(fs)
+    cap_c = fs.create_file(b"C root")
+    handle = fs.create_version(cap_c)
+    cap_a = tree.create_subfile(handle.version, ROOT, initial_data=b"A v1")
+    cap_b = tree.create_subfile(handle.version, ROOT, initial_data=b"B v1")
+    fs.commit(handle.version)
+    return fs, tree, cap_c, cap_a, cap_b
+
+
+def test_subfiles_are_independent_files(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    handle = fs.create_version(cap_a)
+    fs.write_page(handle.version, ROOT, b"A v2")
+    fs.commit(handle.version)
+    assert fs.read_page(fs.current_version(cap_a), ROOT) == b"A v2"
+    assert fs.read_page(fs.current_version(cap_b), ROOT) == b"B v1"
+
+
+def test_parent_marked_super(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    assert fs.registry.file(cap_c.obj).is_super
+    assert not fs.registry.file(cap_a.obj).is_super
+    assert fs.registry.file(cap_a.obj).parent_obj == cap_c.obj
+
+
+def test_walk_cannot_cross_subfile_boundary(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    handle = fs.create_version(cap_c)
+    with pytest.raises(CrossesSubFile):
+        fs.read_page(handle.version, PagePath.of(0))
+    fs.abort(handle.version)
+
+
+def test_subfile_at_resolves_capability(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    current = fs.current_version(cap_c)
+    found = tree.subfile_at(current, PagePath.of(0))
+    assert found.obj == cap_a.obj
+
+
+def test_small_update_does_not_touch_super_tree(nested, cluster):
+    """A sub-file commit leaves the super-file's page tree untouched —
+    resolution chases the sub-file's commit chain instead."""
+    fs, tree, cap_c, cap_a, cap_b = nested
+    super_entry = cluster.registry.file(cap_c.obj)
+    super_block = super_entry.entry_block
+    super_raw = cluster.pair.disk_a.read(super_block)
+    handle = fs.create_version(cap_a)
+    fs.write_page(handle.version, ROOT, b"A v2")
+    fs.commit(handle.version)
+    assert cluster.pair.disk_a.read(super_block) == super_raw
+    # And the new state is reachable through the super-file.
+    current = fs.current_version(cap_c)
+    sub = tree.subfile_at(current, PagePath.of(0))
+    assert fs.read_page(fs.current_version(sub), ROOT) == b"A v2"
+
+
+def test_super_update_atomic_across_subfiles(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    update = tree.begin_super_update(cap_c)
+    ha = tree.open_subfile(update, cap_a)
+    hb = tree.open_subfile(update, cap_b)
+    fs.write_page(ha.version, ROOT, b"A v2")
+    fs.write_page(hb.version, ROOT, b"B v2")
+    # Before commit, nothing is visible.
+    assert fs.read_page(fs.current_version(cap_a), ROOT) == b"A v1"
+    tree.commit_super(update)
+    assert fs.read_page(fs.current_version(cap_a), ROOT) == b"A v2"
+    assert fs.read_page(fs.current_version(cap_b), ROOT) == b"B v2"
+
+
+def test_inner_lock_blocks_small_updates(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    update = tree.begin_super_update(cap_c)
+    tree.open_subfile(update, cap_a)
+    with pytest.raises(FileLocked):
+        fs.create_version(cap_a)
+    # Sub-file B is not opened: it stays freely updatable.
+    hb = fs.create_version(cap_b)
+    fs.abort(hb.version)
+    tree.abort_super(update)
+    # After abort everything is unlocked again.
+    ha = fs.create_version(cap_a)
+    fs.abort(ha.version)
+
+
+def test_second_super_update_blocked_by_top_lock(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    update = tree.begin_super_update(cap_c)
+    with pytest.raises(FileLocked):
+        tree.begin_super_update(cap_c)
+    tree.abort_super(update)
+    update2 = tree.begin_super_update(cap_c)
+    tree.abort_super(update2)
+
+
+def test_top_lock_of_small_update_delays_super_entry(nested):
+    """"If an update, while descending the page tree, discovers a top
+    lock, it must wait until the lock is cleared"."""
+    fs, tree, cap_c, cap_a, cap_b = nested
+    small = fs.create_version(cap_a)  # plants A's top-lock hint
+    update = tree.begin_super_update(cap_c)
+    with pytest.raises(FileLocked):
+        tree.open_subfile(update, cap_a)
+    fs.commit(small.version)  # new current with clear locks
+    handle = tree.open_subfile(update, cap_a)
+    fs.write_page(handle.version, ROOT, b"super says")
+    tree.commit_super(update)
+    assert fs.read_page(fs.current_version(cap_a), ROOT) == b"super says"
+
+
+def test_abort_super_discards_everything(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    update = tree.begin_super_update(cap_c)
+    ha = tree.open_subfile(update, cap_a)
+    fs.write_page(ha.version, ROOT, b"junk")
+    tree.abort_super(update)
+    assert fs.read_page(fs.current_version(cap_a), ROOT) == b"A v1"
+
+
+def test_crash_before_commit_waiter_clears(nested, cluster):
+    """The holder dies before setting the commit reference: a waiter
+    clears the locks and the update never happened."""
+    fs, tree, cap_c, cap_a, cap_b = nested
+    update = tree.begin_super_update(cap_c)
+    ha = tree.open_subfile(update, cap_a)
+    fs.write_page(ha.version, ROOT, b"never")
+    fs.store.flush()
+    fs.crash()
+
+    fs2 = cluster.fs(0)  # same (restarted) server object in this test
+    fs2.restart()
+    # Another server (here: the restarted one, acting as waiter) recovers.
+    waiter = SystemTree(fs2)
+    status = waiter.wait_or_recover(cap_c)
+    assert status == "cleared"
+    assert fs2.read_page(fs2.current_version(cap_a), ROOT) == b"A v1"
+    # The super-file is updatable again.
+    update2 = waiter.begin_super_update(cap_c)
+    waiter.abort_super(update2)
+
+
+def test_crash_after_commit_ref_waiter_finishes(cluster):
+    """The holder dies after the super commit reference was set: a waiter
+    finishes the sub-file commits ("finishing the work of the crashed
+    server")."""
+    cluster2 = cluster
+    fs = cluster2.fs()
+    tree = SystemTree(fs)
+    cap_c = fs.create_file(b"C")
+    handle = fs.create_version(cap_c)
+    cap_a = tree.create_subfile(handle.version, ROOT, initial_data=b"A v1")
+    fs.commit(handle.version)
+
+    update = tree.begin_super_update(cap_c)
+    ha = tree.open_subfile(update, cap_a)
+    fs.write_page(ha.version, ROOT, b"A v2")
+    # Manually perform the first half of commit_super, then "crash".
+    fs.store.flush()
+    fs.commit(update.handle.version)  # super commit reference is set
+    fs.crash()
+
+    fs.restart()
+    waiter = SystemTree(fs)
+    status = waiter.wait_or_recover(cap_c)
+    assert status == "finished"
+    assert fs.read_page(fs.current_version(cap_a), ROOT) == b"A v2"
+    # Locks cleared: a new small update on A works.
+    h = fs.create_version(cap_a)
+    fs.abort(h.version)
+
+
+def test_recover_on_healthy_file_is_free(nested):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    assert tree.wait_or_recover(cap_c) == "free"
+
+
+def test_holder_alive_keeps_waiter_waiting(nested, cluster):
+    fs, tree, cap_c, cap_a, cap_b = nested
+    update = tree.begin_super_update(cap_c)
+    status = tree.wait_or_recover(cap_c)
+    assert status == "alive"
+    tree.abort_super(update)
+
+
+def test_three_level_nested_atomic_update(cluster):
+    """A super update spanning files at two nesting depths commits all of
+    them atomically: grandparent ⊃ parent ⊃ child."""
+    fs = cluster.fs()
+    tree = SystemTree(fs)
+    grand = fs.create_file(b"G")
+    handle = fs.create_version(grand)
+    parent = tree.create_subfile(handle.version, ROOT, initial_data=b"P v1")
+    fs.commit(handle.version)
+    handle = fs.create_version(parent)
+    child = tree.create_subfile(handle.version, ROOT, initial_data=b"C v1")
+    fs.commit(handle.version)
+
+    update = tree.begin_super_update(grand)
+    hp = tree.open_subfile(update, parent)
+    hc = tree.open_subfile(update, child)
+    fs.write_page(hp.version, ROOT, b"P v2")
+    fs.write_page(hc.version, ROOT, b"C v2")
+    # Nothing visible yet, at either depth.
+    assert fs.read_page(fs.current_version(parent), ROOT) == b"P v1"
+    assert fs.read_page(fs.current_version(child), ROOT) == b"C v1"
+    tree.commit_super(update)
+    assert fs.read_page(fs.current_version(parent), ROOT) == b"P v2"
+    assert fs.read_page(fs.current_version(child), ROOT) == b"C v2"
+    # Everything unlocked again.
+    h = fs.create_version(child)
+    fs.abort(h.version)
+    h = fs.create_version(parent)
+    fs.abort(h.version)
+
+
+def test_relaxed_super_update(nested):
+    """§5.3's relaxation: version creation allowed despite the top lock;
+    the optimistic layer underneath arbitrates."""
+    fs, tree, cap_c, cap_a, cap_b = nested
+    first = tree.begin_super_update(cap_c)
+    relaxed = tree.begin_super_update(cap_c, relaxed=True)
+    tree.abort_super(relaxed)
+    tree.abort_super(first)

@@ -1,0 +1,158 @@
+"""The fsck checker and the inspector."""
+
+import pytest
+
+from repro.core.pathname import PagePath
+from repro.core.system_tree import SystemTree
+from repro.errors import CommitConflict
+from repro.tools.check import check_cluster, check_file, CheckReport
+from repro.tools.inspect import dump_family, dump_page_tree
+
+ROOT = PagePath.ROOT
+
+
+def _populate(cluster):
+    fs = cluster.fs()
+    caps = []
+    for f in range(2):
+        cap = fs.create_file(b"file%d" % f)
+        handle = fs.create_version(cap)
+        child = fs.append_page(handle.version, ROOT, b"child")
+        fs.append_page(handle.version, child, b"leaf")
+        fs.commit(handle.version)
+        caps.append(cap)
+    return fs, caps
+
+
+def test_clean_system_passes(cluster):
+    _populate(cluster)
+    report = check_cluster(cluster)
+    assert report.ok, report.errors
+    assert report.files_checked == 2
+    assert report.versions_checked >= 4
+
+
+def test_clean_after_gc_has_no_leaks(cluster):
+    fs, caps = _populate(cluster)
+    # Make some garbage: a conflicted update.
+    va = fs.create_version(caps[0])
+    vb = fs.create_version(caps[0])
+    fs.read_page(vb.version, PagePath.of(0))
+    fs.write_page(va.version, PagePath.of(0), b"win")
+    fs.write_page(vb.version, PagePath.of(0, 0), b"lose")
+    fs.commit(va.version)
+    with pytest.raises(CommitConflict):
+        fs.commit(vb.version)
+    cluster.gc().collect()
+    report = check_cluster(cluster, gc_expected_clean=True)
+    assert report.ok, report.errors
+    assert report.leaked_blocks == []
+
+
+def test_checker_consistent_after_crash(cluster2):
+    """The paper's property, stated as an fsck invariant: a crash at any
+    moment leaves a system that checks clean (modulo GC-fodder leaks)."""
+    fs0, fs1 = cluster2.fs(0), cluster2.fs(1)
+    cap = fs0.create_file(b"x")
+    handle = fs0.create_version(cap)
+    fs0.write_page(handle.version, ROOT, b"dirty")
+    fs0.store.flush()
+    fs0.crash()
+    report = check_cluster(cluster2)
+    assert report.ok, report.errors
+
+
+def test_checker_detects_broken_chain(cluster):
+    fs, caps = _populate(cluster)
+    entry = cluster.registry.file(caps[0].obj)
+    # Vandalise: point the current version's commit reference at itself.
+    block = fs._resolve_current(entry)
+    page = fs.store.load(block, fresh=True)
+    page.commit_ref = block
+    fs.store.store_in_place(block, page)
+    fs.store.flush()
+    report = CheckReport()
+    check_file(fs, entry, report)
+    assert not report.ok
+    assert any("cycle" in err for err in report.errors)
+
+
+def test_checker_detects_dangling_reference(cluster):
+    fs, caps = _populate(cluster)
+    entry = cluster.registry.file(caps[0].obj)
+    block = fs._resolve_current(entry)
+    page = fs.store.load(block, fresh=True)
+    from repro.core.page import PageRef
+    from repro.core.flags import Flags
+
+    page.refs[0] = PageRef(123456, Flags(c=True))
+    fs.store.store_in_place(block, page)
+    fs.store.flush()
+    report = CheckReport()
+    check_file(fs, entry, report)
+    assert any("unreadable block" in err for err in report.errors)
+
+
+def test_checker_counts_leaks_as_warnings(cluster):
+    fs, caps = _populate(cluster)
+    # Orphan a block deliberately.
+    fs.store.blocks.allocate_write(b"orphan")
+    report = check_cluster(cluster)
+    assert report.ok  # a leak is a warning, not an error
+    assert len(report.leaked_blocks) >= 1
+    strict = check_cluster(cluster, gc_expected_clean=True)
+    assert not strict.ok
+
+
+def test_checker_with_superfiles(cluster):
+    fs = cluster.fs()
+    tree = SystemTree(fs)
+    parent = fs.create_file(b"P")
+    handle = fs.create_version(parent)
+    sub = tree.create_subfile(handle.version, ROOT, initial_data=b"S")
+    fs.commit(handle.version)
+    update = tree.begin_super_update(parent)
+    hs = tree.open_subfile(update, sub)
+    fs.write_page(hs.version, ROOT, b"S2")
+    tree.commit_super(update)
+    report = check_cluster(cluster)
+    assert report.ok, report.errors
+
+
+def test_summary_line(cluster):
+    _populate(cluster)
+    report = check_cluster(cluster)
+    text = report.summary()
+    assert "fsck: clean" in text
+    assert "2 files" in text
+
+
+def test_dump_page_tree_renders_structure(cluster):
+    fs, caps = _populate(cluster)
+    entry = cluster.registry.file(caps[0].obj)
+    block = fs._resolve_current(entry)
+    text = dump_page_tree(fs, block)
+    assert "<root>" in text
+    assert "block=" in text
+    assert "0/0" in text  # the leaf's path
+    assert "[version page]" in text
+
+
+def test_dump_page_tree_shows_holes(cluster):
+    fs, caps = _populate(cluster)
+    handle = fs.create_version(caps[0])
+    fs.make_hole(handle.version, PagePath.of(0))
+    entry = fs.registry.version(handle.version.obj)
+    text = dump_page_tree(fs, entry.root_block)
+    assert "<hole>" in text
+    fs.abort(handle.version)
+
+
+def test_dump_family_renders_chain(cluster):
+    fs, caps = _populate(cluster)
+    pending = fs.create_version(caps[0])
+    text = dump_family(fs, caps[0])
+    assert "committed block=" in text
+    assert "<- current" in text
+    assert "uncommitted version=" in text
+    fs.abort(pending.version)

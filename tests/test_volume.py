@@ -1,0 +1,161 @@
+"""The volume app: atomic cross-directory rename on super-files."""
+
+import pytest
+
+from repro.apps.directory import DirectoryEntryExists, NoSuchEntry
+from repro.apps.volume import Volume
+from repro.core.pathname import PagePath
+from repro.errors import FileLocked
+
+ROOT = PagePath.ROOT
+
+
+@pytest.fixture
+def volume(cluster):
+    vol = Volume(cluster.fs())
+    volume_cap, root_dir = vol.create()
+    return vol, volume_cap, root_dir
+
+
+def _file(cluster, data=b"payload"):
+    return cluster.fs().create_file(data)
+
+
+def test_bind_lookup_unlink(cluster, volume):
+    vol, volume_cap, root = volume
+    target = _file(cluster)
+    vol.bind(root, "readme", target)
+    assert vol.lookup(root, "readme") == target
+    assert vol.list(root) == ["readme"]
+    vol.unlink(root, "readme")
+    with pytest.raises(NoSuchEntry):
+        vol.lookup(root, "readme")
+
+
+def test_nested_directories(cluster, volume):
+    vol, volume_cap, root = volume
+    src = vol.add_directory(volume_cap, "src", root)
+    deep = vol.add_directory(volume_cap, "deep", src)
+    target = _file(cluster)
+    vol.bind(deep, "main.py", target)
+    assert vol.lookup(vol.lookup(vol.lookup(root, "src"), "deep"), "main.py") == target
+
+
+def test_rename_within_directory(cluster, volume):
+    vol, volume_cap, root = volume
+    target = _file(cluster)
+    vol.bind(root, "old", target)
+    vol.rename(volume_cap, root, "old", root, "new")
+    assert vol.lookup(root, "new") == target
+    with pytest.raises(NoSuchEntry):
+        vol.lookup(root, "old")
+
+
+def test_rename_across_directories_atomic(cluster, volume):
+    vol, volume_cap, root = volume
+    src = vol.add_directory(volume_cap, "src", root)
+    dst = vol.add_directory(volume_cap, "dst", root)
+    target = _file(cluster)
+    vol.bind(src, "wandering", target)
+    vol.rename(volume_cap, src, "wandering", dst)
+    assert vol.lookup(dst, "wandering") == target
+    with pytest.raises(NoSuchEntry):
+        vol.lookup(src, "wandering")
+
+
+def test_rename_missing_source_aborts_cleanly(cluster, volume):
+    vol, volume_cap, root = volume
+    src = vol.add_directory(volume_cap, "src", root)
+    dst = vol.add_directory(volume_cap, "dst", root)
+    with pytest.raises(NoSuchEntry):
+        vol.rename(volume_cap, src, "ghost", dst)
+    # Locks were released: the directories update freely again.
+    vol.bind(src, "x", _file(cluster))
+    vol.bind(dst, "y", _file(cluster))
+
+
+def test_rename_collision_aborts_cleanly(cluster, volume):
+    vol, volume_cap, root = volume
+    src = vol.add_directory(volume_cap, "src", root)
+    dst = vol.add_directory(volume_cap, "dst", root)
+    vol.bind(src, "name", _file(cluster))
+    vol.bind(dst, "name", _file(cluster))
+    with pytest.raises(DirectoryEntryExists):
+        vol.rename(volume_cap, src, "name", dst)
+    assert vol.list(src) == ["name"]
+    assert vol.list(dst) == ["name"]
+
+
+def test_exchange_across_directories(cluster, volume):
+    vol, volume_cap, root = volume
+    a = vol.add_directory(volume_cap, "a", root)
+    b = vol.add_directory(volume_cap, "b", root)
+    file1, file2 = _file(cluster, b"1"), _file(cluster, b"2")
+    vol.bind(a, "x", file1)
+    vol.bind(b, "y", file2)
+    vol.exchange(volume_cap, a, "x", b, "y")
+    assert vol.lookup(a, "x") == file2
+    assert vol.lookup(b, "y") == file1
+
+
+def test_exchange_within_one_directory(cluster, volume):
+    vol, volume_cap, root = volume
+    file1, file2 = _file(cluster, b"1"), _file(cluster, b"2")
+    vol.bind(root, "x", file1)
+    vol.bind(root, "y", file2)
+    vol.exchange(volume_cap, root, "x", root, "y")
+    assert vol.lookup(root, "x") == file2
+    assert vol.lookup(root, "y") == file1
+
+
+def test_untouched_directories_stay_updatable_during_rename(cluster, volume):
+    """The §5.3 scope property in app terms: a rename holding directories
+    A and B does not block directory C."""
+    vol, volume_cap, root = volume
+    a = vol.add_directory(volume_cap, "a", root)
+    b = vol.add_directory(volume_cap, "b", root)
+    c = vol.add_directory(volume_cap, "c", root)
+    vol.bind(a, "moving", _file(cluster))
+    update = vol.tree.begin_super_update(volume_cap)
+    vol.tree.open_subfile(update, a)
+    vol.tree.open_subfile(update, b)
+    # C is untouched by the in-flight rename: binds fine.
+    vol.bind(c, "free", _file(cluster))
+    # A is inner-locked: its small updates wait.
+    with pytest.raises(FileLocked):
+        cluster.fs().create_version(a)
+    vol.tree.abort_super(update)
+
+
+def test_crashed_rename_finished_by_waiter(cluster2):
+    """A rename that dies after the volume's commit reference is set is
+    completed by the next waiter — never observed half-done."""
+    fs0, fs1 = cluster2.fs(0), cluster2.fs(1)
+    vol0 = Volume(fs0)
+    volume_cap, root = vol0.create()
+    src = vol0.add_directory(volume_cap, "src", root)
+    dst = vol0.add_directory(volume_cap, "dst", root)
+    target = fs0.create_file(b"cargo")
+    vol0.bind(src, "cargo", target)
+
+    # Perform the rename by hand up to the super commit, then crash.
+    from repro.apps.directory import _pack_table, _unpack_table
+
+    update = vol0.tree.begin_super_update(volume_cap)
+    src_handle = vol0.tree.open_subfile(update, src)
+    dst_handle = vol0.tree.open_subfile(update, dst)
+    src_table = _unpack_table(fs0.read_page(src_handle.version, PagePath.ROOT))
+    dst_table = _unpack_table(fs0.read_page(dst_handle.version, PagePath.ROOT))
+    dst_table["cargo"] = src_table.pop("cargo")
+    fs0.write_page(src_handle.version, PagePath.ROOT, _pack_table(src_table))
+    fs0.write_page(dst_handle.version, PagePath.ROOT, _pack_table(dst_table))
+    fs0.store.flush()
+    fs0.commit(update.handle.version)  # volume committed...
+    fs0.crash()  # ...sub-directory commits unfinished
+
+    vol1 = Volume(fs1)
+    outcome = vol1.tree.wait_or_recover(volume_cap)
+    assert outcome == "finished"
+    assert vol1.lookup(dst, "cargo") == target
+    with pytest.raises(NoSuchEntry):
+        vol1.lookup(src, "cargo")

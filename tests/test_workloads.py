@@ -1,0 +1,208 @@
+"""Workload generators and the cross-system driver."""
+
+import random
+
+import pytest
+
+from repro.baselines.locking import LockingFileService
+from repro.baselines.timestamp import TimestampFileService
+from repro.testbed import build_cluster
+from repro.workloads.driver import (
+    AmoebaAdapter,
+    LockingAdapter,
+    TimestampAdapter,
+    run_workload,
+)
+from repro.workloads.generators import (
+    TxnSpec,
+    airline_workload,
+    compiler_temp_sizes,
+    hotspot_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+def test_uniform_workload_shape(rng):
+    wl = uniform_workload(rng, clients=3, txns_per_client=5, n_pages=10)
+    assert len(wl) == 3
+    assert all(len(txns) == 5 for txns in wl)
+    for txns in wl:
+        for spec in txns:
+            assert all(0 <= p < 10 for p in spec.pages_touched)
+            assert len(spec.writes) == 1
+
+
+def test_zipf_workload_skews_to_low_ranks(rng):
+    wl = zipf_workload(rng, clients=1, txns_per_client=500, n_pages=50, skew=1.2)
+    pages = [p for spec in wl[0] for p in spec.writes]
+    low = sum(1 for p in pages if p < 5)
+    assert low > len(pages) * 0.3  # far above the uniform 10%
+
+
+def test_hotspot_workload_hits_hot_set(rng):
+    wl = hotspot_workload(
+        rng, clients=1, txns_per_client=300, n_pages=100,
+        hot_pages=2, hot_probability=0.9,
+    )
+    pages = [p for spec in wl[0] for p in spec.writes]
+    hot = sum(1 for p in pages if p < 2)
+    assert hot > len(pages) * 0.7
+
+
+def test_airline_workload_is_rmw(rng):
+    wl = airline_workload(rng, clients=2, bookings_per_client=10, n_flights=5)
+    for txns in wl:
+        for spec in txns:
+            assert spec.reads == spec.writes
+            assert len(spec.reads) == 1
+
+
+def test_airline_popularity_bias(rng):
+    wl = airline_workload(
+        rng, clients=1, bookings_per_client=400, n_flights=50,
+        popular_flight_bias=0.5,
+    )
+    flights = [spec.writes[0] for spec in wl[0]]
+    assert flights.count(0) > 100
+
+
+def test_compiler_temp_sizes_fit_one_page(rng):
+    sizes = compiler_temp_sizes(rng, files=50)
+    assert all(0 < size < 32768 for size in sizes)
+
+
+def test_read_mostly_workload_shape(rng):
+    from repro.workloads.generators import read_mostly_workload
+
+    wl = read_mostly_workload(
+        rng, clients=2, txns_per_client=100, n_pages=32, write_fraction=0.2
+    )
+    writers = sum(1 for txns in wl for spec in txns if spec.writes)
+    total = sum(len(txns) for txns in wl)
+    assert 0 < writers < total * 0.4
+    for txns in wl:
+        for spec in txns:
+            if spec.writes:
+                assert spec.writes[0] in spec.reads  # read-modify-write
+
+
+def test_write_burst_workload_shape(rng):
+    from repro.workloads.generators import write_burst_workload
+
+    wl = write_burst_workload(
+        rng, clients=2, txns_per_client=5, n_pages=32, burst_size=6
+    )
+    for txns in wl:
+        for spec in txns:
+            assert len(spec.writes) == 6
+            assert spec.reads == ()
+
+
+# ---------------------------------------------------------------------------
+# the driver, against all three systems
+# ---------------------------------------------------------------------------
+
+
+def _adapter(kind, cluster):
+    if kind == "amoeba":
+        return AmoebaAdapter(cluster.fs())
+    if kind == "felix":
+        from repro.workloads.driver import FelixAdapter
+
+        return FelixAdapter(cluster.fs())
+    if kind == "locking":
+        return LockingAdapter(
+            LockingFileService("lk", cluster.network, cluster.block_port, 9)
+        )
+    return TimestampAdapter(
+        TimestampFileService("ts", cluster.network, cluster.block_port, 9)
+    )
+
+
+@pytest.mark.parametrize("kind", ["amoeba", "felix", "locking", "timestamp"])
+def test_all_transactions_complete(kind, rng):
+    cluster = build_cluster(seed=13)
+    adapter = _adapter(kind, cluster)
+    workload = uniform_workload(rng, clients=4, txns_per_client=5, n_pages=16)
+    result = run_workload(adapter, workload, 16, cluster.network)
+    assert result.committed + result.gave_up == 20
+    assert result.gave_up == 0
+    assert result.makespan > 0
+    assert result.makespan <= result.work_ticks
+    assert len(result.client_ticks) == 4
+
+
+@pytest.mark.parametrize("kind", ["amoeba", "felix", "locking", "timestamp"])
+def test_final_state_is_some_committed_write(kind, rng):
+    """Whatever the system, every page's final committed state must be a
+    payload some transaction actually wrote (no torn or invented data)."""
+    cluster = build_cluster(seed=29)
+    adapter = _adapter(kind, cluster)
+    workload = hotspot_workload(
+        rng, clients=4, txns_per_client=4, n_pages=8,
+        hot_pages=2, hot_probability=0.7,
+    )
+    run_workload(adapter, workload, 8, cluster.network)
+    for page in range(8):
+        data = adapter.read_committed(page)
+        assert data == b"\x00" * adapter.page_size or data[:1] == b"p"
+
+
+def test_amoeba_redo_rate_rises_with_contention(rng):
+    low_cluster = build_cluster(seed=31)
+    low = run_workload(
+        AmoebaAdapter(low_cluster.fs()),
+        uniform_workload(rng, clients=6, txns_per_client=5, n_pages=128),
+        128,
+        low_cluster.network,
+    )
+    high_cluster = build_cluster(seed=31)
+    high = run_workload(
+        AmoebaAdapter(high_cluster.fs()),
+        hotspot_workload(
+            rng, clients=6, txns_per_client=5, n_pages=128,
+            hot_pages=1, hot_probability=0.95,
+        ),
+        128,
+        high_cluster.network,
+    )
+    assert high.redo_attempts > low.redo_attempts
+
+
+def test_deterministic_given_seed():
+    def run_once():
+        cluster = build_cluster(seed=77)
+        rng = random.Random(55)
+        workload = uniform_workload(rng, clients=3, txns_per_client=4, n_pages=12)
+        return run_workload(
+            AmoebaAdapter(cluster.fs()), workload, 12, cluster.network
+        )
+
+    a, b = run_once(), run_once()
+    assert (a.committed, a.redo_attempts, a.work_ticks, a.makespan) == (
+        b.committed,
+        b.redo_attempts,
+        b.work_ticks,
+        b.makespan,
+    )
+
+
+def test_run_result_derived_metrics():
+    from repro.workloads.driver import RunResult
+
+    result = RunResult(system="x", committed=10, redo_attempts=5, makespan=1000)
+    assert result.throughput == 10.0
+    assert result.redo_rate == 0.5
+    assert abs(result.wasted_fraction - 5 / 15) < 1e-9
+    assert RunResult(system="y").throughput == 0.0

@@ -6,6 +6,9 @@ Subcommands:
   crash things, and show the family tree and fsck output.
 * ``fsck``   — build a busy deployment and run the invariant checker.
 * ``salvage`` — demonstrate total-loss recovery from the block layer.
+* ``stats``  — run an instrumented deployment and print the observability
+  report: metrics, the commit-path table (fast versus serialise), and
+  per-commit span trees.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -112,6 +115,63 @@ def _salvage() -> None:
         print(f"  file {obj}: {data!r}")
 
 
+def _stats() -> None:
+    from repro.obs import Recorder
+    from repro.obs.report import (
+        render_commit_table,
+        render_metrics,
+        render_span,
+    )
+    from repro.testbed import build_cluster
+
+    recorder = Recorder()
+    cluster = build_cluster(servers=2, seed=11, recorder=recorder)
+    fs = cluster.fs()
+
+    # A non-concurrent update: the one-block fast path.
+    cap = fs.create_file(b"instrumented file")
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, ROOT, b"fast-path update")
+    fs.commit(handle.version)
+
+    # Two concurrent disjoint updates: the second takes the serialise path.
+    handle = fs.create_version(cap)
+    fs.append_page(handle.version, ROOT, b"page 0")
+    fs.append_page(handle.version, ROOT, b"page 1")
+    fs.commit(handle.version)
+    first = fs.create_version(cap)
+    second = fs.create_version(cap)
+    fs.write_page(first.version, PagePath.of(0), b"page 0, via first")
+    fs.write_page(second.version, PagePath.of(1), b"page 1, via second")
+    fs.commit(first.version)
+    fs.commit(second.version)  # base moved: serialise, then merge-commit
+
+    # A genuine conflict: reader of a page the winner wrote.
+    first = fs.create_version(cap)
+    second = fs.create_version(cap)
+    fs.write_page(first.version, PagePath.of(0), b"winner writes 0")
+    fs.read_page(second.version, PagePath.of(0))
+    fs.commit(first.version)
+    try:
+        fs.commit(second.version)
+    except Exception as exc:
+        print(f"(conflicting commit aborted as expected: {exc})\n")
+
+    print("metrics")
+    print("=======")
+    print(render_metrics(recorder.metrics))
+    print()
+    print("commit paths")
+    print("============")
+    print(render_commit_table(recorder.tracer))
+    print()
+    print("per-commit span trees")
+    print("=====================")
+    for span in recorder.tracer.spans_named("commit"):
+        print(render_span(span))
+        print()
+
+
 def main(argv: list[str]) -> None:
     command = argv[1] if len(argv) > 1 else "demo"
     if command == "demo":
@@ -120,6 +180,8 @@ def main(argv: list[str]) -> None:
         _fsck()
     elif command == "salvage":
         _salvage()
+    elif command == "stats":
+        _stats()
     else:
         print(__doc__)
         sys.exit(2)

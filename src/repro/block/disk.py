@@ -35,6 +35,7 @@ from repro.errors import (
     NoSuchBlock,
     WriteOnceViolation,
 )
+from repro.obs import NULL_RECORDER
 from repro.sim.clock import LogicalClock
 
 # Logical-tick cost of one disk operation.  A disk access is an order of
@@ -78,12 +79,16 @@ class SimDisk:
         block_size: int,
         clock: LogicalClock | None = None,
         write_once: bool = False,
+        name: str = "disk",
+        recorder=None,
     ) -> None:
         if capacity < 1:
             raise ValueError("disk needs at least one block")
         self.capacity = capacity
         self.block_size = block_size
         self.write_once = write_once
+        self.name = name
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.clock = clock if clock is not None else LogicalClock()
         self.stats = DiskStats()
         self._blocks: dict[int, bytes] = {}
@@ -147,6 +152,8 @@ class SimDisk:
         self._checksums[block_no] = zlib.crc32(data)
         self._ever_written.add(block_no)
         self.stats.writes += 1
+        if self.recorder.enabled:
+            self.recorder.event("disk.write", disk=self.name, block=block_no)
 
     def read(self, block_no: int) -> bytes:
         """Return the stored block, verifying integrity.
@@ -162,6 +169,8 @@ class SimDisk:
         if zlib.crc32(data) != self._checksums[block_no]:
             raise CorruptBlock(f"block {block_no} failed its checksum")
         self.stats.reads += 1
+        if self.recorder.enabled:
+            self.recorder.event("disk.read", disk=self.name, block=block_no)
         return data
 
     def erase(self, block_no: int) -> None:
@@ -176,6 +185,8 @@ class SimDisk:
         self._checksums.pop(block_no, None)
         self._ever_written.discard(block_no)
         self.stats.frees += 1
+        if self.recorder.enabled:
+            self.recorder.event("disk.free", disk=self.name, block=block_no)
 
     def holds(self, block_no: int) -> bool:
         """Whether the block currently stores data (no integrity check)."""

@@ -72,6 +72,7 @@ class BlockServer:
     ) -> None:
         self.name = name
         self.disk = disk
+        self.recorder = disk.recorder
         self.clock = clock if clock is not None else disk.clock
         self._owner: dict[int, int] = {}
         self._locks: dict[int, int] = {}  # block -> locker id (a port)
@@ -134,6 +135,8 @@ class BlockServer:
         if block_no > self.disk.capacity:
             raise DiskFull(f"block {block_no} beyond capacity {self.disk.capacity}")
         self._owner[block_no] = account
+        if self.recorder.enabled:
+            self.recorder.event("block.alloc", server=self.name, block=block_no)
         return block_no
 
     def write(self, account: int, block_no: int, data: bytes) -> None:
@@ -195,8 +198,16 @@ class BlockServer:
             )
         current = data[offset:end]
         if current != expected:
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "block.tas", server=self.name, block=block_no, success=False
+                )
             return TasResult(False, current)
         self.disk.write(block_no, data[:offset] + new + data[end:])
+        if self.recorder.enabled:
+            self.recorder.event(
+                "block.tas", server=self.name, block=block_no, success=True
+            )
         return TasResult(True, new)
 
     # -- the simple locking facility ----------------------------------------

@@ -91,6 +91,7 @@ class StableServer:
         self.companion_name = companion_name
         self.network = network
         self.local = BlockServer(name + ".bs", disk)
+        self.recorder = disk.recorder
         self._pending: dict[int, _PendingOp] = {}
         self._next_op = 1
         self._intentions: list[_Intention] = []
@@ -139,6 +140,8 @@ class StableServer:
                     self.local.free(intent.account, intent.block_no)
         self._call_companion("ack_intentions", count=len(intentions))
         self._recovering = False
+        if intentions:
+            self.recorder.count("stable.resync_applied", len(intentions))
         return len(intentions)
 
     @property
@@ -161,6 +164,10 @@ class StableServer:
         """
         from repro.errors import MessageDropped
 
+        if self.recorder.enabled:
+            self.recorder.event(
+                "stable.companion_rpc", origin=self.name, command=command
+            )
         last: Exception | None = None
         for _ in range(4):
             try:
@@ -215,6 +222,13 @@ class StableServer:
             else:
                 self._intentions.append(
                     _Intention("write", op.account, op.block_no, op.data)
+                )
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "stable.intention",
+                    origin=self.name,
+                    kind=op.kind,
+                    block=op.block_no,
                 )
 
     # -- stepwise operation API (tests interleave begin/finish) -------------
@@ -454,11 +468,20 @@ class StablePair:
         name_a: str = "blockA",
         name_b: str = "blockB",
         write_once: bool = False,
+        recorder=None,
     ) -> None:
         self.network = network
         self.port = port
-        self.disk_a = SimDisk(capacity, block_size, network.clock, write_once)
-        self.disk_b = SimDisk(capacity, block_size, network.clock, write_once)
+        if recorder is None:
+            recorder = getattr(network, "recorder", None)
+        self.disk_a = SimDisk(
+            capacity, block_size, network.clock, write_once,
+            name=name_a, recorder=recorder,
+        )
+        self.disk_b = SimDisk(
+            capacity, block_size, network.clock, write_once,
+            name=name_b, recorder=recorder,
+        )
         self.a = StableServer(name_a, name_b, self.disk_a, network)
         self.b = StableServer(name_b, name_a, self.disk_b, network)
         self.endpoint_a = RpcEndpoint(network, name_a, port, self.a)

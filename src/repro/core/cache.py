@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.capability import Capability
 from repro.core.page import Page
 from repro.core.pathname import PagePath
+from repro.obs import NULL_RECORDER
 
 
 @dataclass
@@ -50,10 +51,11 @@ class CacheStats:
 class PageCache:
     """A bounded LRU cache of deserialised pages by block number."""
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, recorder=None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.stats = CacheStats()
         self._pages: OrderedDict[int, Page] = OrderedDict()
 
@@ -61,9 +63,13 @@ class PageCache:
         page = self._pages.get(block)
         if page is None:
             self.stats.misses += 1
+            if self.recorder.enabled:
+                self.recorder.count("cache.misses")
             return None
         self._pages.move_to_end(block)
         self.stats.hits += 1
+        if self.recorder.enabled:
+            self.recorder.count("cache.hits")
         return page
 
     def put(self, block: int, page: Page) -> None:
@@ -75,6 +81,8 @@ class PageCache:
     def invalidate(self, block: int) -> None:
         if self._pages.pop(block, None) is not None:
             self.stats.invalidations += 1
+            if self.recorder.enabled:
+                self.recorder.count("cache.invalidations")
 
     def clear(self) -> None:
         self._pages.clear()

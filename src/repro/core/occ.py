@@ -53,6 +53,7 @@ from repro.core.flags import Flags
 from repro.core.page import NIL, Page, PageRef
 from repro.core.pathname import PagePath
 from repro.core.store import PageStore
+from repro.obs import NULL_RECORDER
 
 
 class _Conflict(Exception):
@@ -88,6 +89,7 @@ def serialise(
     b_root: int,
     c_root: int,
     merge: bool = True,
+    recorder=None,
 ) -> SerialiseResult:
     """Test whether ``V.b`` (root block ``b_root``, uncommitted) can be
     serialised after ``V.c`` (root block ``c_root``, committed), merging
@@ -98,6 +100,23 @@ def serialise(
     mutates ``V.b``'s private pages in memory; a failed test may leave them
     partially merged, which is harmless because the version is discarded.
     """
+    if recorder is None:
+        recorder = NULL_RECORDER
+    with recorder.span("serialise", b_root=b_root, c_root=c_root) as span:
+        result = _serialise(store, b_root, c_root, merge)
+        span.tag(
+            ok=result.ok,
+            pages_visited=result.pages_visited,
+            grafts=result.grafts,
+        )
+        if not result.ok:
+            span.tag(reason=result.reason)
+    return result
+
+
+def _serialise(
+    store: PageStore, b_root: int, c_root: int, merge: bool
+) -> SerialiseResult:
     result = SerialiseResult(ok=True)
     b_page = store.load(b_root)
     c_page = store.load(c_root)

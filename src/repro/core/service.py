@@ -69,6 +69,7 @@ from repro.core.page import NIL, PAGE_BODY_SIZE, Page, PageRef, REF_SIZE
 from repro.core.pathname import PagePath
 from repro.core.registry import FileEntry, FileRegistry, VersionEntry
 from repro.core.store import PageStore
+from repro.obs import NULL_RECORDER
 from repro.sim.network import Network
 
 
@@ -113,6 +114,7 @@ class FileService:
         deferred_writes: bool = True,
         rng=None,
         store: PageStore | None = None,
+        recorder=None,
     ) -> None:
         self.name = name
         self.network = network
@@ -121,14 +123,18 @@ class FileService:
         self.issuer = issuer
         self.account = account
         self.rng = rng
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         if store is not None:
             # An injected store (e.g. a HybridPageStore over mixed media).
             self.store = store
+            if store.recorder is NULL_RECORDER:
+                store.recorder = self.recorder
         else:
             self.store = PageStore(
                 StableClient(network, name, block_port, account),
-                PageCache(cache_capacity),
+                PageCache(cache_capacity, recorder=self.recorder),
                 deferred_writes,
+                recorder=self.recorder,
             )
         self.locks = LockOps(self.store)
         self.metrics = ServiceMetrics()
@@ -605,46 +611,60 @@ class FileService:
             raise VersionAborted(f"version {entry.obj} was aborted")
         v_block = entry.root_block
         base = self.store.load(v_block).base_ref
-        for round_number in range(max_rounds):
-            # "First it ascertains that all of V.b's pages are safely on
-            # disk" — then the single critical section: test-and-set the
-            # base's commit reference.
-            self.store.flush()
-            result = self.store.tas_commit_ref(base, v_block)
-            if result.success:
-                entry.status = "committed"
-                file_entry = self.registry.file(entry.file_obj)
-                file_entry.entry_block = v_block
-                self._live_updates.discard(entry.update_port)
-                # Cache the flag administration while it is still in memory.
-                self._write_paths_cache[v_block] = collect_write_paths(
-                    self.store, v_block
-                ).paths
-                while len(self._write_paths_cache) > 4096:
-                    self._write_paths_cache.pop(
-                        next(iter(self._write_paths_cache))
-                    )
-                self.metrics.commits += 1
-                if round_number == 0:
-                    self.metrics.fast_commits += 1
-                else:
-                    self.metrics.merged_commits += 1
-                return
-            successor = int.from_bytes(result.current, "big")
-            outcome = serialise(self.store, v_block, successor)
-            self.metrics.serialise_runs += 1
-            self.metrics.serialise_pages_visited += outcome.pages_visited
-            if not outcome.ok:
-                self.metrics.conflicts += 1
-                self._remove_version(entry)
-                raise CommitConflict(
-                    f"version {entry.obj} conflicts with committed update at "
-                    f"page '{outcome.conflict_path}': {outcome.reason}"
+        recorder = self.recorder
+        started = self.clock.now
+        with recorder.span("commit", server=self.name, version=entry.obj) as span:
+            for round_number in range(max_rounds):
+                # "First it ascertains that all of V.b's pages are safely on
+                # disk" — then the single critical section: test-and-set the
+                # base's commit reference.
+                self.store.flush()
+                result = self.store.tas_commit_ref(base, v_block)
+                if result.success:
+                    entry.status = "committed"
+                    file_entry = self.registry.file(entry.file_obj)
+                    file_entry.entry_block = v_block
+                    self._live_updates.discard(entry.update_port)
+                    # Cache the flag administration while it is still in memory.
+                    self._write_paths_cache[v_block] = collect_write_paths(
+                        self.store, v_block
+                    ).paths
+                    while len(self._write_paths_cache) > 4096:
+                        self._write_paths_cache.pop(
+                            next(iter(self._write_paths_cache))
+                        )
+                    self.metrics.commits += 1
+                    if round_number == 0:
+                        self.metrics.fast_commits += 1
+                        span.tag(path="fast")
+                    else:
+                        self.metrics.merged_commits += 1
+                        span.tag(path="serialise")
+                    span.tag(rounds=round_number + 1)
+                    recorder.count("commit.committed")
+                    recorder.observe("commit.ticks", self.clock.now - started)
+                    return
+                successor = int.from_bytes(result.current, "big")
+                outcome = serialise(
+                    self.store, v_block, successor, recorder=recorder
                 )
-            base = successor
-        raise CommitConflict(
-            f"version {entry.obj}: commit did not settle in {max_rounds} rounds"
-        )
+                self.metrics.serialise_runs += 1
+                self.metrics.serialise_pages_visited += outcome.pages_visited
+                if not outcome.ok:
+                    self.metrics.conflicts += 1
+                    span.tag(path="conflict", rounds=round_number + 1)
+                    recorder.count("commit.conflicts")
+                    recorder.observe("commit.ticks", self.clock.now - started)
+                    self._remove_version(entry)
+                    raise CommitConflict(
+                        f"version {entry.obj} conflicts with committed update at "
+                        f"page '{outcome.conflict_path}': {outcome.reason}"
+                    )
+                base = successor
+            span.tag(path="unsettled", rounds=max_rounds)
+            raise CommitConflict(
+                f"version {entry.obj}: commit did not settle in {max_rounds} rounds"
+            )
 
     def abort(self, version_cap: Capability) -> None:
         """Explicitly discard an uncommitted version."""

@@ -29,6 +29,7 @@ from repro.core.page import (
     Page,
     pack_commit_ref,
 )
+from repro.obs import NULL_RECORDER
 
 
 class PageStore:
@@ -39,10 +40,12 @@ class PageStore:
         blocks: StableClient,
         cache: PageCache | None = None,
         deferred_writes: bool = True,
+        recorder=None,
     ) -> None:
         self.blocks = blocks
         self.cache = cache if cache is not None else PageCache()
         self.deferred_writes = deferred_writes
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._dirty: dict[int, Page] = {}
 
     # -- reads -----------------------------------------------------------
@@ -95,10 +98,17 @@ class PageStore:
 
     def flush(self) -> int:
         """Write all dirty pages to stable storage; returns how many."""
+        recorder = self.recorder
         count = 0
         for block, page in sorted(self._dirty.items()):
             self.blocks.write(block, page.to_bytes())
             count += 1
+            if recorder.enabled:
+                recorder.event(
+                    "store.page_flush",
+                    block=block,
+                    version_page=page.is_version_page,
+                )
         self._dirty.clear()
         return count
 
@@ -166,6 +176,10 @@ class PageStore:
             block, COMMIT_REF_OFFSET, NIL_COMMIT_REF, pack_commit_ref(new_successor)
         )
         self.cache.invalidate(block)
+        if self.recorder.enabled:
+            self.recorder.event(
+                "store.tas_commit", block=block, success=result.success
+            )
         return result
 
     # A private locker identity for the lock-based commit protocol.
@@ -207,8 +221,8 @@ class HybridPageStore(PageStore):
     page reaches its optical block once, with its final content).
     """
 
-    def __init__(self, blocks, cache: PageCache | None = None) -> None:
-        super().__init__(blocks, cache, deferred_writes=True)
+    def __init__(self, blocks, cache: PageCache | None = None, recorder=None) -> None:
+        super().__init__(blocks, cache, deferred_writes=True, recorder=recorder)
 
     def store_new(self, page: Page) -> int:
         if page.is_version_page:

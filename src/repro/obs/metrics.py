@@ -1,0 +1,170 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+The observability layer's measuring instruments.  Everything is backed by
+the simulation's logical clock (values are ticks, not wall time), so runs
+are deterministic and comparable across machines — the same property the
+benchmarks rely on.
+
+Zero dependencies, plain dicts and lists; a :class:`MetricsRegistry` is
+just a namespace of instruments created on first use, which keeps the
+instrumentation call sites one-liners::
+
+    registry.counter("disk.writes").inc()
+    registry.histogram("commit.ticks").observe(clock_delta)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+# Default latency buckets, in logical ticks.  One network hop is 10 ticks
+# and one disk access is 100-150, so the range spans "pure in-memory" to
+# "dozens of disk round trips".
+DEFAULT_BUCKETS: tuple[int, ...] = (
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease by {n}")
+        self.value += n
+
+
+class Gauge:
+    """A named value that can move both ways (queue depths, cache sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``bounds`` are the inclusive upper edges of the buckets; one implicit
+    overflow bucket catches everything beyond the last edge.  Bucket counts
+    are cumulative-free (each observation lands in exactly one bucket),
+    which keeps the text rendering honest.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[int] | None = None) -> None:
+        self.name = name
+        self.bounds: tuple[int, ...] = tuple(sorted(bounds or DEFAULT_BUCKETS))
+        if not self.bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket edge")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket edges.
+
+        Returns the upper edge of the bucket holding the target rank — a
+        coarse but deterministic estimate, good enough for "p99 under N
+        ticks" style assertions.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for edge, bucket in zip(self.bounds, self.bucket_counts):
+            seen += bucket
+            if seen >= target:
+                return float(edge)
+        return float(self.max if self.max is not None else self.bounds[-1])
+
+
+class MetricsRegistry:
+    """A namespace of instruments, created on first use by name."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, bounds: Iterable[int] | None = None) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def as_dict(self) -> dict:
+        """A JSON-ready snapshot of every instrument."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "bucket_counts": list(h.bucket_counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in raw.get("counters", {}).items():
+            registry.counter(name).value = value
+        for name, value in raw.get("gauges", {}).items():
+            registry.gauge(name).value = value
+        for name, data in raw.get("histograms", {}).items():
+            histogram = registry.histogram(name, data["bounds"])
+            histogram.bucket_counts = list(data["bucket_counts"])
+            histogram.count = data["count"]
+            histogram.total = data["total"]
+            histogram.min = data["min"]
+            histogram.max = data["max"]
+        return registry

@@ -1,0 +1,126 @@
+"""Text and JSON renderers for recorded metrics and traces.
+
+Two consumers: the ``repro stats`` CLI subcommand (human-readable text)
+and tests/tools that want a machine-readable round-trippable snapshot
+(:func:`to_json` / :func:`from_json`).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+# ---------------------------------------------------------------------------
+# text renderers
+# ---------------------------------------------------------------------------
+
+
+def render_metrics(metrics: MetricsRegistry) -> str:
+    """All instruments as aligned text, counters first."""
+    lines: list[str] = []
+    if metrics.counters:
+        width = max(len(name) for name in metrics.counters)
+        lines.append("counters:")
+        for name in sorted(metrics.counters):
+            lines.append(f"  {name:<{width}}  {metrics.counters[name].value}")
+    if metrics.gauges:
+        width = max(len(name) for name in metrics.gauges)
+        lines.append("gauges:")
+        for name in sorted(metrics.gauges):
+            lines.append(f"  {name:<{width}}  {metrics.gauges[name].value}")
+    for name in sorted(metrics.histograms):
+        lines.append(render_histogram(metrics.histograms[name]))
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_histogram(histogram: Histogram, bar_width: int = 30) -> str:
+    """One histogram as a labelled ASCII bar chart."""
+    lines = [
+        f"histogram {histogram.name}: count={histogram.count} "
+        f"mean={histogram.mean:.1f} min={histogram.min} max={histogram.max}"
+    ]
+    peak = max(histogram.bucket_counts) or 1
+    labels = [f"<= {edge}" for edge in histogram.bounds] + [
+        f" > {histogram.bounds[-1]}"
+    ]
+    width = max(len(label) for label in labels)
+    for label, count in zip(labels, histogram.bucket_counts):
+        if count == 0:
+            continue
+        bar = "#" * max(1, round(bar_width * count / peak))
+        lines.append(f"  {label:>{width}}  {count:>6}  {bar}")
+    return "\n".join(lines)
+
+
+def render_span(span: Span, indent: str = "") -> str:
+    """One span tree as indented text, events summarised per span."""
+    tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+    line = f"{indent}{span.name} ({span.duration} ticks)"
+    if tags:
+        line += f" [{tags}]"
+    lines = [line]
+    if span.counters:
+        summary = ", ".join(
+            f"{name}×{count}" for name, count in sorted(span.counters.items())
+        )
+        lines.append(f"{indent}  · {summary}")
+    for child in span.children:
+        lines.append(render_span(child, indent + "  "))
+    return "\n".join(lines)
+
+
+def render_commit_table(tracer: Tracer) -> str:
+    """The commit-path breakdown the paper's claims are about: how many
+    commits took the one-block fast path versus the serialise path, and
+    what each cost."""
+    groups: dict[str, list[Span]] = {}
+    for span in tracer.spans_named("commit"):
+        groups.setdefault(str(span.tags.get("path", "?")), []).append(span)
+    if not groups:
+        return "(no commits recorded)"
+    header = f"{'path':<10} {'commits':>8} {'avg ticks':>10} {'max ticks':>10}"
+    lines = [header, "-" * len(header)]
+    for path in sorted(groups):
+        spans = groups[path]
+        durations = [span.duration for span in spans]
+        lines.append(
+            f"{path:<10} {len(spans):>8} "
+            f"{sum(durations) / len(durations):>10.0f} {max(durations):>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(recorder) -> str:
+    """The full text report: metrics, commit table, recent span trees."""
+    sections = [render_metrics(recorder.metrics), render_commit_table(recorder.tracer)]
+    recent = list(recorder.tracer.roots)[-5:]
+    if recent:
+        sections.append("recent spans:")
+        sections.extend(render_span(span, "  ") for span in recent)
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip
+# ---------------------------------------------------------------------------
+
+
+def to_dict(recorder) -> dict:
+    return {
+        "metrics": recorder.metrics.as_dict(),
+        "spans": [span.to_dict() for span in recorder.tracer.roots],
+    }
+
+
+def to_json(recorder, indent: int | None = None) -> str:
+    return json.dumps(to_dict(recorder), indent=indent, sort_keys=True)
+
+
+def from_json(raw: str) -> tuple[MetricsRegistry, list[Span]]:
+    """Rebuild the metrics registry and root spans from :func:`to_json`."""
+    data = json.loads(raw)
+    metrics = MetricsRegistry.from_dict(data.get("metrics", {}))
+    spans = [Span.from_dict(s) for s in data.get("spans", [])]
+    return metrics, spans

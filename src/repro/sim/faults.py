@@ -18,6 +18,10 @@ class CrashSchedule:
     ``after_ops`` counts calls to :meth:`tick`; when the count reaches the
     threshold, :meth:`tick` returns True exactly once and the component is
     expected to crash itself.  ``after_ops=None`` never fires.
+
+    :meth:`tick` keeps counting after the crash has fired (and when no
+    threshold is set), so ``count`` is always the true number of operations
+    seen — metrics derived from it must not freeze at the crash point.
     """
 
     after_ops: int | None = None
@@ -26,9 +30,9 @@ class CrashSchedule:
 
     def tick(self) -> bool:
         """Record one operation; return True when the crash should happen."""
+        self._count += 1
         if self.after_ops is None or self._fired:
             return False
-        self._count += 1
         if self._count >= self.after_ops:
             self._fired = True
             return True
@@ -37,6 +41,11 @@ class CrashSchedule:
     @property
     def fired(self) -> bool:
         return self._fired
+
+    @property
+    def count(self) -> int:
+        """Operations seen so far (keeps increasing after the crash fires)."""
+        return self._count
 
     def reset(self) -> None:
         self._count = 0

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import MessageDropped, ServerUnreachable
+from repro.obs import NULL_RECORDER
 from repro.sim.clock import LogicalClock
 from repro.sim.faults import DropPolicy
 
@@ -62,10 +63,12 @@ class Network:
         clock: LogicalClock | None = None,
         hop_ticks: int = DEFAULT_HOP_TICKS,
         drop_policy: DropPolicy | None = None,
+        recorder=None,
     ) -> None:
         self.clock = clock if clock is not None else LogicalClock()
         self.hop_ticks = hop_ticks
         self.drop_policy = drop_policy if drop_policy is not None else DropPolicy()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.stats = NetworkStats()
         self._handlers: dict[str, Callable[[str, Any], Any]] = {}
         self._detached: set[str] = set()
@@ -121,18 +124,24 @@ class Network:
         self.clock.advance(self.hop_ticks)
         self.stats.messages += 1
         self.stats.bytes += size
+        if self.recorder.enabled:
+            self.recorder.count("net.messages")
         if self.tracer is not None:
             self.tracer(sender, dest, payload)
         if self.drop_policy.should_drop():
             self.stats.drops += 1
+            self.recorder.count("net.drops")
             raise MessageDropped(f"{sender} -> {dest}")
         if not self.reachable(sender, dest):
             self.stats.unreachable += 1
+            self.recorder.count("net.unreachable")
             raise ServerUnreachable(f"{sender} -> {dest}")
         reply = self._handlers[dest](sender, payload)
         # Reply hop.
         self.clock.advance(self.hop_ticks)
         self.stats.messages += 1
+        if self.recorder.enabled:
+            self.recorder.count("net.messages")
         return reply
 
     # -- introspection -------------------------------------------------------

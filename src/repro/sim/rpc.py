@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import MessageDropped, ServerUnreachable
+from repro.obs import NULL_RECORDER
 from repro.sim.network import Network
 
 
@@ -116,6 +117,9 @@ class Transaction:
             nodes.insert(0, prefer)
         if not nodes:
             raise ServerUnreachable(f"no server registered on port {port:#x}")
+        recorder = getattr(self.network, "recorder", NULL_RECORDER)
+        if recorder.enabled:
+            recorder.event("rpc." + command, port=port, client=self.client_node)
         request = Request(command, params)
         last_error: Exception | None = None
         for node in nodes:
@@ -125,9 +129,11 @@ class Transaction:
                     return self.network.send(self.client_node, node, request)
                 except MessageDropped as exc:
                     last_error = exc
+                    recorder.count("rpc.retries")
                     continue  # retry same node
                 except ServerUnreachable as exc:
                     last_error = exc
+                    recorder.count("rpc.failovers")
                     break  # fail over to next node
         assert last_error is not None
         raise last_error

@@ -22,6 +22,7 @@ from repro.core.gc import GarbageCollector
 from repro.core.registry import FileRegistry
 from repro.core.service import FileService
 from repro.core.system_tree import SystemTree
+from repro.obs import NULL_RECORDER
 from repro.sim.faults import FaultPlan
 from repro.sim.network import Network
 from repro.sim.rpc import RpcEndpoint
@@ -45,6 +46,7 @@ class Cluster:
     endpoints: list[RpcEndpoint]
     faults: FaultPlan = field(default_factory=FaultPlan)
     optical_pair: StablePair | None = None  # set on hybrid deployments
+    recorder: object = NULL_RECORDER  # the shared observability recorder
 
     def fs(self, index: int = 0) -> FileService:
         """The ``index``-th file server process."""
@@ -70,6 +72,7 @@ def build_hybrid_cluster(
     optical_capacity: int = 1 << 20,
     cache_capacity: int = 4096,
     hop_ticks: int = 10,
+    recorder=None,
 ) -> Cluster:
     """Build a deployment on hybrid media (Figure 2): version pages on a
     rewritable magnetic pair, all other pages on a genuinely write-once
@@ -81,17 +84,20 @@ def build_hybrid_cluster(
     from repro.core.cache import PageCache
 
     rng = random.Random(seed)
-    network = Network(hop_ticks=hop_ticks)
+    if recorder is None:
+        recorder = NULL_RECORDER
+    network = Network(hop_ticks=hop_ticks, recorder=recorder)
+    recorder.bind_clock(network.clock)
     magnetic_port = new_port(rng)
     optical_port = new_port(rng)
     service_port = new_port(rng)
     magnetic = StablePair(
         network, magnetic_port, capacity=magnetic_capacity,
-        name_a="magA", name_b="magB",
+        name_a="magA", name_b="magB", recorder=recorder,
     )
     optical = StablePair(
         network, optical_port, capacity=optical_capacity,
-        name_a="optA", name_b="optB", write_once=True,
+        name_a="optA", name_b="optB", write_once=True, recorder=recorder,
     )
     registry = FileRegistry()
     issuer = CapabilityIssuer(service_port)
@@ -113,7 +119,12 @@ def build_hybrid_cluster(
             magnetic_port,
             FILE_SERVICE_ACCOUNT,
             rng=rng,
-            store=HybridPageStore(hybrid, PageCache(cache_capacity)),
+            store=HybridPageStore(
+                hybrid,
+                PageCache(cache_capacity, recorder=recorder),
+                recorder=recorder,
+            ),
+            recorder=recorder,
         )
         fs_list.append(service)
         endpoints.append(RpcEndpoint(network, name, service_port, service))
@@ -127,6 +138,7 @@ def build_hybrid_cluster(
         issuer=issuer,
         servers=fs_list,
         endpoints=endpoints,
+        recorder=recorder,
     )
     cluster.optical_pair = optical
     return cluster
@@ -140,19 +152,29 @@ def build_cluster(
     deferred_writes: bool = True,
     write_once: bool = False,
     hop_ticks: int = 10,
+    recorder=None,
 ) -> Cluster:
     """Build a network + stable block pair + ``servers`` file servers.
 
     All file servers share the block storage, the registry (the replicated
     file table) and the capability issuer, so any server can serve any
     file — the deployment §5.4.1 describes.
+
+    ``recorder`` (a :class:`repro.obs.Recorder`) is threaded through every
+    layer — network, disks, block servers, page stores, file services — so
+    one recorder sees the whole deployment; the default is the no-op
+    recorder and costs nothing.
     """
     rng = random.Random(seed)
-    network = Network(hop_ticks=hop_ticks)
+    if recorder is None:
+        recorder = NULL_RECORDER
+    network = Network(hop_ticks=hop_ticks, recorder=recorder)
+    recorder.bind_clock(network.clock)
     block_port = new_port(rng)
     service_port = new_port(rng)
     pair = StablePair(
-        network, block_port, capacity=disk_capacity, write_once=write_once
+        network, block_port, capacity=disk_capacity, write_once=write_once,
+        recorder=recorder,
     )
     registry = FileRegistry()
     issuer = CapabilityIssuer(service_port)
@@ -170,6 +192,7 @@ def build_cluster(
             cache_capacity=cache_capacity,
             deferred_writes=deferred_writes,
             rng=rng,
+            recorder=recorder,
         )
         fs_list.append(service)
         endpoints.append(RpcEndpoint(network, name, service_port, service))
@@ -183,4 +206,5 @@ def build_cluster(
         issuer=issuer,
         servers=fs_list,
         endpoints=endpoints,
+        recorder=recorder,
     )

@@ -263,3 +263,39 @@ def check_cluster(cluster, gc_expected_clean: bool = False) -> CheckReport:
         else:
             report.warn("stable pair disks disagree (one half down/recovering)")
     return report
+
+
+def main() -> int:
+    """``python -m repro.tools.check`` — the CI gate: exercise a busy
+    deployment (several files, concurrent updates, a crash and restart,
+    a GC pass) and fail on any invariant violation."""
+    from repro.core.pathname import PagePath
+    from repro.testbed import build_cluster
+
+    cluster = build_cluster(servers=2, seed=1985)
+    fs = cluster.fs()
+    caps = [fs.create_file(b"file %d" % i) for i in range(4)]
+    for round_number in range(3):
+        for cap in caps:
+            handle = fs.create_version(cap)
+            fs.write_page(
+                handle.version, PagePath.ROOT, b"round %d" % round_number
+            )
+            fs.commit(handle.version)
+    # A crash mid-update must leave the system clean.
+    doomed = fs.create_version(caps[0])
+    fs.write_page(doomed.version, PagePath.ROOT, b"lost")
+    fs.crash()
+    fs.restart()
+    cluster.gc(1).collect()
+    report = check_cluster(cluster)
+    print(report.summary())
+    for line in report.errors:
+        print("ERROR:", line)
+    for line in report.warnings:
+        print("warning:", line)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

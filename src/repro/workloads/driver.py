@@ -66,6 +66,7 @@ class RunResult:
     lock_waits: int = 0
     messages: int = 0
     client_ticks: list[int] = field(default_factory=list)
+    obs_summary: str = ""  # observability summary table (with a recorder)
 
     @property
     def throughput(self) -> float:
@@ -348,30 +349,59 @@ def run_workload(
     network,
     max_redos: int = 32,
     order=None,
+    recorder=None,
 ) -> RunResult:
     """Run ``workload`` (one transaction list per client) to completion.
 
     Counts only the work done by the run itself: counters are measured as
     deltas around it.  ``order`` optionally drives the interleaving (for
     property tests); the default is round-robin.
+
+    With a live ``recorder`` (normally the same one the cluster under the
+    adapter was built with), the run is wrapped in a ``workload`` span and
+    ``result.obs_summary`` carries the post-run summary table: the
+    commit-path breakdown (fast versus serialise versus conflict) and the
+    recorded metrics.  Callers that want it on a terminal just print it.
     """
+    if recorder is None:
+        from repro.obs import NULL_RECORDER
+
+        recorder = NULL_RECORDER
     adapter.setup(n_pages)
     result = RunResult(system=adapter.name)
     net_before = network.stats.snapshot()
     ticks_before = network.clock.now
     scheduler = Scheduler()
     meters = []
-    for client_id, specs in enumerate(workload):
-        meter = _Meter(network.clock)
-        meters.append(meter)
-        scheduler.spawn(
-            f"{adapter.name}-client{client_id}",
-            _client_script(adapter, specs, result, meter, max_redos),
-        )
-    scheduler.run(order=order)
+    with recorder.span("workload", system=adapter.name, clients=len(workload)):
+        for client_id, specs in enumerate(workload):
+            meter = _Meter(network.clock)
+            meters.append(meter)
+            scheduler.spawn(
+                f"{adapter.name}-client{client_id}",
+                _client_script(adapter, specs, result, meter, max_redos),
+            )
+        scheduler.run(order=order)
     result.work_ticks = network.clock.now - ticks_before
     result.client_ticks = [meter.total for meter in meters]
     result.makespan = max(result.client_ticks, default=0)
     delta = network.stats.delta(net_before)
     result.messages = delta.messages
+    if recorder.enabled:
+        result.obs_summary = summarize_run(recorder, result)
     return result
+
+
+def summarize_run(recorder, result: RunResult) -> str:
+    """The driver's after-run summary: headline numbers, the commit-path
+    table, and the recorded metrics."""
+    from repro.obs.report import render_commit_table, render_metrics
+
+    headline = (
+        f"{result.system}: {result.committed} committed, "
+        f"{result.redo_attempts} redo attempts, {result.gave_up} gave up, "
+        f"makespan {result.makespan} ticks, {result.messages} messages"
+    )
+    return "\n\n".join(
+        [headline, render_commit_table(recorder.tracer), render_metrics(recorder.metrics)]
+    )

@@ -5,6 +5,8 @@ import pytest
 from repro.errors import CompanionConflict, ServerCrashed, ServerUnreachable
 from repro.capability import new_port
 from repro.block.stable import StableClient, StablePair
+from repro.obs import Recorder
+from repro.sim.faults import CrashSchedule
 from repro.sim.network import Network
 
 
@@ -203,3 +205,60 @@ def test_crashed_half_rejects_companion_traffic(pair):
     pair.b.crash()
     with pytest.raises((ServerCrashed, ServerUnreachable)):
         pair.b.cmd_companion_write("blockA", 1, 5, b"x")
+
+
+# -- the observability layer watching the pair -------------------------------
+
+
+@pytest.fixture
+def recorder():
+    return Recorder()
+
+
+@pytest.fixture
+def obs_pair(recorder):
+    net = Network(recorder=recorder)
+    recorder.bind_clock(net.clock)
+    return StablePair(net, 0x500, capacity=64, block_size=256, recorder=recorder)
+
+
+def test_span_shows_companion_first_write_order(obs_pair, recorder):
+    """The §4 ordering — "writes are always carried out on the companion
+    disk first" — read straight off the span's event stream."""
+    with recorder.span("stable.write") as span:
+        block = obs_pair.a.cmd_allocate_write(1, b"replicated")
+    writes = span.events_named("disk.write")
+    assert [event.tags["disk"] for event in writes] == ["blockB", "blockA"]
+    assert writes[0].tick < writes[1].tick
+    assert writes[0].tags["block"] == writes[1].tags["block"] == block
+    assert span.counters["stable.companion_rpc"] == 1
+
+
+def test_span_shows_only_companion_write_when_origin_crashes(obs_pair, recorder):
+    """Inject a crash between the companion write and the local write: the
+    span records exactly one disk write — the companion's — and the data
+    is already durable there (why companion-first is crash-safe)."""
+    schedule = CrashSchedule(after_ops=1)
+    with recorder.span("stable.write") as span:
+        op = obs_pair.a.begin_allocate_write(1, b"half-written")
+        assert schedule.tick()  # the companion step was operation one
+        obs_pair.a.crash()  # ...and the origin dies before its own write
+    writes = span.events_named("disk.write")
+    assert [event.tags["disk"] for event in writes] == ["blockB"]
+    assert obs_pair.disk_b.read(op.block_no) == b"half-written"
+    assert not obs_pair.disk_a.holds(op.block_no)
+    # The schedule keeps counting past the crash (metrics must not freeze).
+    assert not schedule.tick()
+    assert schedule.count == 2 and schedule.fired
+
+
+def test_resync_metrics_count_applied_intentions(obs_pair, recorder):
+    block = obs_pair.a.cmd_allocate_write(1, b"v1")
+    obs_pair.b.crash()
+    obs_pair.a.cmd_write(1, block, b"v2")
+    intents = recorder.metrics.counter("stable.intention").value
+    assert intents == 1
+    obs_pair.b.restart()
+    obs_pair.b.resync()
+    assert recorder.metrics.counter("stable.resync_applied").value == 1
+    assert obs_pair.consistent()

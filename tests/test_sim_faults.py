@@ -12,6 +12,26 @@ def test_crash_schedule_fires_once_at_threshold():
 def test_crash_schedule_never_fires_by_default():
     crash = CrashSchedule()
     assert not any(crash.tick() for _ in range(100))
+    assert crash.count == 100  # ops are still counted without a threshold
+
+
+def test_crash_schedule_keeps_counting_after_firing():
+    """``count`` is the true number of operations seen; it must not freeze
+    once the crash has fired (metrics are derived from it)."""
+    crash = CrashSchedule(after_ops=2)
+    for _ in range(5):
+        crash.tick()
+    assert crash.fired
+    assert crash.count == 5
+
+
+def test_crash_schedule_reset_clears_count():
+    crash = CrashSchedule(after_ops=2)
+    crash.tick()
+    crash.tick()
+    crash.reset()
+    assert crash.count == 0
+    assert not crash.fired
 
 
 def test_crash_schedule_reset():

@@ -115,14 +115,15 @@ def _salvage() -> None:
         print(f"  file {obj}: {data!r}")
 
 
-def _stats() -> None:
+def _stats(extra: list[str] | None = None) -> None:
     from repro.obs import Recorder
     from repro.obs.report import (
         render_commit_table,
         render_metrics,
+        render_shard_table,
         render_span,
     )
-    from repro.testbed import build_cluster
+    from repro.testbed import build_cluster, build_sharded_cluster
 
     recorder = Recorder()
     cluster = build_cluster(servers=2, seed=11, recorder=recorder)
@@ -171,6 +172,27 @@ def _stats() -> None:
         print(render_span(span))
         print()
 
+    # A sharded deployment: the same workload shape, block storage spread
+    # over K companion pairs (``repro stats [shards]``; default 4).
+    shards = int(extra[0]) if extra else 4
+    sharded_recorder = Recorder()
+    sharded = build_sharded_cluster(
+        shards=shards, servers=1, seed=11, recorder=sharded_recorder
+    )
+    fs = sharded.fs()
+    for i in range(8):
+        cap = fs.create_file(b"sharded file %d" % i)
+        handle = fs.create_version(cap)
+        fs.append_page(handle.version, ROOT, b"a page on some shard")
+        fs.commit(handle.version)
+
+    print(f"sharded deployment ({shards} shards)")
+    print("=" * (22 + len(str(shards))))
+    print(render_shard_table(sharded_recorder.metrics))
+    print()
+    counts = sharded.shards.allocation_counts()
+    print("blocks allocated per shard:", counts)
+
 
 def main(argv: list[str]) -> None:
     command = argv[1] if len(argv) > 1 else "demo"
@@ -181,7 +203,7 @@ def main(argv: list[str]) -> None:
     elif command == "salvage":
         _salvage()
     elif command == "stats":
-        _stats()
+        _stats(argv[2:])
     else:
         print(__doc__)
         sys.exit(2)

@@ -81,6 +81,23 @@ class HybridBlockClient:
         client, local = self._route(block)
         client.write(local, data)
 
+    def write_many(self, writes: list[tuple[int, bytes]]) -> int:
+        """Batch-write across both media: one batched transaction per pair
+        (the commit flush groups by device exactly as it groups by shard)."""
+        magnetic: list[tuple[int, bytes]] = []
+        optical: list[tuple[int, bytes]] = []
+        for block, data in writes:
+            if self.is_optical(block):
+                optical.append((block - OPTICAL_BASE, data))
+            else:
+                magnetic.append((block, data))
+        written = 0
+        if magnetic:
+            written += self.magnetic.write_many(magnetic)
+        if optical:
+            written += self.optical.write_many(optical)
+        return written
+
     def read(self, block: int) -> bytes:
         client, local = self._route(block)
         return client.read(local)

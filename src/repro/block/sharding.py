@@ -1,0 +1,365 @@
+"""Sharded block storage: N companion pairs behind one client interface.
+
+"The file service can be distributed over multiple block-server pairs" —
+the paper's scaling story.  This module supplies it:
+
+* :class:`ShardMap` — the deterministic placement map.  Each shard owns a
+  disjoint, contiguous slice of the global block-number space (``stride``
+  numbers per shard), so routing an *existing* block to its shard is pure
+  arithmetic on the number itself: no directory, no lookup traffic, and
+  any client or server derives the same answer.  Page references stay
+  plain block numbers; everything above the block layer is shard-oblivious.
+
+* :class:`ShardedBlockService` — the server side: N :class:`~repro.block.
+  stable.StablePair` companion pairs, one service port per shard, each
+  pair internally replicated and recoverable exactly as a single pair is.
+
+* :class:`ShardedBlockClient` — the client side: implements the same verb
+  set as :class:`~repro.block.stable.StableClient` (plus ``write_many``),
+  routing placed blocks by the map and spreading *new* allocations
+  round-robin across shards.  Failover is two-level: within a shard the
+  transaction layer fails over between the pair's halves; a whole pair
+  that stops answering is retried with backoff (transient outages:
+  restarts, partitions) and, for allocations only, skipped in favour of
+  the next shard — an allocation has no placement constraint until it
+  happens.
+
+Batching: ``write_many`` groups a commit flush by shard and ships each
+group as one transaction, so an M-page commit costs O(shards) round trips
+instead of O(M); the stable layer replicates each batch companion-first
+as a unit (see ``StableServer.cmd_write_many``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServerCrashed, ServerUnreachable
+from repro.block.server import BLOCK_SIZE, TasResult
+from repro.block.stable import StablePair, StableServer
+from repro.obs import NULL_RECORDER
+from repro.sim.network import Network
+from repro.sim.rpc import Transaction
+
+# Each shard owns this many consecutive block numbers by default.  Global
+# block numbers are ``shard * stride + local`` with local in [1, stride],
+# so any pair capacity up to the stride fits without overlap.
+DEFAULT_SHARD_STRIDE = 1 << 22
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The deterministic block-number → shard placement map.
+
+    Pure arithmetic, shared by clients and servers: shard ``s`` owns the
+    global numbers ``s*stride + 1 .. (s+1)*stride``.
+    """
+
+    shards: int
+    stride: int = DEFAULT_SHARD_STRIDE
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("a sharded service needs at least one shard")
+        if self.stride < 1:
+            raise ValueError("shard stride must be positive")
+
+    def shard_of(self, block: int) -> int:
+        """The shard that owns a global block number."""
+        shard = (block - 1) // self.stride
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"block {block} maps to shard {shard}, outside 0..{self.shards - 1}"
+            )
+        return shard
+
+    def local_of(self, block: int) -> int:
+        """The shard-local block number behind a global one."""
+        return block - self.shard_of(block) * self.stride
+
+    def global_of(self, shard: int, local: int) -> int:
+        """Splice a shard-local number into the global namespace."""
+        if not 1 <= local <= self.stride:
+            raise ValueError(f"local block {local} outside 1..{self.stride}")
+        return shard * self.stride + local
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retries against a shard that stops answering.
+
+    ``attempts`` transactions are tried, separated by an exponentially
+    growing backoff charged to the logical clock — a restarting pair or a
+    healing partition gets a chance to come back before the error reaches
+    the caller.  Transient message drops are already retried one level
+    down by the transaction layer; this policy is about whole-pair
+    unreachability.
+    """
+
+    attempts: int = 3
+    backoff_ticks: int = 40
+    multiplier: int = 2
+
+
+class ShardedBlockService:
+    """The server side of a sharded deployment: one stable pair per shard.
+
+    Pairs are named ``shard<i>A`` / ``shard<i>B`` and listen on one port
+    per shard (``ports[i]``), so the transaction layer's half-failover
+    works per shard unchanged.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        ports: list[int],
+        capacity: int = 4096,
+        block_size: int = BLOCK_SIZE,
+        stride: int = DEFAULT_SHARD_STRIDE,
+        write_once: bool = False,
+        recorder=None,
+    ) -> None:
+        if capacity > stride:
+            raise ValueError(
+                f"pair capacity {capacity} exceeds shard stride {stride}; "
+                f"shards would overlap in the global namespace"
+            )
+        self.network = network
+        self.ports = list(ports)
+        self.map = ShardMap(len(self.ports), stride)
+        if recorder is None:
+            recorder = getattr(network, "recorder", None)
+        self.pairs: list[StablePair] = [
+            StablePair(
+                network,
+                port,
+                capacity=capacity,
+                block_size=block_size,
+                name_a=f"shard{i}A",
+                name_b=f"shard{i}B",
+                write_once=write_once,
+                recorder=recorder,
+            )
+            for i, port in enumerate(self.ports)
+        ]
+
+    @property
+    def shards(self) -> int:
+        return len(self.pairs)
+
+    def pair(self, shard: int) -> StablePair:
+        return self.pairs[shard]
+
+    def halves(self, shard: int) -> tuple[StableServer, StableServer]:
+        return self.pairs[shard].halves()
+
+    def client(
+        self,
+        client_node: str,
+        account: int,
+        recorder=None,
+        retry: RetryPolicy | None = None,
+    ) -> "ShardedBlockClient":
+        """A shard-routing client bound to one network node."""
+        return ShardedBlockClient(
+            self.network,
+            client_node,
+            self.ports,
+            account,
+            shard_map=self.map,
+            recorder=recorder,
+            retry=retry,
+        )
+
+    def consistent(self) -> bool:
+        """Whether every shard's two disks agree (audit)."""
+        return all(pair.consistent() for pair in self.pairs)
+
+    def allocation_counts(self) -> list[int]:
+        """Blocks allocated per shard (balance audits and reports)."""
+        return [
+            len(list(pair.a.local.allocated_blocks())) for pair in self.pairs
+        ]
+
+
+class ShardedBlockClient:
+    """Client-side view of a sharded block service.
+
+    Same verb set as :class:`~repro.block.stable.StableClient`, so page
+    stores and file servers plug in unchanged; block numbers in and out
+    are global.  Per-shard traffic is counted on the recorder under
+    ``shard.s<i>.*`` so deployments can watch their balance.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        client_node: str,
+        ports: list[int],
+        account: int,
+        shard_map: ShardMap | None = None,
+        recorder=None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.network = network
+        self.txn = Transaction(network, client_node)
+        self.ports = list(ports)
+        self.account = account
+        self.map = shard_map if shard_map is not None else ShardMap(len(self.ports))
+        if self.map.shards != len(self.ports):
+            raise ValueError(
+                f"shard map covers {self.map.shards} shards but "
+                f"{len(self.ports)} ports were given"
+            )
+        if recorder is None:
+            recorder = getattr(network, "recorder", NULL_RECORDER)
+        self.recorder = recorder
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._next_shard = 0
+
+    # -- shard-level transaction with retry/backoff -------------------------
+
+    def _call(self, shard: int, command: str, **params):
+        """One transaction against a shard, retrying whole-pair outages
+        with exponential backoff (the transaction layer already handles
+        drops and half-failover underneath)."""
+        delay = self.retry.backoff_ticks
+        last: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            try:
+                return self.txn.call(self.ports[shard], command, **params)
+            except (ServerUnreachable, ServerCrashed) as exc:
+                last = exc
+                if self.recorder.enabled:
+                    self.recorder.event(
+                        "shard.retry", shard=shard, command=command
+                    )
+                if attempt + 1 < self.retry.attempts:
+                    self.network.clock.advance(delay)
+                    delay *= self.retry.multiplier
+        assert last is not None
+        raise last
+
+    def _count(self, shard: int, what: str, n: int = 1) -> None:
+        if self.recorder.enabled:
+            self.recorder.count(f"shard.s{shard}.{what}", n)
+
+    # -- allocation: round-robin placement with shard failover ---------------
+
+    def _allocate_on_some_shard(self, command: str, **params) -> int:
+        """Run an allocation verb on the next shard in round-robin order,
+        skipping shards whose pair is entirely unreachable — a new block
+        has no placement constraint, so an allocation never needs to wait
+        for a down shard."""
+        last: Exception | None = None
+        for offset in range(self.map.shards):
+            shard = (self._next_shard + offset) % self.map.shards
+            try:
+                local = self.txn.call(self.ports[shard], command, **params)
+            except (ServerUnreachable, ServerCrashed) as exc:
+                last = exc
+                if self.recorder.enabled:
+                    self.recorder.event("shard.alloc_failover", shard=shard)
+                continue
+            self._next_shard = (shard + 1) % self.map.shards
+            self._count(shard, "allocs")
+            return self.map.global_of(shard, local)
+        assert last is not None
+        raise last
+
+    def allocate_write(self, data: bytes) -> int:
+        return self._allocate_on_some_shard(
+            "allocate_write", account=self.account, data=data
+        )
+
+    def allocate(self) -> int:
+        """Reserve a block on both disks of some shard, data to follow."""
+        return self._allocate_on_some_shard("allocate", account=self.account)
+
+    # -- placed-block verbs (routed by the map) ------------------------------
+
+    def write(self, block_no: int, data: bytes) -> None:
+        shard = self.map.shard_of(block_no)
+        self._call(
+            shard,
+            "write",
+            account=self.account,
+            block_no=self.map.local_of(block_no),
+            data=data,
+        )
+        self._count(shard, "pages_written")
+
+    def write_many(self, writes: list[tuple[int, bytes]]) -> int:
+        """Group a batch by shard and ship one transaction per shard.
+
+        This is the commit flush path: an M-page flush costs one round
+        trip per *touched shard*, not one per page.
+        """
+        if not writes:
+            return 0
+        by_shard: dict[int, list[tuple[int, bytes]]] = {}
+        for block_no, data in writes:
+            shard = self.map.shard_of(block_no)
+            by_shard.setdefault(shard, []).append(
+                (self.map.local_of(block_no), data)
+            )
+        written = 0
+        for shard in sorted(by_shard):
+            group = by_shard[shard]
+            written += self._call(
+                shard, "write_many", account=self.account, writes=group
+            )
+            self._count(shard, "pages_written", len(group))
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "shard.batch", shard=shard, pages=len(group)
+                )
+        return written
+
+    def read(self, block_no: int) -> bytes:
+        shard = self.map.shard_of(block_no)
+        data = self._call(
+            shard, "read", account=self.account, block_no=self.map.local_of(block_no)
+        )
+        self._count(shard, "reads")
+        return data
+
+    def free(self, block_no: int) -> None:
+        shard = self.map.shard_of(block_no)
+        self._call(
+            shard, "free", account=self.account, block_no=self.map.local_of(block_no)
+        )
+
+    def test_and_set(
+        self, block_no: int, offset: int, expected: bytes, new: bytes
+    ) -> TasResult:
+        shard = self.map.shard_of(block_no)
+        return self._call(
+            shard,
+            "test_and_set",
+            account=self.account,
+            block_no=self.map.local_of(block_no),
+            offset=offset,
+            expected=expected,
+            new=new,
+        )
+
+    def lock(self, block_no: int, locker: int) -> bool:
+        shard = self.map.shard_of(block_no)
+        return self._call(
+            shard, "lock", block_no=self.map.local_of(block_no), locker=locker
+        )
+
+    def unlock(self, block_no: int, locker: int) -> None:
+        shard = self.map.shard_of(block_no)
+        self._call(
+            shard, "unlock", block_no=self.map.local_of(block_no), locker=locker
+        )
+
+    def recover(self) -> list[int]:
+        """The §4 recovery operation, unioned across every shard."""
+        blocks: list[int] = []
+        for shard in range(self.map.shards):
+            for local in self._call(shard, "recover", account=self.account):
+                blocks.append(self.map.global_of(shard, local))
+        return sorted(blocks)

@@ -50,6 +50,10 @@ from repro.sim.network import Network
 from repro.sim.rpc import Request, RpcEndpoint, Transaction
 
 
+# Histogram buckets for flush-batch sizes (pages per write_many).
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
 @dataclass
 class _PendingOp:
     """An operation in flight at its origin server."""
@@ -94,6 +98,7 @@ class StableServer:
         self.recorder = disk.recorder
         self._pending: dict[int, _PendingOp] = {}
         self._next_op = 1
+        self._alloc_cursor = 1  # rotating allocation cursor (see _choose_block)
         self._intentions: list[_Intention] = []
         self._recovering = False
         self._crashed = False
@@ -160,16 +165,29 @@ class StableServer:
         """One message exchange with the companion (counted by the network).
 
         Dropped messages are retried — the Amoeba transaction primitive the
-        servers talk over does its own retransmission.
+        servers talk over does its own retransmission.  Every transmission
+        attempt is a ``stable.companion_rpc`` event (a dropped request still
+        crossed the wire), and retransmissions are additionally counted as
+        ``stable.companion_retransmit`` so drop-rate experiments see the
+        true traffic.
         """
         from repro.errors import MessageDropped
 
-        if self.recorder.enabled:
-            self.recorder.event(
-                "stable.companion_rpc", origin=self.name, command=command
-            )
         last: Exception | None = None
-        for _ in range(4):
+        for attempt in range(4):
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "stable.companion_rpc",
+                    origin=self.name,
+                    command=command,
+                    attempt=attempt + 1,
+                )
+                if attempt > 0:
+                    self.recorder.event(
+                        "stable.companion_retransmit",
+                        origin=self.name,
+                        command=command,
+                    )
             try:
                 return self.network.send(
                     self.name, self.companion_name, Request(command, params)
@@ -300,11 +318,27 @@ class StableServer:
         Both halves choose independently from the same number space, so
         simultaneous allocations can "accidentally" collide — which the
         companion step detects (§4, allocate collisions).
+
+        A rotating cursor remembers where the last search ended, so a
+        filling disk costs O(1) amortised per allocation instead of
+        rescanning every allocated block from number 1 each time; blocks
+        freed behind the cursor are found again after one wrap.
         """
-        hint = 1
+        from repro.errors import DiskFull
+
+        hint = self._alloc_cursor
+        wrapped = False
         while True:
-            candidate = self.local.disk.first_free(hint)
+            try:
+                candidate = self.local.disk.first_free(hint)
+            except DiskFull:
+                if wrapped or self._alloc_cursor == 1:
+                    raise
+                hint = 1
+                wrapped = True
+                continue
             if candidate not in self._pending and self.local.owner_of(candidate) is None:
+                self._alloc_cursor = candidate + 1
                 return candidate
             hint = candidate + 1
 
@@ -322,13 +356,14 @@ class StableServer:
         op = self.begin_write(account, block_no, data)
         self.finish_op(op)
 
-    def cmd_read(self, account: int, block_no: int) -> bytes:
-        """Read locally; on corruption, fetch from the companion and repair.
+    def _checked_read(self, account: int, block_no: int) -> bytes:
+        """Read a block through the integrity check; on corruption, fetch
+        the companion's copy and repair the local one in place.
 
-        "For reads, the block server need not consult its companion server,
-        except when the block on its disk is corrupted."
+        Every server-side read of client data goes through here — serving
+        (or comparing against) a corrupted local block would propagate
+        garbage the companion still holds intact.
         """
-        self._check_serving()
         try:
             return self.local.read(account, block_no)
         except CorruptBlock:
@@ -340,6 +375,15 @@ class StableServer:
             except WriteOnceViolation:
                 pass  # optical media cannot be repaired; serve the copy
             return data
+
+    def cmd_read(self, account: int, block_no: int) -> bytes:
+        """Read locally; on corruption, fetch from the companion and repair.
+
+        "For reads, the block server need not consult its companion server,
+        except when the block on its disk is corrupted."
+        """
+        self._check_serving()
+        return self._checked_read(account, block_no)
 
     def cmd_free(self, account: int, block_no: int) -> None:
         op = self.begin_free(account, block_no)
@@ -357,7 +401,10 @@ class StableServer:
         """
         self._check_serving()
         self.local._check_owner(block_no, account)
-        data = self.local.disk.read(block_no)
+        # The compare must run against verified data: a corrupted local
+        # block would compare garbage and falsely fail (or succeed), so the
+        # read goes through the same checked/repair path as cmd_read.
+        data = self._checked_read(account, block_no)
         end = offset + len(expected)
         if len(new) != len(expected):
             raise ValueError("test_and_set: expected and new must be equal length")
@@ -372,12 +419,108 @@ class StableServer:
         self.finish_op(op)
         return TasResult(True, new)
 
-    def cmd_lock(self, block_no: int, locker: int) -> bool:
+    def cmd_write_many(
+        self, account: int, writes: list[tuple[int, bytes]]
+    ) -> int:
+        """Write a batch of blocks in one replicated transaction.
+
+        The whole batch crosses to the companion in a single message
+        exchange (companion-first, like any write), then is applied
+        locally — an M-page commit flush costs one round trip instead of
+        M.  Pending markers cover every block in the batch for the whole
+        exchange, so concurrent operations on any member collide exactly
+        as they would against individual writes.
+        """
         self._check_serving()
-        return self.local.lock(block_no, locker)
+        if not writes:
+            return 0
+        for block_no, _ in writes:
+            self.local._check_owner(block_no, account)
+        ops: list[_PendingOp] = []
+        try:
+            for block_no, data in writes:
+                ops.append(self._new_op("write", account, block_no, data))
+        except CompanionConflict:
+            for op in ops:
+                self._pending.pop(op.block_no, None)
+            raise
+        if self.recorder.enabled:
+            self.recorder.event(
+                "stable.write_many", origin=self.name, pages=len(writes)
+            )
+            self.recorder.observe(
+                "stable.batch_pages", len(writes), bounds=_BATCH_BUCKETS
+            )
+        try:
+            self._call_companion(
+                "companion_write_many",
+                origin=self.name,
+                account=account,
+                writes=writes,
+            )
+            for op in ops:
+                op.companion_done = True
+        except CompanionConflict:
+            for op in ops:
+                self._pending.pop(op.block_no, None)
+            raise
+        except (ServerUnreachable, ServerCrashed):
+            for block_no, data in writes:
+                self._intentions.append(
+                    _Intention("write", account, block_no, data)
+                )
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "stable.intention",
+                    origin=self.name,
+                    kind="write_many",
+                    blocks=len(writes),
+                )
+        for op in ops:
+            self.local.write(op.account, op.block_no, op.data)
+            self._pending.pop(op.block_no, None)
+        return len(writes)
+
+    def cmd_lock(self, block_no: int, locker: int) -> bool:
+        """Lock a block, replicated companion-first (same pattern as tas).
+
+        Lock state must live on both halves: a client that fails over to
+        the companion mid-critical-section would otherwise see the block
+        unlocked and the mutual exclusion §5.2's commit depends on would
+        silently evaporate.  If the companion refuses (the lock is held
+        there by someone else), nothing changes locally; if the local grant
+        then fails, the companion's grant is rolled back.  A companion that
+        is down is skipped — its lock table died with it anyway.
+        """
+        self._check_serving()
+        companion_granted: bool | None = None
+        try:
+            companion_granted = self._call_companion(
+                "companion_lock", block_no=block_no, locker=locker
+            )
+        except (ServerUnreachable, ServerCrashed):
+            pass  # companion down: its in-memory lock table is gone anyway
+        if companion_granted is False:
+            return False
+        granted = self.local.lock(block_no, locker)
+        if not granted and companion_granted:
+            try:
+                self._call_companion(
+                    "companion_unlock", block_no=block_no, locker=locker
+                )
+            except (ServerUnreachable, ServerCrashed):
+                pass
+        return granted
 
     def cmd_unlock(self, block_no: int, locker: int) -> None:
+        """Release a lock on both halves, companion-first."""
         self._check_serving()
+        try:
+            self._call_companion(
+                "companion_unlock", block_no=block_no, locker=locker
+            )
+        except (ServerUnreachable, ServerCrashed):
+            pass
         return self.local.unlock(block_no, locker)
 
     def cmd_recover(self, account: int) -> list[int]:
@@ -434,6 +577,40 @@ class StableServer:
         if self._crashed:
             raise ServerCrashed(f"{self.name} is crashed")
         return self.local.read(account, block_no)
+
+    def cmd_companion_lock(self, block_no: int, locker: int) -> bool:
+        """The companion-first half of a replicated lock."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        return self.local.lock(block_no, locker)
+
+    def cmd_companion_unlock(self, block_no: int, locker: int) -> None:
+        """The companion-first half of a replicated unlock."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        self.local.unlock(block_no, locker)
+
+    def cmd_companion_write_many(
+        self, origin: str, account: int, writes: list[tuple[int, bytes]]
+    ) -> None:
+        """A whole flush batch arriving from the other half in one message.
+
+        Collision checks run for *every* block before any write is applied
+        — "before any damage is done" must hold for the batch as a whole.
+        """
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        for block_no, _ in writes:
+            mine = self._pending.get(block_no)
+            if mine is not None:
+                raise CompanionConflict(
+                    f"{self.name}: companion batch collides with local "
+                    f"{mine.kind} op on block {block_no}"
+                )
+        for block_no, data in writes:
+            if self.local.owner_of(block_no) is None:
+                self.local.allocate(account, hint=block_no)
+            self.local.write(account, block_no, data)
 
     def cmd_fetch_intentions(self) -> list[_Intention]:
         """Hand the restarting companion the operations it missed.  The
@@ -531,6 +708,15 @@ class StableClient:
     def write(self, block_no: int, data: bytes) -> None:
         self.txn.call(
             self.port, "write", account=self.account, block_no=block_no, data=data
+        )
+
+    def write_many(self, writes: list[tuple[int, bytes]]) -> int:
+        """Write a batch of blocks as one replicated transaction (the
+        commit flush path: one round trip for the whole batch)."""
+        if not writes:
+            return 0
+        return self.txn.call(
+            self.port, "write_many", account=self.account, writes=list(writes)
         )
 
     def read(self, block_no: int) -> bytes:

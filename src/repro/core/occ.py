@@ -229,7 +229,17 @@ def _merge_aligned(
 
     Both tables descend unmodified from the common base page, so they have
     the same length and index ``i`` names the same logical child in both.
+    A length mismatch means the tables cannot be correlated after all
+    (a missed M flag, a damaged page) — zipping would silently truncate
+    the merge to the shorter table, so the walk conflicts instead:
+    aborting ``V.b`` is always safe.
     """
+    if len(b_page.refs) != len(c_page.refs):
+        raise _Conflict(
+            path,
+            f"reference tables differ in length ({len(b_page.refs)} vs "
+            f"{len(c_page.refs)}); cannot correlate unrestructured tables",
+        )
     changed = False
     for index, (b_ref, c_ref) in enumerate(zip(b_page.refs, c_page.refs)):
         if not c_ref.flags.c:

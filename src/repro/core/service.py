@@ -215,7 +215,12 @@ class FileService:
         )
         root.check_fits()
         block = self.store.store_new(root)
-        self.store.flush()  # the initial version is committed: durable now
+        # The initial version is committed: durable now.  Only THIS page —
+        # flushing the whole dirty set would push other updates'
+        # half-finished pages to disk mid-update, where a crash could
+        # leave their flushed version pages referencing blocks those
+        # updates later freed.
+        self.store.flush_one(block)
         self.registry.add_file(
             FileEntry(file_cap.obj, block, self.issuer.secret_of(file_cap.obj))
         )

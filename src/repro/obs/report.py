@@ -8,6 +8,7 @@ and tests/tools that want a machine-readable round-trippable snapshot
 from __future__ import annotations
 
 import json
+import re
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import Span, Tracer
@@ -92,9 +93,39 @@ def render_commit_table(tracer: Tracer) -> str:
     return "\n".join(lines)
 
 
+def render_shard_table(metrics: MetricsRegistry) -> str:
+    """Per-shard traffic balance on a sharded deployment.
+
+    Reads the ``shard.s<i>.*`` counters the sharded block client records;
+    returns the empty string when none exist (unsharded deployment), so
+    callers can append it conditionally.
+    """
+    shards: dict[int, dict[str, int]] = {}
+    for name, counter in metrics.counters.items():
+        match = re.fullmatch(r"shard\.s(\d+)\.(\w+)", name)
+        if match:
+            shards.setdefault(int(match.group(1)), {})[
+                match.group(2)
+            ] = counter.value
+    if not shards:
+        return ""
+    header = f"{'shard':<6} {'allocs':>8} {'pages_written':>14} {'reads':>8}"
+    lines = [header, "-" * len(header)]
+    for shard in sorted(shards):
+        row = shards[shard]
+        lines.append(
+            f"s{shard:<5} {row.get('allocs', 0):>8} "
+            f"{row.get('pages_written', 0):>14} {row.get('reads', 0):>8}"
+        )
+    return "\n".join(lines)
+
+
 def render_report(recorder) -> str:
     """The full text report: metrics, commit table, recent span trees."""
     sections = [render_metrics(recorder.metrics), render_commit_table(recorder.tracer)]
+    shard_table = render_shard_table(recorder.metrics)
+    if shard_table:
+        sections.append("per-shard balance:\n" + shard_table)
     recent = list(recorder.tracer.roots)[-5:]
     if recent:
         sections.append("recent spans:")

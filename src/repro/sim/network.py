@@ -126,6 +126,12 @@ class Network:
         self.stats.bytes += size
         if self.recorder.enabled:
             self.recorder.count("net.messages")
+            # Per-span message accounting: a commit (or flush) span carries
+            # the number of messages sent on its behalf without storing an
+            # event object per message.
+            span = self.recorder.current_span
+            if span is not None:
+                span.inc("net.messages")
         if self.tracer is not None:
             self.tracer(sender, dest, payload)
         if self.drop_policy.should_drop():
@@ -142,6 +148,9 @@ class Network:
         self.stats.messages += 1
         if self.recorder.enabled:
             self.recorder.count("net.messages")
+            span = self.recorder.current_span
+            if span is not None:
+                span.inc("net.messages")
         return reply
 
     # -- introspection -------------------------------------------------------

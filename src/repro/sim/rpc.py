@@ -92,9 +92,15 @@ class Transaction:
     the primary fails to respond".
     """
 
-    def __init__(self, network: Network, client_node: str) -> None:
+    def __init__(
+        self, network: Network, client_node: str, backoff_ticks: int = 0
+    ) -> None:
         self.network = network
         self.client_node = client_node
+        # Logical ticks to wait between drop retries (0 = immediate
+        # retransmit, the Amoeba default).  Clients under heavy loss set a
+        # backoff so retransmissions do not hammer a congested path.
+        self.backoff_ticks = backoff_ticks
 
     def call(
         self,
@@ -130,6 +136,8 @@ class Transaction:
                 except MessageDropped as exc:
                     last_error = exc
                     recorder.count("rpc.retries")
+                    if self.backoff_ticks:
+                        self.network.clock.advance(self.backoff_ticks)
                     continue  # retry same node
                 except ServerUnreachable as exc:
                     last_error = exc

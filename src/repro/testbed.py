@@ -46,6 +46,7 @@ class Cluster:
     endpoints: list[RpcEndpoint]
     faults: FaultPlan = field(default_factory=FaultPlan)
     optical_pair: StablePair | None = None  # set on hybrid deployments
+    shards: object = None  # ShardedBlockService on sharded deployments
     recorder: object = NULL_RECORDER  # the shared observability recorder
 
     def fs(self, index: int = 0) -> FileService:
@@ -141,6 +142,77 @@ def build_hybrid_cluster(
         recorder=recorder,
     )
     cluster.optical_pair = optical
+    return cluster
+
+
+def build_sharded_cluster(
+    shards: int = 4,
+    servers: int = 1,
+    seed: int = 42,
+    shard_capacity: int = 4096,
+    cache_capacity: int = 4096,
+    hop_ticks: int = 10,
+    recorder=None,
+) -> Cluster:
+    """Build a deployment whose block storage is ``shards`` companion
+    pairs behind a :class:`repro.block.sharding.ShardedBlockService`.
+
+    File servers receive a shard-routing block client and are otherwise
+    unchanged — the placement map keeps everything above the block layer
+    shard-oblivious.  ``cluster.shards`` exposes the service (pairs,
+    balance audits); ``cluster.pair`` and ``cluster.block_port`` point at
+    shard 0 so single-pair tooling keeps working.
+    """
+    from repro.block.sharding import ShardedBlockService
+    from repro.core.cache import PageCache
+    from repro.core.store import PageStore
+
+    rng = random.Random(seed)
+    if recorder is None:
+        recorder = NULL_RECORDER
+    network = Network(hop_ticks=hop_ticks, recorder=recorder)
+    recorder.bind_clock(network.clock)
+    shard_ports = [new_port(rng) for _ in range(shards)]
+    service_port = new_port(rng)
+    service = ShardedBlockService(
+        network, shard_ports, capacity=shard_capacity, recorder=recorder
+    )
+    registry = FileRegistry()
+    issuer = CapabilityIssuer(service_port)
+    fs_list: list[FileService] = []
+    endpoints: list[RpcEndpoint] = []
+    for i in range(servers):
+        name = f"fs{i}"
+        fs = FileService(
+            name,
+            network,
+            registry,
+            issuer,
+            shard_ports[0],
+            FILE_SERVICE_ACCOUNT,
+            rng=rng,
+            store=PageStore(
+                service.client(name, FILE_SERVICE_ACCOUNT, recorder=recorder),
+                PageCache(cache_capacity, recorder=recorder),
+                recorder=recorder,
+            ),
+            recorder=recorder,
+        )
+        fs_list.append(fs)
+        endpoints.append(RpcEndpoint(network, name, service_port, fs))
+    cluster = Cluster(
+        network=network,
+        rng=rng,
+        block_port=shard_ports[0],
+        service_port=service_port,
+        pair=service.pairs[0],
+        registry=registry,
+        issuer=issuer,
+        servers=fs_list,
+        endpoints=endpoints,
+        recorder=recorder,
+    )
+    cluster.shards = service
     return cluster
 
 

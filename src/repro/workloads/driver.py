@@ -394,14 +394,25 @@ def run_workload(
 
 def summarize_run(recorder, result: RunResult) -> str:
     """The driver's after-run summary: headline numbers, the commit-path
-    table, and the recorded metrics."""
-    from repro.obs.report import render_commit_table, render_metrics
+    table, the recorded metrics, and — on sharded deployments — the
+    per-shard balance table."""
+    from repro.obs.report import (
+        render_commit_table,
+        render_metrics,
+        render_shard_table,
+    )
 
     headline = (
         f"{result.system}: {result.committed} committed, "
         f"{result.redo_attempts} redo attempts, {result.gave_up} gave up, "
         f"makespan {result.makespan} ticks, {result.messages} messages"
     )
-    return "\n\n".join(
-        [headline, render_commit_table(recorder.tracer), render_metrics(recorder.metrics)]
-    )
+    sections = [
+        headline,
+        render_commit_table(recorder.tracer),
+        render_metrics(recorder.metrics),
+    ]
+    shard_table = render_shard_table(recorder.metrics)
+    if shard_table:
+        sections.append("per-shard balance:\n" + shard_table)
+    return "\n\n".join(sections)

@@ -262,3 +262,124 @@ def test_resync_metrics_count_applied_intentions(obs_pair, recorder):
     obs_pair.b.resync()
     assert recorder.metrics.counter("stable.resync_applied").value == 1
     assert obs_pair.consistent()
+
+
+# -- regressions: checked reads, replicated locks, retransmit accounting -----
+
+
+def test_tas_repairs_corrupted_local_copy(pair, client):
+    """The compare of a test-and-set must run against verified data: with
+    the local copy corrupted, the TAS still succeeds via the companion's
+    copy and repairs the local block in place."""
+    block = client.allocate_write(b"R" * 8)
+    pair.disk_a.corrupt(block)
+    result = client.test_and_set(block, 0, b"R" * 8, b"S" * 8)
+    assert result.success
+    assert pair.disk_a.read(block) == b"S" * 8
+    assert pair.disk_b.read(block) == b"S" * 8
+    assert pair.consistent()
+
+
+def test_tas_on_corrupt_block_does_not_false_fail(pair, client):
+    """A corrupted local block used to feed garbage into the compare,
+    falsely failing (or passing) the swap; the checked read prevents it."""
+    block = client.allocate_write(b"expected")
+    pair.disk_a.corrupt(block)
+    result = client.test_and_set(block, 0, b"WRONG!!!", b"ignored!")
+    assert not result.success
+    assert result.current == b"expected"  # the true bytes, not garbage
+
+
+def test_lock_state_survives_half_crash(pair, client):
+    """Locks replicate companion-first, so a client failing over to the
+    surviving half still sees the lock held."""
+    block = client.allocate_write(b"locked")
+    assert client.lock(block, locker=7)
+    pair.a.crash()  # the half that served the lock dies
+    assert not client.lock(block, locker=8)  # survivor still refuses
+    client.unlock(block, locker=7)  # the holder releases via the survivor
+    assert client.lock(block, locker=8)
+
+
+def test_unlock_releases_both_halves(pair, client):
+    block = client.allocate_write(b"locked")
+    assert client.lock(block, locker=7)
+    assert pair.a.local.lock_holder(block) == 7
+    assert pair.b.local.lock_holder(block) == 7
+    client.unlock(block, locker=7)
+    assert pair.a.local.lock_holder(block) is None
+    assert pair.b.local.lock_holder(block) is None
+
+
+def test_lock_refused_by_companion_leaves_no_local_state(pair, client):
+    """If the companion refuses a lock, the origin must not grant it
+    locally — divergent lock tables are exactly the bug being fixed."""
+    block = client.allocate_write(b"contended")
+    assert pair.b.cmd_lock(block, locker=1)  # holder came in through B
+    assert not pair.a.cmd_lock(block, locker=2)
+    assert pair.a.local.lock_holder(block) != 2
+
+
+def test_companion_retransmissions_counted_distinctly():
+    """A dropped companion message is retransmitted; each transmission is
+    a ``stable.companion_rpc`` event and the extras are additionally
+    counted as ``stable.companion_retransmit``."""
+    from repro.sim.faults import DropPolicy
+
+    recorder = Recorder()
+    net = Network(recorder=recorder)
+    recorder.bind_clock(net.clock)
+    pair = StablePair(net, 0x500, capacity=64, block_size=256)
+    client = StableClient(net, "cli", 0x500, account=1)
+    block = client.allocate_write(b"v1")
+    base_rpc = recorder.metrics.counter("stable.companion_rpc").value
+    # Drop exactly the companion-write message of the next write (send 1
+    # is client->A, send 2 is A->B).
+    net.drop_policy = DropPolicy(drop_nth=frozenset({2}))
+    with recorder.span("stable.write") as span:
+        client.write(block, b"v2")
+    assert recorder.metrics.counter("stable.companion_rpc").value - base_rpc == 2
+    assert recorder.metrics.counter("stable.companion_retransmit").value == 1
+    assert span.counters["stable.companion_rpc"] == 2
+    assert span.counters["stable.companion_retransmit"] == 1
+    assert pair.disk_b.read(block) == b"v2"
+    assert pair.consistent()
+
+
+def test_allocation_probe_cost_stays_linear(net):
+    """The rotating cursor keeps allocation O(1) amortised: 500 allocations
+    probe O(n) blocks in total, not the O(n^2) a rescan-from-1 policy
+    costs (~125k probes here)."""
+    pair = StablePair(net, 0x510, capacity=2048, block_size=64)
+    client = StableClient(net, "cli", 0x510, account=1)
+    probed = {"total": 0}
+    original = pair.disk_a.first_free
+
+    def probing(start=1):
+        result = original(start)
+        probed["total"] += result - start + 1
+        return result
+
+    pair.disk_a.first_free = probing
+    n = 500
+    for _ in range(n):
+        client.allocate_write(b"x")
+    assert probed["total"] <= 4 * n
+
+
+def test_allocation_cursor_wraps_to_find_free_space(net):
+    """DiskFull at the cursor must not be final while free blocks remain
+    below it: the search wraps to block 1 once."""
+    from repro.errors import DiskFull
+
+    pair = StablePair(net, 0x511, capacity=8, block_size=64)
+    client = StableClient(net, "cli", 0x511, account=1)
+    blocks = [client.allocate_write(b"fill") for _ in range(8)]
+    with pytest.raises(DiskFull):
+        client.allocate_write(b"no room")
+    # first_free only returns never-written numbers, so exhaustion is
+    # permanent on this medium — but the wrap itself must happen: the
+    # cursor sits past the end and a fresh DiskFull is raised only after
+    # rescanning from 1.
+    assert pair.a._alloc_cursor > 8
+    assert len(blocks) == 8

@@ -196,3 +196,25 @@ def test_fuzz_hybrid_cluster(steps, seed):
             continue  # single-server hybrid fixture
         fuzzer.step(op, a, b)
     fuzzer.verify()
+
+
+def test_create_file_must_not_flush_other_updates_pages():
+    """Regression (found by the fuzzer): ``create_file`` flushed the whole
+    dirty set, pushing an unrelated update's half-finished version page to
+    disk.  When that update then freed a page it had appended (eagerly
+    deallocating the block) and its server crashed, the on-disk version
+    page still referenced the freed block and fsck flagged the tree."""
+    cluster = build_cluster(servers=2, seed=0)
+    fs = cluster.servers[0]
+    cap = fs.create_file(b"genesis")
+    handle = fs.create_version(cap)
+    fs.append_page(handle.version, ROOT, b"appended")
+    # An unrelated file is created mid-update: it must flush only itself.
+    fs.create_file(b"bystander")
+    assert fs.store.dirty_count > 0, "the open update's pages must stay dirty"
+    # The update removes the appended page (freeing its block) and dies.
+    fs.remove_page(handle.version, PagePath.of(0))
+    fs.crash()
+    fs.restart()
+    report = check_cluster(cluster)
+    assert report.ok, report.errors

@@ -46,10 +46,12 @@ def test_fast_path_commit_writes_exactly_one_version_page(cluster, recorder):
     (span,) = _commit_spans(recorder)
     assert span.tags["path"] == "fast"
     assert span.tags["rounds"] == 1
-    # The §5.2 claim: committing is ONE version-page block write...
+    # The §5.2 claim: committing is ONE version-page block write.  The
+    # flush runs in a child span of the commit, so search the subtree.
     version_flushes = [
         event
-        for event in span.events_named("store.page_flush")
+        for sub in span.walk()
+        for event in sub.events_named("store.page_flush")
         if event.tags["version_page"]
     ]
     assert len(version_flushes) == 1
@@ -184,7 +186,8 @@ def test_rpc_events_carry_port_and_client(cluster, recorder):
     fs.write_page(handle.version, ROOT, b"y")
     fs.commit(handle.version)
     (span,) = recorder.tracer.spans_named("commit")
-    writes = span.events_named("rpc.write")
+    # Block writes happen inside the commit's nested flush span.
+    writes = [e for sub in span.walk() for e in sub.events_named("rpc.write")]
     assert writes, "commit must issue at least one block-write RPC"
     assert writes[0].tags["client"] == fs.name
     assert writes[0].tags["port"] == cluster.block_port

@@ -278,3 +278,33 @@ def test_collect_write_paths_m_covers_subtree(fs, wide_file):
     entry = fs.registry.version(handle.version.obj)
     result = collect_write_paths(fs.store, entry.root_block)
     assert PagePath.of(1) in result.paths
+
+
+# ---------------------------------------------------------------------------
+# merge safety: mismatched reference tables
+# ---------------------------------------------------------------------------
+
+
+def test_merge_refuses_mismatched_unrestructured_tables():
+    """Unrestructured tables of different lengths cannot be correlated by
+    index; zipping would silently truncate the walk to the shorter table
+    and skip conflict checks.  The merge must conflict instead."""
+    from repro.core.occ import SerialiseResult, _Conflict, _merge_aligned
+    from repro.core.page import Page, PageRef
+
+    b_page = Page(refs=[PageRef(2), PageRef(3)])
+    c_page = Page(refs=[PageRef(2)])
+    with pytest.raises(_Conflict):
+        _merge_aligned(None, b_page, c_page, ROOT, SerialiseResult(ok=True), True)
+
+
+def test_merge_accepts_equal_length_tables():
+    from repro.core.occ import SerialiseResult, _merge_aligned
+    from repro.core.page import Page, PageRef
+
+    b_page = Page(refs=[PageRef(2)])
+    c_page = Page(refs=[PageRef(4)])  # V.c shares the base subtree (no C)
+    changed = _merge_aligned(
+        None, b_page, c_page, ROOT, SerialiseResult(ok=True), True
+    )
+    assert changed is False

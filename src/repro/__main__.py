@@ -9,6 +9,11 @@ Subcommands:
 * ``stats``  — run an instrumented deployment and print the observability
   report: metrics, the commit-path table (fast versus serialise), and
   per-commit span trees.  See docs/OBSERVABILITY.md.
+* ``soak``   — deterministic randomised soak under fault injection with
+  serializability history checking.  ``--seed N`` (or ``--seed A..B`` for
+  a range), ``--ops M``, ``--shards K``, ``--clients C``, ``--mutant``.
+  Exits nonzero and prints the replay command on any violation.  See
+  docs/SIMULATION.md.
 """
 
 from __future__ import annotations
@@ -194,6 +199,52 @@ def _stats(extra: list[str] | None = None) -> None:
     print("blocks allocated per shard:", counts)
 
 
+def _soak(extra: list[str]) -> None:
+    from repro.sim.explore import SoakConfig, run_soak
+
+    seeds = [1]
+    ops = 200
+    shards = 0
+    clients = 3
+    mutant = False
+    args = list(extra)
+    while args:
+        flag = args.pop(0)
+        if flag == "--seed":
+            value = args.pop(0)
+            if ".." in value:
+                low, high = value.split("..", 1)
+                seeds = list(range(int(low), int(high) + 1))
+            else:
+                seeds = [int(value)]
+        elif flag == "--ops":
+            ops = int(args.pop(0))
+        elif flag == "--shards":
+            shards = int(args.pop(0))
+        elif flag == "--clients":
+            clients = int(args.pop(0))
+        elif flag == "--mutant":
+            mutant = True
+        else:
+            print(f"unknown soak flag {flag!r}")
+            print(__doc__)
+            sys.exit(2)
+
+    failed = False
+    for seed in seeds:
+        config = SoakConfig(
+            seed=seed, ops=ops, shards=shards, clients=clients, mutant=mutant
+        )
+        report = run_soak(config)
+        print(report.summary())
+        if not report.ok:
+            failed = True
+            for line in report.violations():
+                print("  VIOLATION:", line)
+            print("  replay:", report.repro_line())
+    sys.exit(1 if failed else 0)
+
+
 def main(argv: list[str]) -> None:
     command = argv[1] if len(argv) > 1 else "demo"
     if command == "demo":
@@ -204,6 +255,8 @@ def main(argv: list[str]) -> None:
         _salvage()
     elif command == "stats":
         _stats(argv[2:])
+    elif command == "soak":
+        _soak(argv[2:])
     else:
         print(__doc__)
         sys.exit(2)

@@ -53,6 +53,7 @@ class FileClient:
         prefer_server: str | None = None,
         use_cache: bool = True,
         buffer_writes: bool = False,
+        history: "Any | None" = None,
     ) -> None:
         self.node = node
         self.txn = Transaction(network, node)
@@ -61,6 +62,11 @@ class FileClient:
         self.cache = ClientFileCache() if use_cache else None
         self.buffer_writes = buffer_writes
         self.stats = ClientStats()
+        # Operation-history recorder (repro.verify.history.HistoryRecorder).
+        # Only cache-served reads are recorded here — every other operation
+        # reaches a server, which records it.  Named history_recorder because
+        # :meth:`history` is the committed-versions query.
+        self.history_recorder = history
 
     # -- raw command helpers ------------------------------------------------
 
@@ -99,6 +105,20 @@ class FileClient:
                 data = self.cache.get(file_cap, path)
                 if data is not None:
                     self.stats.cache_hits += 1
+                    if self.history_recorder is not None:
+                        # Re-fetch: revalidate may have advanced the cached
+                        # version.  A cache-served read is a snapshot read of
+                        # that committed version — the one read path no
+                        # server ever sees.
+                        entry = self.cache.entry(file_cap)
+                        self.history_recorder.record(
+                            "snapshot_read",
+                            actor=self.node,
+                            file=file_cap.obj,
+                            version=entry.version_cap.obj,
+                            path=str(path),
+                            value=data,
+                        )
                     return data
                 self.stats.cache_misses += 1
         current = self.current_version(file_cap)

@@ -46,6 +46,12 @@ class GcStats:
     reshared: int = 0
     reaped_versions: int = 0
     pages_visited: int = 0
+    # True when some live root or page could not be loaded during marking
+    # (e.g. another server reserved the block but has not flushed its data
+    # yet).  The subtree behind it is unmarked, so sweeping would free live
+    # blocks: the cycle skips its sweep and leaves garbage for the next one.
+    mark_incomplete: bool = False
+    sweep_skipped: bool = False
 
 
 class GarbageCollector:
@@ -60,25 +66,34 @@ class GarbageCollector:
     # roots and marking
     # ------------------------------------------------------------------
 
-    def _roots(self) -> set[int]:
+    def _roots(self, stats: GcStats | None = None) -> set[int]:
         """Every version page block that anchors live data: the full
-        committed chain of every file, plus uncommitted version roots."""
+        committed chain of every file, plus uncommitted version roots.
+
+        A chain walk that hits an unreadable block (another server's
+        version root, reserved but not yet flushed) keeps what it found and
+        flags the cycle incomplete rather than crashing the collector.
+        """
         roots: set[int] = set()
         for entry in self.registry.files.values():
-            block = entry.entry_block
-            # Forward along commit references to current...
-            chain = []
-            while block != NIL:
-                chain.append(block)
-                block = self.store.load(block, fresh=True).commit_ref
-            # ...and backward along base references to the oldest version.
-            block = self.store.load(chain[0], fresh=True).base_ref
-            while block != NIL:
-                page = self.store.load(block, fresh=True)
-                if page.commit_ref == NIL:
-                    break  # not part of the committed chain
-                chain.append(block)
-                block = page.base_ref
+            chain: list[int] = []
+            try:
+                block = entry.entry_block
+                # Forward along commit references to current...
+                while block != NIL:
+                    chain.append(block)
+                    block = self.store.load(block, fresh=True).commit_ref
+                # ...and backward along base references to the oldest version.
+                block = self.store.load(chain[0], fresh=True).base_ref
+                while block != NIL:
+                    page = self.store.load(block, fresh=True)
+                    if page.commit_ref == NIL:
+                        break  # not part of the committed chain
+                    chain.append(block)
+                    block = page.base_ref
+            except BlockError:
+                if stats is not None:
+                    stats.mark_incomplete = True
             roots.update(chain)
         roots.update(self.registry.live_version_roots())
         return roots
@@ -97,7 +112,12 @@ class GarbageCollector:
             try:
                 page = self.store.load(current)
             except BlockError:
-                continue  # already gone; harmless
+                # Either the block is already freed (harmless) or another
+                # server reserved it and has not flushed the data yet — we
+                # cannot tell which, and in the second case the children are
+                # now unreachable to us.  Be conservative: flag the mark.
+                stats.mark_incomplete = True
+                continue
             stats.pages_visited += 1
             for ref in page.refs:
                 if not ref.is_nil and ref.block not in marked:
@@ -121,9 +141,27 @@ class GarbageCollector:
         root = self.store.load(root_block, fresh=True)
         changed = yield from self._reshare_page(root, stats)
         if changed:
-            # The version page is the one page always written in place.
-            self.store.store_in_place(root_block, root)
-            self.store.flush()
+            # The walk yields between page visits, and a concurrent commit
+            # may test-and-set this version's commit reference at any of
+            # them — including between the shard batches of a deferred
+            # flush.  A whole-page write of our stale copy would reset the
+            # commit reference to nil; the commit critical section would
+            # then accept a SECOND successor and fork the version chain (a
+            # lost update).  So the root never goes through the deferred
+            # buffer: the interior redirections are flushed first, then
+            # the root is rewritten by a block-level compare-and-swap that
+            # leaves the commit-reference bytes untouched.  If that swap
+            # fails (the header moved under us), the redirects are
+            # abandoned — the cache is dropped so memory agrees with disk
+            # and a later cycle reshares again.
+            try:
+                self.store.flush()
+                rewritten = self.store.rewrite_version_page(root_block, root)
+            except BlockError:
+                self.store.forget(root_block)
+                raise
+            if not rewritten:
+                self.store.forget(root_block)
 
     def _reshare_page(
         self, page: Page, stats: GcStats
@@ -221,8 +259,14 @@ class GarbageCollector:
                     block = page.commit_ref
                 yield from self._reshare_version(block, stats)
         marked: set[int] = set()
-        for root in self._roots():
+        for root in self._roots(stats):
             yield from self._mark_tree(root, marked, stats)
+        if stats.mark_incomplete:
+            # Some live subtree could not be fully traversed, so "unmarked"
+            # does not imply "garbage".  Skip the sweep; the next cycle
+            # (after the owning server flushed or the version died) gets it.
+            stats.sweep_skipped = True
+            return stats
         # Sweep: only blocks that existed at the snapshot and are still
         # unreachable now.  Blocks allocated during the cycle are spared.
         still_allocated = set(self.store.blocks.recover())
@@ -272,10 +316,15 @@ class GarbageCollector:
             return 0
         cutoff = chain[keep - 1]  # oldest version we keep
         pruned = chain[keep:]
-        cut_page = self.store.load(cutoff, fresh=True)
-        cut_page.base_ref = NIL
-        self.store.store_in_place(cutoff, cut_page)
-        self.store.flush()
+        # The cutoff may be the current version, whose commit reference a
+        # concurrent commit can test-and-set at any moment: cut the base
+        # reference with the commit-ref-preserving compare-and-swap rather
+        # than a whole-page write (same fork hazard as resharing).
+        while True:
+            cut_page = self.store.load(cutoff, fresh=True)
+            cut_page.base_ref = NIL
+            if self.store.rewrite_version_page(cutoff, cut_page, keep_base=False):
+                break
         entry.entry_block = current
         for block in pruned:
             version = self.registry.version_by_block(block)

@@ -115,6 +115,7 @@ class FileService:
         rng=None,
         store: PageStore | None = None,
         recorder=None,
+        history=None,
     ) -> None:
         self.name = name
         self.network = network
@@ -124,6 +125,10 @@ class FileService:
         self.account = account
         self.rng = rng
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        # Optional repro.verify.history.HistoryRecorder: when set, every
+        # operation that matters to serializability checking is logged.
+        # The soak harness attaches one recorder to every server process.
+        self.history = history
         if store is not None:
             # An injected store (e.g. a HybridPageStore over mixed media).
             self.store = store
@@ -166,10 +171,14 @@ class FileService:
         self._live_updates.clear()
         self._write_paths_cache.clear()  # recoverable: flags are on disk
         self.network.detach(self.name)
+        if self.history is not None:
+            self.history.record("crash", actor=self.name)
 
     def restart(self) -> None:
         self._crashed = False
         self.network.reattach(self.name)
+        if self.history is not None:
+            self.history.record("restart", actor=self.name)
 
     def _check_up(self) -> None:
         if self._crashed:
@@ -187,7 +196,25 @@ class FileService:
 
     def _version_entry(self, cap: Capability, rights: int = 0) -> VersionEntry:
         obj = self.issuer.validate(cap, rights)
-        return self.registry.version(obj)
+        entry = self.registry.version(obj)
+        if (
+            entry.status == "uncommitted"
+            and entry.server
+            and entry.server != self.name
+        ):
+            # An in-flight update belongs to one server: its pages may
+            # still sit in that server's deferred write buffer, invisible
+            # to this replica.  Serving it here — and especially
+            # committing it here — would operate on a version whose pages
+            # are not durable (client-side failover retries land here when
+            # the managing server's own downstream storage call failed).
+            from repro.errors import NotManagingServer
+
+            raise NotManagingServer(
+                f"version {obj} is an in-flight update managed by "
+                f"server {entry.server!r}; abort and redo the update"
+            )
+        return entry
 
     def _writable_version(self, cap: Capability) -> VersionEntry:
         entry = self._version_entry(cap, RIGHT_WRITE)
@@ -234,6 +261,15 @@ class FileService:
             )
         )
         self.metrics.files_created += 1
+        if self.history is not None:
+            self.history.record(
+                "create",
+                actor=self.name,
+                file=file_cap.obj,
+                version=version_cap.obj,
+                path="",
+                value=bytes(initial_data),
+            )
         return file_cap
 
     def delete_file(self, file_cap: Capability) -> None:
@@ -378,6 +414,15 @@ class FileService:
             )
         )
         self.metrics.versions_created += 1
+        if self.history is not None:
+            base_entry = self.registry.version_by_block(cur_block)
+            self.history.record(
+                "begin",
+                actor=owner or self.name,
+                file=entry.obj,
+                version=version_cap.obj,
+                base=base_entry.obj if base_entry is not None else None,
+            )
         return VersionHandle(version=version_cap, file=file_cap)
 
     # ------------------------------------------------------------------
@@ -469,11 +514,30 @@ class FileService:
         self._check_up()
         entry = self._version_entry(version_cap, RIGHT_READ)
         if entry.status == "committed":
-            return self._walk_readonly(entry.root_block, path).data
+            data = self._walk_readonly(entry.root_block, path).data
+            if self.history is not None:
+                self.history.record(
+                    "snapshot_read",
+                    actor=self.name,
+                    file=entry.file_obj,
+                    version=entry.obj,
+                    path=str(path),
+                    value=data,
+                )
+            return data
         if entry.status == "aborted":
             raise VersionAborted(f"version {entry.obj} was aborted")
         _, page = self._walk(entry, path, "read")
         self.metrics.pages_read += 1
+        if self.history is not None:
+            self.history.record(
+                "read",
+                actor=self.name,
+                file=entry.file_obj,
+                version=entry.obj,
+                path=str(path),
+                value=page.data,
+            )
         return page.data
 
     def write_page(self, version_cap: Capability, path: PagePath, data: bytes) -> None:
@@ -489,6 +553,15 @@ class FileService:
         page.data = data
         self.store.store_in_place(block, page)
         self.metrics.pages_written += 1
+        if self.history is not None:
+            self.history.record(
+                "write",
+                actor=self.name,
+                file=entry.file_obj,
+                version=entry.obj,
+                path=str(path),
+                value=bytes(data),
+            )
 
     def page_structure(self, version_cap: Capability, path: PagePath) -> list[int]:
         """The block-validity view of a page's reference table: for each
@@ -508,6 +581,28 @@ class FileService:
     # tree shape commands (§5, §5.1; implemented in tree_ops)
     # ------------------------------------------------------------------
 
+    def _history_tree_op(
+        self, version_cap: Capability, kind: str, path_text: str, value: bytes | None = None
+    ) -> None:
+        """Log one tree operation on an uncommitted version.
+
+        ``append`` keeps sibling path names stable, so the checker can
+        replay it like a write; every other restructuring is logged as
+        ``structure``, which tells the checker path-keyed values for this
+        file can no longer be correlated.
+        """
+        if self.history is None:
+            return
+        entry = self._version_entry(version_cap)
+        self.history.record(
+            kind,
+            actor=self.name,
+            file=entry.file_obj,
+            version=entry.obj,
+            path=path_text,
+            value=value,
+        )
+
     def insert_page(
         self,
         version_cap: Capability,
@@ -521,9 +616,11 @@ class FileService:
         self._check_up()
         from repro.core import tree_ops
 
-        return tree_ops.insert_page(
+        path = tree_ops.insert_page(
             self, version_cap, parent_path, index, data, nref_slots
         )
+        self._history_tree_op(version_cap, "structure", str(path))
+        return path
 
     def append_page(
         self,
@@ -536,9 +633,11 @@ class FileService:
         self._check_up()
         from repro.core import tree_ops
 
-        return tree_ops.append_page(
+        path = tree_ops.append_page(
             self, version_cap, parent_path, data, nref_slots
         )
+        self._history_tree_op(version_cap, "append", str(path), bytes(data))
+        return path
 
     def remove_page(self, version_cap: Capability, path: PagePath) -> None:
         """Remove the page (and subtree) at ``path``; later siblings shift."""
@@ -546,6 +645,7 @@ class FileService:
         from repro.core import tree_ops
 
         tree_ops.remove_page(self, version_cap, path)
+        self._history_tree_op(version_cap, "structure", str(path))
 
     def make_hole(self, version_cap: Capability, path: PagePath) -> None:
         """Turn the reference at ``path`` into a hole (keeps sibling paths)."""
@@ -553,6 +653,7 @@ class FileService:
         from repro.core import tree_ops
 
         tree_ops.make_hole(self, version_cap, path)
+        self._history_tree_op(version_cap, "structure", str(path))
 
     def remove_hole(self, version_cap: Capability, path: PagePath) -> None:
         """Delete a hole slot; later siblings shift left."""
@@ -560,6 +661,7 @@ class FileService:
         from repro.core import tree_ops
 
         tree_ops.remove_hole(self, version_cap, path)
+        self._history_tree_op(version_cap, "structure", str(path))
 
     def fill_hole(
         self,
@@ -573,6 +675,7 @@ class FileService:
         from repro.core import tree_ops
 
         tree_ops.fill_hole(self, version_cap, path, data, nref_slots)
+        self._history_tree_op(version_cap, "structure", str(path))
 
     def split_page(
         self, version_cap: Capability, path: PagePath, at: int
@@ -582,7 +685,9 @@ class FileService:
         self._check_up()
         from repro.core import tree_ops
 
-        return tree_ops.split_page(self, version_cap, path, at)
+        sibling = tree_ops.split_page(self, version_cap, path, at)
+        self._history_tree_op(version_cap, "structure", str(path))
+        return sibling
 
     def move_subtree(
         self,
@@ -595,7 +700,9 @@ class FileService:
         self._check_up()
         from repro.core import tree_ops
 
-        return tree_ops.move_subtree(self, version_cap, src, dst_parent, dst_index)
+        new_path = tree_ops.move_subtree(self, version_cap, src, dst_parent, dst_index)
+        self._history_tree_op(version_cap, "structure", str(src))
+        return new_path
 
     # ------------------------------------------------------------------
     # commit and abort (§5.2)
@@ -627,6 +734,15 @@ class FileService:
                 result = self.store.tas_commit_ref(base, v_block)
                 if result.success:
                     entry.status = "committed"
+                    if self.history is not None:
+                        # Recorded inside the critical section: seq order of
+                        # these events IS the commit-reference chain order.
+                        self.history.record(
+                            "commit",
+                            actor=self.name,
+                            file=entry.file_obj,
+                            version=entry.obj,
+                        )
                     file_entry = self.registry.file(entry.file_obj)
                     file_entry.entry_block = v_block
                     self._live_updates.discard(entry.update_port)
@@ -693,6 +809,10 @@ class FileService:
         from repro.errors import BlockError
 
         entry.status = "aborted"
+        if self.history is not None:
+            self.history.record(
+                "abort", actor=self.name, file=entry.file_obj, version=entry.obj
+            )
         self._live_updates.discard(entry.update_port)
         # A version owned by a crashed server may have allocated blocks it
         # never flushed; tolerate the holes and free what exists.

@@ -25,6 +25,7 @@ from repro.block.server import TasResult
 from repro.core.cache import PageCache
 from repro.core.page import (
     COMMIT_REF_OFFSET,
+    COMMIT_REF_SIZE,
     NIL_COMMIT_REF,
     Page,
     pack_commit_ref,
@@ -242,6 +243,47 @@ class PageStore:
         """The commit reference currently stored in a version page."""
         page = self.load(block, fresh=True)
         return page.commit_ref
+
+    def rewrite_version_page(
+        self, block: int, page: Page, keep_base: bool = True
+    ) -> bool:
+        """Rewrite a committed version page in place WITHOUT touching its
+        commit reference bytes; returns False if the page changed under us.
+
+        A committed version page has exactly one concurrently-mutable
+        field: the commit reference, which any server may test-and-set at
+        any moment (§5.2's critical section).  A whole-page write racing
+        that test-and-set — even one sitting in the deferred buffer and
+        flushed later — can overwrite the freshly-set reference with the
+        stale nil we loaded earlier, re-arming the critical section so a
+        SECOND successor commits and the version chain forks.  So the
+        garbage collector's in-place rewrites (resharing, pruning) go
+        through this primitive instead: one block-level compare-and-swap
+        covering every byte AFTER the commit reference.  The swap is
+        atomic at the block server, never writes the commit-reference
+        bytes, and fails — rather than clobbers — if anything else in the
+        page (base reference, locks) moved since we read it.
+        """
+        assert block not in self._dirty, "version page must not be buffered"
+        raw = bytes(self.blocks.read(block))
+        fresh = Page.from_bytes(raw)
+        page.commit_ref = fresh.commit_ref
+        if keep_base:
+            page.base_ref = fresh.base_ref
+        page.top_lock = fresh.top_lock
+        page.inner_lock = fresh.inner_lock
+        new = page.to_bytes()
+        start = COMMIT_REF_OFFSET + COMMIT_REF_SIZE
+        if len(new) != len(raw):
+            # The page changed shape (e.g. the table grew) — a plain
+            # region swap cannot express that; let the caller retry later.
+            self.cache.invalidate(block)
+            return False
+        result = self.blocks.test_and_set(block, start, raw[start:], new[start:])
+        # Whatever happened, the cached copy is now unreliable (on success
+        # its commit reference may lag the disk; on failure its refs do).
+        self.cache.invalidate(block)
+        return result.success
 
 
 class HybridPageStore(PageStore):

@@ -131,6 +131,16 @@ class BadPathName(FileServiceError):
     """A page path name is syntactically invalid or indexes out of range."""
 
 
+class NotManagingServer(FileServiceError):
+    """The version is an in-flight update managed by a different, live
+    server process.  Its pages may still sit in that server's deferred
+    write buffer, invisible to every other replica — so no other server
+    can read, write, or (worst of all) commit it: a commit elsewhere would
+    test-and-set a version whose pages are not yet durable.  The paper's
+    model: "when the server crashes, the outstanding transactions with the
+    server crash as well" — an update lives and dies with its server."""
+
+
 class VersionCommitted(FileServiceError):
     """The version has already committed and can no longer be written."""
 

@@ -1,0 +1,515 @@
+"""Randomised interleaving exploration and the deterministic soak harness.
+
+Round-robin scheduling (:mod:`repro.sim.sched`) exercises exactly one
+interleaving per run.  This module adds the other half of the paper's
+robustness story:
+
+* :class:`ExploreScheduler` — steps a *random* live task each turn, driven
+  by a caller-supplied :class:`random.Random`.  Same seed, same
+  interleaving, every process: randomness comes only from the RNG (string-
+  seeded, so ``PYTHONHASHSEED`` cannot perturb it) and the simulation
+  itself is deterministic.
+* :func:`random_fault_script` — draws a :class:`~repro.sim.faults.FaultScript`
+  matched to the deployment's topology: file-server crashes, stable-pair
+  half outages (companion failover), whole-pair shard outages, client–server
+  partitions, and lossy-network windows.
+* :func:`run_soak` — builds a deployment with an attached
+  :class:`~repro.verify.history.HistoryRecorder`, runs randomised client
+  updates + reads + a concurrent garbage collector under the fault script,
+  recovers everything (restart, resync, heal), audits the durable pages,
+  and feeds the whole recorded run through
+  :func:`repro.verify.history.check_history` plus the fsck invariant
+  checker.  The result is a :class:`SoakReport` whose
+  :meth:`~SoakReport.repro_line` replays a failure exactly.
+
+``python -m repro soak --seed N --ops M [--shards K]`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterator
+
+from repro.errors import ReproError, VersionCommitted
+from repro.client.api import FileClient
+from repro.core.gc import GarbageCollector
+from repro.core.pathname import PagePath
+from repro.obs import NULL_RECORDER
+from repro.sim.faults import FaultEvent, FaultScript
+from repro.sim.sched import Scheduler, Task
+from repro.testbed import Cluster, build_cluster, build_sharded_cluster
+from repro.tools.check import CheckReport, check_cluster
+from repro.verify.history import CheckResult, HistoryRecorder, check_history
+
+ROOT = PagePath.ROOT
+
+
+class ExploreScheduler(Scheduler):
+    """A scheduler that explores random interleavings.
+
+    :meth:`run_random` picks a uniformly random live task each turn.  The
+    pick sequence depends only on the RNG and on which tasks are live, so a
+    run is a pure function of (seed, task set) and replays exactly.
+    """
+
+    def run_random(
+        self,
+        rng: random.Random,
+        max_steps: int = 1_000_000,
+        raise_errors: bool = True,
+        on_step: Callable[[int], None] | None = None,
+    ) -> list[Task]:
+        """Run all tasks to completion under a random schedule.
+
+        ``on_step`` is called with the global step count after every step —
+        the soak harness hangs fault injection off it.
+        """
+        steps = 0
+        while True:
+            live = [t for t in self.tasks if not t.done]
+            if not live:
+                break
+            if steps >= max_steps:
+                raise RuntimeError(f"scheduler exceeded {max_steps} steps")
+            live[rng.randrange(len(live))].step()
+            steps += 1
+            self.steps += 1
+            if on_step is not None:
+                on_step(steps)
+        if raise_errors:
+            for task in self.tasks:
+                if task.error is not None:
+                    raise task.error
+        return self.tasks
+
+
+# ---------------------------------------------------------------------------
+# soak configuration and report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SoakConfig:
+    """One soak run, fully determined by its fields.
+
+    ``shards=0`` builds the single stable-pair deployment; ``shards>=2``
+    builds the sharded one.  ``ops`` is the *total* operation budget,
+    split across ``clients``.  ``mutant`` replaces the serialisability
+    test with one that blindly accepts every commit — the checker must
+    flag the resulting lost updates (this is how the harness proves it
+    can see bugs at all).
+    """
+
+    seed: int = 1
+    ops: int = 200
+    shards: int = 0
+    clients: int = 3
+    files: int = 2
+    pages: int = 4
+    servers: int = 2
+    mutant: bool = False
+
+
+@dataclass
+class SoakReport:
+    """What one soak run found."""
+
+    config: SoakConfig
+    check: CheckResult
+    fsck: CheckReport
+    steps: int = 0
+    events_recorded: int = 0
+    faults_fired: list[FaultEvent] = field(default_factory=list)
+    commits: int = 0
+    conflicts: int = 0
+    op_errors: int = 0  # operations that failed under injected faults
+
+    @property
+    def ok(self) -> bool:
+        return self.check.ok and self.fsck.ok
+
+    def violations(self) -> list[str]:
+        return [str(v) for v in self.check.violations] + [
+            f"fsck: {line}" for line in self.fsck.errors
+        ]
+
+    def repro_line(self) -> str:
+        """The exact command that replays this run."""
+        cfg = self.config
+        line = (
+            f"PYTHONPATH=src python -m repro soak "
+            f"--seed {cfg.seed} --ops {cfg.ops}"
+        )
+        if cfg.shards:
+            line += f" --shards {cfg.shards}"
+        if cfg.clients != 3:
+            line += f" --clients {cfg.clients}"
+        if cfg.mutant:
+            line += " --mutant"
+        return line
+
+    def summary(self) -> str:
+        cfg = self.config
+        topo = f"{cfg.shards} shards" if cfg.shards else "single pair"
+        status = "ok" if self.ok else f"{len(self.violations())} violation(s)"
+        return (
+            f"soak seed={cfg.seed} ops={cfg.ops} ({topo}): {status}; "
+            f"{self.steps} steps, {len(self.faults_fired)} faults, "
+            f"{self.commits} commits, {self.conflicts} conflicts, "
+            f"{self.op_errors} faulted ops; {self.check.summary()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+
+
+def random_fault_script(
+    rng: random.Random, config: SoakConfig, horizon: int
+) -> FaultScript:
+    """Draw a fault script matched to the deployment's topology.
+
+    Every "down" event is paired with an "up" event inside the horizon, so
+    the script itself never strands the run (the harness additionally runs
+    a full recovery pass before the audit).  Episodes may overlap — the
+    point of the soak is precisely the interleavings nobody wrote a
+    scenario test for.
+    """
+    sharded = config.shards >= 2
+    kinds = ["partition", "drops", "server"]
+    # Storage outages: half of the one pair (companion failover) on the
+    # single-pair topology, a whole shard pair on the sharded one.
+    kinds.append("pair" if sharded else "half")
+    events: list[FaultEvent] = []
+    episodes = rng.randint(2, 4)
+    server_episode_used = False
+    for _ in range(episodes):
+        kind = rng.choice(kinds)
+        start = rng.randint(max(1, horizon // 10), max(2, (horizon * 7) // 10))
+        length = rng.randint(max(1, horizon // 20), max(2, horizon // 4))
+        stop = start + length
+        if kind == "server":
+            if server_episode_used or config.servers < 2:
+                continue  # never two file-server outages in one script
+            server_episode_used = True
+            index = rng.randrange(config.servers)
+            events.append(FaultEvent(start, "crash_server", (index,)))
+            events.append(FaultEvent(stop, "restart_server", (index,)))
+        elif kind == "half":
+            half = rng.choice(["a", "b"])
+            events.append(FaultEvent(start, "half_down", (half,)))
+            events.append(FaultEvent(stop, "half_up", (half,)))
+        elif kind == "pair":
+            shard = rng.randrange(config.shards)
+            events.append(FaultEvent(start, "pair_down", (shard,)))
+            events.append(FaultEvent(stop, "pair_up", (shard,)))
+        elif kind == "partition":
+            client = f"soak-c{rng.randrange(config.clients)}"
+            server = f"fs{rng.randrange(config.servers)}"
+            events.append(FaultEvent(start, "partition", (client, server)))
+            events.append(FaultEvent(stop, "heal", (client, server)))
+        else:  # drops
+            # High period: the RPC layer retries a few times, so most
+            # operations survive the window; some die and must abort clean.
+            period = rng.randint(7, 13)
+            events.append(FaultEvent(start, "drops_on", (period,)))
+            events.append(FaultEvent(stop, "drops_off", ()))
+    return FaultScript(events)
+
+
+def _pairs_of(cluster: Cluster) -> list:
+    if cluster.shards is not None:
+        return list(cluster.shards.pairs)
+    return [cluster.pair]
+
+
+def apply_fault(cluster: Cluster, event: FaultEvent) -> None:
+    """Map one :class:`FaultEvent` onto a live cluster.
+
+    Idempotent and forgiving: crashing a crashed server or healing a
+    healed link is a no-op, so scripts compose without bookkeeping.
+    """
+    action, target = event.action, event.target
+    network = cluster.network
+    if action == "crash_server":
+        server = cluster.servers[target[0]]
+        if not server._crashed:
+            server.crash()
+    elif action == "restart_server":
+        server = cluster.servers[target[0]]
+        if server._crashed:
+            server.restart()
+    elif action in ("half_down", "half_up"):
+        pair = cluster.pair
+        half = pair.a if target[0] == "a" else pair.b
+        if action == "half_down":
+            if not half._crashed:
+                half.crash()
+        else:
+            if half._crashed:
+                half.restart()
+            if half._recovering:
+                half.resync()
+    elif action in ("pair_down", "pair_up"):
+        pair = _pairs_of(cluster)[target[0]]
+        if action == "pair_down":
+            for half in pair.halves():
+                if not half._crashed:
+                    half.crash()
+        else:
+            # Restart both halves first, then resync: fetch_intentions
+            # answers companion traffic even while recovering.
+            for half in pair.halves():
+                if half._crashed:
+                    half.restart()
+            for half in pair.halves():
+                if half._recovering:
+                    half.resync()
+    elif action == "partition":
+        network.partition(target[0], target[1])
+    elif action == "heal":
+        network.heal(target[0], target[1])
+    elif action == "drops_on":
+        network.drop_policy.drop_every = target[0]
+    elif action == "drops_off":
+        network.drop_policy.drop_every = None
+    else:
+        raise ValueError(f"unknown fault action {action!r}")
+
+
+def recover_all(cluster: Cluster) -> None:
+    """Bring the whole deployment back: heal, stop drops, restart and
+    resync every storage half, restart every file server."""
+    cluster.network.heal_all()
+    cluster.network.drop_policy.drop_every = None
+    for pair in _pairs_of(cluster):
+        for half in pair.halves():
+            if half._crashed:
+                half.restart()
+        for half in pair.halves():
+            if half._recovering:
+                half.resync()
+    for server in cluster.servers:
+        if server._crashed:
+            server.restart()
+
+
+# ---------------------------------------------------------------------------
+# the soak run
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def blind_serialise_mutant() -> Iterator[None]:
+    """Replace the serialisability test with one that accepts everything.
+
+    This deliberately reintroduces the bug class the paper's test
+    prevents — concurrent conflicting updates both commit, the loser's
+    writes silently vanish — so tests can prove the history checker
+    notices.  Patches the name :mod:`repro.core.service` actually calls.
+    """
+    from repro.core import service as service_module
+    from repro.core.occ import SerialiseResult
+
+    real = service_module.serialise
+
+    def blind(store, b_root, c_root, merge=True, recorder=None):
+        return SerialiseResult(ok=True)
+
+    service_module.serialise = blind
+    try:
+        yield
+    finally:
+        service_module.serialise = real
+
+
+def _client_script(
+    client: FileClient,
+    caps: list,
+    rng: random.Random,
+    ops: int,
+    pages: int,
+    tally: dict,
+) -> Generator[None, None, None]:
+    """One soak client: a random mix of cached reads and page updates.
+
+    Every operation tolerates :class:`ReproError` — under injected faults
+    an RPC may find every server down, a commit may conflict, a dropped
+    reply may surface as a duplicate commit (``VersionCommitted``: the
+    first try won, which is success).  Correctness is judged afterwards by
+    the history checker and fsck, not by per-operation outcomes.
+    """
+    for opno in range(ops):
+        cap = caps[rng.randrange(len(caps))]
+        path = PagePath.of(rng.randrange(pages))
+        yield
+        if rng.random() < 0.4:
+            try:
+                client.read(cap, path)
+            except ReproError:
+                tally["op_errors"] += 1
+            continue
+        payload = f"{client.node}-op{opno}".encode()
+        update = None
+        try:
+            update = client.begin(cap)
+            update.read(path)
+            yield
+            update.write(path, payload)
+            yield
+            update.commit()
+            tally["commits"] += 1
+        except VersionCommitted:
+            tally["commits"] += 1  # dropped reply: the commit landed
+        except ReproError:
+            tally["op_errors"] += 1
+            if update is not None and not update.done:
+                try:
+                    update.abort()
+                except ReproError:
+                    pass
+    return None
+
+
+def _gc_script(cluster: Cluster, cycles: int) -> Generator[None, None, None]:
+    """The concurrent garbage collector, riding out faults.
+
+    A cycle that hits a crashed block server aborts with a
+    :class:`ReproError`; the script shrugs and tries again next cycle —
+    exactly what a real background collector daemon would do.
+    """
+    for _ in range(cycles):
+        gc = GarbageCollector(cluster.fs(0))
+        try:
+            yield from gc.run_incremental()
+        except ReproError:
+            pass
+        yield
+
+
+def _audit_final_state(
+    cluster: Cluster, caps: list, pages: int
+) -> dict[int, dict[str, bytes]]:
+    """Read every file's current pages through a recovered server.
+
+    These reads go through ``read_page`` on committed versions, so they
+    are themselves recorded as snapshot reads — the audit both feeds
+    ``final_state`` and exercises the checker's snapshot invariant."""
+    fs = next(s for s in cluster.servers if not s._crashed)
+    final: dict[int, dict[str, bytes]] = {}
+    for cap in caps:
+        current = fs.current_version(cap)
+        audited: dict[str, bytes] = {}
+        for path in [ROOT] + [PagePath.of(i) for i in range(pages)]:
+            try:
+                audited[str(path)] = fs.read_page(current, path)
+            except ReproError:
+                continue  # page never created on this file
+        final[cap.obj] = audited
+    return final
+
+
+def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
+    """Run one deterministic soak and check everything it recorded."""
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    history = HistoryRecorder()
+    if config.shards >= 2:
+        cluster = build_sharded_cluster(
+            shards=config.shards,
+            servers=config.servers,
+            seed=config.seed,
+            recorder=recorder,
+            history=history,
+        )
+    else:
+        cluster = build_cluster(
+            servers=config.servers,
+            seed=config.seed,
+            recorder=recorder,
+            history=history,
+        )
+    rng = random.Random(f"soak-{config.seed}")
+
+    # -- setup: files exist and are committed before any fault fires -------
+    fs = cluster.fs(0)
+    caps = []
+    for i in range(config.files):
+        cap = fs.create_file(b"soak file %d" % i)
+        handle = fs.create_version(cap)
+        for page in range(config.pages):
+            fs.append_page(handle.version, ROOT, b"page %d.%d" % (i, page))
+        fs.commit(handle.version)
+        caps.append(cap)
+
+    # -- tasks --------------------------------------------------------------
+    scheduler = ExploreScheduler()
+    tally = {"commits": 0, "op_errors": 0}
+    per_client = max(1, config.ops // config.clients)
+    for ci in range(config.clients):
+        client = FileClient(
+            cluster.network,
+            f"soak-c{ci}",
+            cluster.service_port,
+            history=history,
+        )
+        crng = random.Random(f"soak-{config.seed}-client-{ci}")
+        scheduler.spawn(
+            f"soak-c{ci}",
+            _client_script(client, caps, crng, per_client, config.pages, tally),
+        )
+    scheduler.spawn("soak-gc", _gc_script(cluster, cycles=3))
+
+    # Rough step horizon: each op takes a handful of yields.
+    horizon = max(20, per_client * config.clients * 3)
+    script = random_fault_script(rng, config, horizon)
+
+    def on_step(step: int) -> None:
+        for event in script.due(step):
+            recorder.count("soak.faults")
+            recorder.event("soak.fault", action=event.action)
+            apply_fault(cluster, event)
+
+    run_error: BaseException | None = None
+    with recorder.span("soak", seed=config.seed, shards=config.shards):
+        with blind_serialise_mutant() if config.mutant else _nullcontext():
+            try:
+                scheduler.run_random(rng, on_step=on_step)
+            except ReproError as exc:  # pragma: no cover - harness bug guard
+                run_error = exc
+        # -- recovery, then the audit --------------------------------------
+        recover_all(cluster)
+        for event in script.due(1 << 60):  # anything the run never reached
+            apply_fault(cluster, event)
+        final_state = _audit_final_state(cluster, caps, config.pages)
+
+    check = check_history(history, final_state)
+    if run_error is not None:
+        check.violate("harness-error", f"soak run raised {run_error!r}")
+    fsck = check_cluster(cluster)
+    commits = tally["commits"]
+    conflicts = sum(s.metrics.conflicts for s in cluster.servers)
+    recorder.count("soak.ops", config.ops)
+    recorder.count("soak.commits", commits)
+    recorder.count("soak.conflicts", conflicts)
+    recorder.count("soak.events", len(history))
+    if not check.ok or not fsck.ok:
+        recorder.count("soak.violations", len(check.violations) + len(fsck.errors))
+    return SoakReport(
+        config=config,
+        check=check,
+        fsck=fsck,
+        steps=scheduler.steps,
+        events_recorded=len(history),
+        faults_fired=list(script.fired),
+        commits=commits,
+        conflicts=conflicts,
+        op_errors=tally["op_errors"],
+    )
+
+
+@contextmanager
+def _nullcontext() -> Iterator[None]:
+    yield

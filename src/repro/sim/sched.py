@@ -25,6 +25,10 @@ class Yield:
     """
 
 
+class ScheduleError(RuntimeError):
+    """A caller-supplied order named a task that cannot be stepped."""
+
+
 @dataclass
 class Task:
     """One schedulable activity."""
@@ -59,6 +63,8 @@ class Scheduler:
 
     def __init__(self) -> None:
         self.tasks: list[Task] = []
+        # Total steps executed across every run() call; soak reports read it.
+        self.steps = 0
 
     def spawn(self, name: str, gen: Generator[Any, None, Any]) -> Task:
         """Register a generator as a task; it runs when :meth:`run` is called."""
@@ -83,11 +89,15 @@ class Scheduler:
     ) -> list[Task]:
         """Run tasks to completion.
 
-        ``order``: optional infinite-ish iterable of task indices used to
-        pick which *live* task steps next; indices are taken modulo the
-        number of live tasks, so any sequence of ints is a valid schedule
-        (this is the hook hypothesis uses).  Without ``order``, tasks step
-        round-robin.
+        ``order``: optional infinite-ish iterable of schedule picks used to
+        choose which *live* task steps next.  An int pick is taken modulo
+        the number of live tasks, so any sequence of ints is a valid
+        schedule (this is the hook hypothesis uses).  A str pick names a
+        task exactly; naming a task that does not exist or has already
+        finished raises :class:`ScheduleError` — a script that says "step
+        the committer now" must fail loudly when the committer is gone, not
+        silently step whatever landed at that index.  Without ``order``,
+        tasks step round-robin.
 
         Raises the first task error encountered unless ``raise_errors`` is
         False (errors stay recorded on the tasks either way).
@@ -105,20 +115,36 @@ class Scheduler:
                 for task in live:
                     task.step()
                     steps += 1
+                    self.steps += 1
             else:
                 try:
                     pick = next(schedule)
                 except StopIteration:
                     schedule = None
                     continue
-                task = live[pick % len(live)]
+                if isinstance(pick, str):
+                    task = self._named(pick, live)
+                else:
+                    task = live[pick % len(live)]
                 task.step()
                 steps += 1
+                self.steps += 1
         if raise_errors:
             for task in self.tasks:
                 if task.error is not None:
                     raise task.error
         return self.tasks
+
+    def _named(self, name: str, live: list[Task]) -> Task:
+        """Resolve a by-name schedule pick against the live task set."""
+        for task in live:
+            if task.name == name:
+                return task
+        if any(task.name == name for task in self.tasks):
+            raise ScheduleError(
+                f"schedule names task {name!r}, which has already finished"
+            )
+        raise ScheduleError(f"schedule names unknown task {name!r}")
 
     def results(self) -> dict[str, Any]:
         """Map of task name to result (None for tasks that errored)."""

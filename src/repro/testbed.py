@@ -48,6 +48,7 @@ class Cluster:
     optical_pair: StablePair | None = None  # set on hybrid deployments
     shards: object = None  # ShardedBlockService on sharded deployments
     recorder: object = NULL_RECORDER  # the shared observability recorder
+    history: object = None  # shared HistoryRecorder (verify.history), if any
 
     def fs(self, index: int = 0) -> FileService:
         """The ``index``-th file server process."""
@@ -153,6 +154,7 @@ def build_sharded_cluster(
     cache_capacity: int = 4096,
     hop_ticks: int = 10,
     recorder=None,
+    history=None,
 ) -> Cluster:
     """Build a deployment whose block storage is ``shards`` companion
     pairs behind a :class:`repro.block.sharding.ShardedBlockService`.
@@ -197,6 +199,7 @@ def build_sharded_cluster(
                 recorder=recorder,
             ),
             recorder=recorder,
+            history=history,
         )
         fs_list.append(fs)
         endpoints.append(RpcEndpoint(network, name, service_port, fs))
@@ -211,6 +214,7 @@ def build_sharded_cluster(
         servers=fs_list,
         endpoints=endpoints,
         recorder=recorder,
+        history=history,
     )
     cluster.shards = service
     return cluster
@@ -225,6 +229,7 @@ def build_cluster(
     write_once: bool = False,
     hop_ticks: int = 10,
     recorder=None,
+    history=None,
 ) -> Cluster:
     """Build a network + stable block pair + ``servers`` file servers.
 
@@ -265,6 +270,7 @@ def build_cluster(
             deferred_writes=deferred_writes,
             rng=rng,
             recorder=recorder,
+            history=history,
         )
         fs_list.append(service)
         endpoints.append(RpcEndpoint(network, name, service_port, service))
@@ -279,4 +285,5 @@ def build_cluster(
         servers=fs_list,
         endpoints=endpoints,
         recorder=recorder,
+        history=history,
     )

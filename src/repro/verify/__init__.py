@@ -1,0 +1,32 @@
+"""Correctness verification tooling.
+
+The paper's headline claim is behavioural: optimistic concurrency control
+"produces the same result as some serial execution", crashes leave the file
+system consistent, and aborted updates vanish without trace.  This package
+holds the machinery that *checks* those claims on real runs instead of
+asserting per-scenario outcomes:
+
+* :mod:`repro.verify.history` — an operation-history recorder (hooked into
+  the file service and the client library) plus a checker that validates a
+  recorded run against the serializability invariants.
+
+The simulation soak harness (:mod:`repro.sim.explore`) drives randomised
+runs under fault injection and feeds every one of them through this
+package.
+"""
+
+from repro.verify.history import (
+    CheckResult,
+    HistoryEvent,
+    HistoryRecorder,
+    Violation,
+    check_history,
+)
+
+__all__ = [
+    "CheckResult",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "Violation",
+    "check_history",
+]

@@ -1,0 +1,304 @@
+"""Operation-history recording and serializability checking.
+
+The file service and the client library emit an append-only stream of
+:class:`HistoryEvent` records into a shared :class:`HistoryRecorder`:
+``create``/``begin``/``read``/``write``/``append``/``commit``/``abort``
+events carry the version capability object numbers involved, ``crash`` and
+``restart`` mark server failures, and ``snapshot_read`` records every read
+of a *committed* version's page (including reads the client cache served
+locally after the §5.4 validation test — exactly the reads a broken cache
+protocol would corrupt).
+
+:func:`check_history` then validates the recorded run:
+
+1. **Serializable reads** — the commit order (the order in which the
+   service's commit critical section fired, which equals the commit-
+   reference chain) is replayed file by file; every page a *committed*
+   update read must carry the value the replay holds just before that
+   update's position.  A lost update, a double commit, or a commit that
+   skipped the serialisability test shows up here as a read that matches
+   no serial execution.
+2. **Snapshot isolation** — every ``snapshot_read`` of committed version V
+   must return exactly the replayed state of V: committed versions are
+   immutable, so any other answer means a cache or history-pruning bug.
+3. **Aborted updates leave no durable effect** — aborted versions must not
+   appear in the commit order, a version must not both commit and abort,
+   and (when the caller supplies a post-run audit of the real pages) the
+   final durable state must equal the replayed state of the committed
+   updates alone.
+4. **Commit lineage** — a committed version's recorded base must itself be
+   a committed version: post-crash recovery must never expose a version
+   page grafted onto freed or uncommitted blocks.
+
+Files that saw structural surgery the recorder only summarises
+(``structure`` events: removes, splits, moves — they renumber sibling path
+names) are checked for the ordering invariants but skipped for path-keyed
+value checks; the soak workloads keep their page trees stable after setup
+so every soak run gets the full check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One recorded operation.
+
+    ``seq`` is a global sequence number: the simulation is cooperative and
+    single-threaded between yields, so ``seq`` order is the real-time order
+    of the operations' linearisation points (for commits, the test-and-set
+    of the commit reference).
+    """
+
+    seq: int
+    kind: str  # create|begin|read|write|append|structure|snapshot_read|commit|abort|crash|restart
+    actor: str
+    file: int | None = None
+    version: int | None = None
+    path: str | None = None
+    value: bytes | None = None
+    base: int | None = None
+
+
+class HistoryRecorder:
+    """An append-only operation log shared by every server and client.
+
+    The recorder is duck-compatible with "no recorder": components guard
+    every hook behind ``if self.history is not None`` so uninstrumented
+    runs pay one attribute load per operation.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[HistoryEvent] = []
+        self._seq = 0
+
+    def record(
+        self,
+        kind: str,
+        actor: str = "",
+        file: int | None = None,
+        version: int | None = None,
+        path: str | None = None,
+        value: bytes | None = None,
+        base: int | None = None,
+    ) -> None:
+        self._seq += 1
+        self.events.append(
+            HistoryEvent(self._seq, kind, actor, file, version, path, value, base)
+        )
+
+    def of_kind(self, kind: str) -> list[HistoryEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant the recorded history breaks."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class CheckResult:
+    """What :func:`check_history` concluded about one run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    committed_versions: int = 0
+    aborted_versions: int = 0
+    reads_checked: int = 0
+    snapshot_reads_checked: int = 0
+    unknown_version_reads: int = 0  # reads of versions the log never saw minted
+    opaque_files: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violate(self, kind: str, detail: str) -> None:
+        self.violations.append(Violation(kind, detail))
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"history check: {status}; {self.files_checked} files, "
+            f"{self.committed_versions} committed / {self.aborted_versions} "
+            f"aborted versions, {self.reads_checked} update reads + "
+            f"{self.snapshot_reads_checked} snapshot reads checked"
+        )
+
+
+# Event kinds that mutate a version's page tree in path-keyed ways the
+# checker can replay (append extends the tree without renumbering).
+_TRACKED_WRITES = ("write", "append", "create")
+
+
+def check_history(
+    history: HistoryRecorder,
+    final_state: dict[int, dict[str, bytes]] | None = None,
+) -> CheckResult:
+    """Validate a recorded run; see the module docstring for the invariants.
+
+    ``final_state`` optionally maps file object → {path text → bytes} as
+    audited from the real deployment after the run; when given, the durable
+    state must equal the serial replay of the committed updates alone.
+    """
+    result = CheckResult()
+    events = history.events
+
+    version_file: dict[int, int] = {}  # version obj -> file obj
+    version_events: dict[int, list[HistoryEvent]] = {}
+    commit_seqs: dict[int, list[int]] = {}  # version -> seqs of commit events
+    aborted: set[int] = set()
+    begin_base: dict[int, int | None] = {}
+    files: dict[int, dict] = {}  # file obj -> {"order": [version objs], ...}
+    snapshot_reads: list[HistoryEvent] = []
+    opaque: set[int] = set()
+
+    for event in events:
+        if event.version is not None and event.file is not None:
+            version_file.setdefault(event.version, event.file)
+        if event.file is not None:
+            files.setdefault(event.file, {"order": []})
+        if event.kind == "create":
+            files[event.file]["order"].append(event.version)
+            commit_seqs.setdefault(event.version, []).append(event.seq)
+            version_events.setdefault(event.version, []).append(event)
+        elif event.kind == "begin":
+            begin_base[event.version] = event.base
+        elif event.kind in ("read", "write", "append"):
+            version_events.setdefault(event.version, []).append(event)
+        elif event.kind == "structure":
+            if event.file is not None:
+                opaque.add(event.file)
+        elif event.kind == "commit":
+            commit_seqs.setdefault(event.version, []).append(event.seq)
+            file = version_file.get(event.version)
+            if file is not None:
+                files.setdefault(file, {"order": []})["order"].append(event.version)
+        elif event.kind == "abort":
+            if event.version in aborted:
+                continue  # idempotent server-side cleanup
+            aborted.add(event.version)
+        elif event.kind == "snapshot_read":
+            snapshot_reads.append(event)
+
+    result.aborted_versions = len(aborted)
+    result.opaque_files = sorted(opaque)
+
+    # --- per-version sanity: commits are unique and exclusive of aborts ----
+    for version, seqs in commit_seqs.items():
+        if len(seqs) > 1:
+            result.violate(
+                "double-commit",
+                f"version {version} committed {len(seqs)} times "
+                f"(seqs {seqs})",
+            )
+        if version in aborted:
+            result.violate(
+                "commit-after-abort",
+                f"version {version} both committed and aborted",
+            )
+
+    # --- per-file replay ----------------------------------------------------
+    by_file_snapshots: dict[int, dict[int, dict[str, bytes]]] = {}
+    replayed_state: dict[int, dict[str, bytes]] = {}
+    for file, info in sorted(files.items()):
+        order: list[int] = info["order"]
+        if not order:
+            continue
+        result.files_checked += 1
+        committed_set = set(order)
+        result.committed_versions += len(order)
+
+        # Commit lineage: every committed version grew from a committed one.
+        for version in order[1:]:
+            base = begin_base.get(version)
+            if base is None:
+                continue  # base version unknown to the log (e.g. pre-attach)
+            if base not in committed_set:
+                result.violate(
+                    "uncommitted-base",
+                    f"file {file}: version {version} committed on top of "
+                    f"{base}, which never committed",
+                )
+
+        if file in opaque:
+            continue  # structural surgery: path-keyed replay unsound
+
+        state: dict[str, bytes] = {}
+        snapshots: dict[int, dict[str, bytes]] = {}
+        for version in order:
+            overlay: dict[str, bytes] = {}
+            for event in version_events.get(version, ()):
+                if event.kind == "read":
+                    expected = overlay.get(event.path, state.get(event.path))
+                    result.reads_checked += 1
+                    if expected is not None and event.value != expected:
+                        result.violate(
+                            "non-serializable-read",
+                            f"file {file}: committed version {version} read "
+                            f"{event.value!r} at path '{event.path}' but the "
+                            f"serial order holds {expected!r} (seq {event.seq})",
+                        )
+                elif event.kind in _TRACKED_WRITES:
+                    overlay[event.path] = event.value
+            state.update(overlay)
+            snapshots[version] = dict(state)
+        by_file_snapshots[file] = snapshots
+        replayed_state[file] = state
+
+    # --- snapshot reads against the immutable committed states -------------
+    for event in snapshot_reads:
+        file = event.file if event.file is not None else version_file.get(event.version)
+        if file is None or file in opaque:
+            continue
+        snapshots = by_file_snapshots.get(file, {})
+        if event.version in snapshots:
+            result.snapshot_reads_checked += 1
+            expected = snapshots[event.version].get(event.path)
+            if expected is not None and event.value != expected:
+                result.violate(
+                    "stale-snapshot-read",
+                    f"file {file}: read of committed version {event.version} "
+                    f"at path '{event.path}' returned {event.value!r}, "
+                    f"expected {expected!r} (seq {event.seq}, actor "
+                    f"{event.actor})",
+                )
+        elif event.version in aborted:
+            result.violate(
+                "aborted-version-exposed",
+                f"file {file}: snapshot read of aborted version "
+                f"{event.version} at path '{event.path}' (seq {event.seq})",
+            )
+        else:
+            result.unknown_version_reads += 1
+
+    # --- durable state must equal the committed replay ----------------------
+    if final_state is not None:
+        for file, audited in sorted(final_state.items()):
+            if file in opaque or file not in replayed_state:
+                continue
+            state = replayed_state[file]
+            for path, value in sorted(audited.items()):
+                expected = state.get(path)
+                if expected is not None and value != expected:
+                    result.violate(
+                        "durable-divergence",
+                        f"file {file}: page '{path}' holds {value!r} after "
+                        f"the run but the committed history replays to "
+                        f"{expected!r} (aborted update leaked or committed "
+                        f"write lost)",
+                    )
+    return result

@@ -350,12 +350,20 @@ def run_workload(
     max_redos: int = 32,
     order=None,
     recorder=None,
+    history=None,
 ) -> RunResult:
     """Run ``workload`` (one transaction list per client) to completion.
 
     Counts only the work done by the run itself: counters are measured as
     deltas around it.  ``order`` optionally drives the interleaving (for
     property tests); the default is round-robin.
+
+    ``history`` (a :class:`repro.verify.history.HistoryRecorder`) attaches
+    operation-history recording to the adapter's file service for the
+    duration of the run, so any driver workload can be fed through
+    :func:`repro.verify.history.check_history` afterwards.  Only adapters
+    backed by the Amoeba :class:`~repro.core.service.FileService` record;
+    the baselines silently ignore it.
 
     With a live ``recorder`` (normally the same one the cluster under the
     adapter was built with), the run is wrapped in a ``workload`` span and
@@ -367,6 +375,10 @@ def run_workload(
         from repro.obs import NULL_RECORDER
 
         recorder = NULL_RECORDER
+    if history is not None:
+        service = getattr(adapter, "service", None)
+        if isinstance(service, FileService):
+            service.history = history
     adapter.setup(n_pages)
     result = RunResult(system=adapter.name)
     net_before = network.stats.snapshot()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -13,6 +14,17 @@ from repro.testbed import Cluster, build_cluster
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(0xA0EBA)
+
+
+@pytest.fixture
+def soak_seed() -> int:
+    """Seed for the soak/exploration tests.
+
+    Defaults to 1; set ``REPRO_SOAK_SEED=N`` to re-run the deterministic
+    suite under a different interleaving (e.g. to bisect a CI failure:
+    the failing run prints the exact seed to replay).
+    """
+    return int(os.environ.get("REPRO_SOAK_SEED", "1"))
 
 
 @pytest.fixture

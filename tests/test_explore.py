@@ -1,0 +1,146 @@
+"""The soak harness: determinism, fault scripts, end-to-end checking."""
+
+import random
+
+import pytest
+
+from repro.sim.explore import (
+    ExploreScheduler,
+    SoakConfig,
+    apply_fault,
+    random_fault_script,
+    run_soak,
+)
+from repro.sim.faults import FaultEvent
+from repro.testbed import build_cluster
+
+
+def test_run_random_is_deterministic():
+    def worker(log, name, steps):
+        for i in range(steps):
+            log.append((name, i))
+            yield
+
+    traces = []
+    for _ in range(2):
+        log = []
+        sched = ExploreScheduler()
+        for name in ("a", "b", "c"):
+            sched.spawn(name, worker(log, name, 5))
+        sched.run_random(random.Random("fixed"))
+        traces.append(log)
+    assert traces[0] == traces[1]
+    # And a different seed explores a different interleaving.
+    log = []
+    sched = ExploreScheduler()
+    for name in ("a", "b", "c"):
+        sched.spawn(name, worker(log, name, 5))
+    sched.run_random(random.Random("other"))
+    assert log != traces[0]
+
+
+def test_fault_script_pairs_every_outage(soak_seed):
+    for shards in (0, 4):
+        config = SoakConfig(seed=soak_seed, shards=shards)
+        script = random_fault_script(random.Random("faults"), config, horizon=300)
+        downs = {"crash_server": 0, "half_down": 0, "pair_down": 0,
+                 "partition": 0, "drops_on": 0}
+        ups = {"restart_server": 0, "half_up": 0, "pair_up": 0,
+               "heal": 0, "drops_off": 0}
+        for event in script._pending:
+            if event.action in downs:
+                downs[event.action] += 1
+            else:
+                ups[event.action] += 1
+        assert downs["crash_server"] <= 1  # never two file-server outages
+        assert sum(downs.values()) == sum(ups.values())
+
+
+def test_apply_fault_is_idempotent():
+    cluster = build_cluster(servers=2, seed=3)
+    for _ in range(2):  # crashing a crashed server is a no-op
+        apply_fault(cluster, FaultEvent(0, "crash_server", (1,)))
+    assert cluster.servers[1]._crashed
+    for _ in range(2):
+        apply_fault(cluster, FaultEvent(0, "restart_server", (1,)))
+    assert not cluster.servers[1]._crashed
+    for _ in range(2):
+        apply_fault(cluster, FaultEvent(0, "half_down", ("a",)))
+    for _ in range(2):
+        apply_fault(cluster, FaultEvent(0, "half_up", ("a",)))
+    assert not cluster.pair.a._crashed
+
+
+def test_soak_passes_on_single_pair(soak_seed):
+    report = run_soak(SoakConfig(seed=soak_seed, ops=60))
+    assert report.ok, "\n".join(report.violations()) + "\n" + report.repro_line()
+    assert report.commits > 0
+    assert report.events_recorded > 0
+    assert report.check.reads_checked > 0
+
+
+def test_soak_passes_on_sharded_topology(soak_seed):
+    report = run_soak(SoakConfig(seed=soak_seed, ops=60, shards=4))
+    assert report.ok, "\n".join(report.violations()) + "\n" + report.repro_line()
+    assert report.commits > 0
+
+
+def test_soak_report_is_deterministic(soak_seed):
+    config = SoakConfig(seed=soak_seed, ops=40)
+    first = run_soak(config)
+    second = run_soak(config)
+    assert first.summary() == second.summary()
+    assert first.steps == second.steps
+    assert first.events_recorded == second.events_recorded
+    assert [e.action for e in first.faults_fired] == [
+        e.action for e in second.faults_fired
+    ]
+
+
+def test_soak_catches_blind_serialise_mutant(soak_seed):
+    """The harness's reason to exist: with the serialisability test
+    disabled, concurrent commits produce lost updates and the history
+    checker must say so."""
+    report = run_soak(SoakConfig(seed=soak_seed, ops=120, mutant=True))
+    assert not report.ok
+    kinds = {v.kind for v in report.check.violations}
+    assert kinds & {"non-serializable-read", "stale-snapshot-read",
+                    "durable-divergence"}
+    assert "--mutant" in report.repro_line()
+
+
+def test_repro_line_replays_config():
+    line = run_soak(SoakConfig(seed=9, ops=30, shards=4, clients=2)).repro_line()
+    assert "--seed 9" in line
+    assert "--ops 30" in line
+    assert "--shards 4" in line
+    assert "--clients 2" in line
+    assert line.startswith("PYTHONPATH=src python -m repro soak")
+
+
+def test_soak_emits_observability_counters(soak_seed):
+    from repro.obs import Recorder
+
+    recorder = Recorder()
+    run_soak(SoakConfig(seed=soak_seed, ops=40), recorder=recorder)
+    counters = recorder.metrics.counters
+    assert counters["soak.ops"].value == 40
+    assert counters["soak.commits"].value > 0
+    assert "soak.violations" not in counters
+    assert recorder.tracer.spans_named("soak")
+
+
+def test_driver_threads_history_into_service(rng):
+    from repro.verify.history import HistoryRecorder, check_history
+    from repro.workloads.driver import AmoebaAdapter, run_workload
+    from repro.workloads.generators import uniform_workload
+
+    cluster = build_cluster(seed=17)
+    adapter = AmoebaAdapter(cluster.fs())
+    workload = uniform_workload(rng, clients=2, txns_per_client=3, n_pages=8)
+    history = HistoryRecorder()
+    result = run_workload(adapter, workload, 8, cluster.network, history=history)
+    assert result.committed > 0
+    assert len(history.events) > 0
+    assert any(e.kind == "commit" for e in history.events)
+    assert check_history(history).ok

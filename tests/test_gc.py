@@ -211,3 +211,93 @@ def test_aborted_registry_entries_purged(cluster):
 
     with pytest.raises(NoSuchVersion):
         fs.registry.version(handle.version.obj)
+
+
+# ---------------------------------------------------------------------------
+# rewriting committed version pages (GC vs. concurrent commits)
+# ---------------------------------------------------------------------------
+
+
+def _current_root(fs, cap):
+    return fs.registry.version(fs.current_version(cap).obj).root_block
+
+
+def test_rewrite_version_page_preserves_a_concurrent_commit(cluster):
+    """The reshare write-back races the commit critical section: a
+    whole-page write of a stale copy would reset the commit reference to
+    nil and let a second successor fork the chain.  The rewrite primitive
+    must leave a concurrently-set commit reference standing."""
+    fs = cluster.fs()
+    cap = fs.create_file(b"x")
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, ROOT, b"v1")
+    fs.commit(handle.version)
+    store = fs.store
+    root = _current_root(fs, cap)
+
+    stale = store.load(root, fresh=True).clone()
+    # A successor commits between the GC's read and its write-back.
+    assert store.tas_commit_ref(root, 424242).success
+    assert store.rewrite_version_page(root, stale)
+    assert store.read_commit_ref(root) == 424242
+
+
+def test_rewrite_version_page_can_cut_base_ref(cluster):
+    from repro.core.page import NIL
+
+    fs = cluster.fs()
+    cap = fs.create_file(b"x")
+    for payload in (b"v1", b"v2"):
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, ROOT, payload)
+        fs.commit(handle.version)
+    store = fs.store
+    root = _current_root(fs, cap)
+    page = store.load(root, fresh=True).clone()
+    assert page.base_ref != NIL
+    page.base_ref = NIL
+    assert store.rewrite_version_page(root, page, keep_base=False)
+    assert store.load(root, fresh=True).base_ref == NIL
+
+
+def test_rewrite_version_page_refuses_a_resized_page(cluster):
+    """If the durable page changed shape since the caller loaded it, the
+    rewrite must fail (and drop its cache entry) instead of clobbering."""
+    from repro.core.page import Flags, PageRef
+
+    fs = cluster.fs()
+    cap = fs.create_file(b"x")
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, ROOT, b"v1")
+    fs.commit(handle.version)
+    store = fs.store
+    root = _current_root(fs, cap)
+
+    stale = store.load(root, fresh=True).clone()
+    moved = stale.clone()
+    moved.append_ref(PageRef(123, Flags()))
+    store.blocks.write(root, moved.to_bytes())
+    store.cache.invalidate(root)
+    assert store.rewrite_version_page(root, stale) is False
+    assert store.load(root, fresh=True).nrefs == moved.nrefs
+
+
+def test_unflushed_foreign_root_skips_sweep(cluster2):
+    """Another replica's in-flight update has allocated its shadow root
+    but not flushed it; a GC cycle on this replica cannot traverse that
+    subtree, so it must skip its sweep rather than free live blocks."""
+    fs0, fs1 = cluster2.fs(0), cluster2.fs(1)
+    cap = fs1.create_file(b"root")
+    setup = fs1.create_version(cap)
+    fs1.append_page(setup.version, ROOT, b"c0")
+    fs1.commit(setup.version)
+
+    live = fs1.create_version(cap)
+    fs1.write_page(live.version, PagePath.of(0), b"pending")
+    stats = cluster2.gc(0).collect()
+    assert stats.mark_incomplete
+    assert stats.sweep_skipped
+    assert stats.swept == 0
+    # The update is unharmed: its manager can still flush and commit it.
+    fs1.commit(live.version)
+    assert fs1.read_page(fs1.current_version(cap), PagePath.of(0)) == b"pending"

@@ -1,0 +1,150 @@
+"""The history checker: serializability, snapshots, aborts, lineage.
+
+These tests feed hand-built event streams to :func:`check_history` so each
+invariant is exercised in isolation; the end-to-end path (real deployments
+recording real histories) lives in test_explore.py.
+"""
+
+from repro.verify.history import HistoryRecorder, check_history
+
+
+def _serial_update(h, file, version, base, path, read, write, actor="c"):
+    """One well-formed update: begin, read, write, commit."""
+    h.record("begin", actor=actor, file=file, version=version, base=base)
+    h.record("read", actor=actor, file=file, version=version, path=path, value=read)
+    h.record("write", actor=actor, file=file, version=version, path=path, value=write)
+    h.record("commit", actor="fs0", file=file, version=version)
+
+
+def test_clean_serial_history_passes():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("write", actor="fs0", file=1, version=10, path="0", value=b"v0")
+    _serial_update(h, 1, 11, 10, "0", read=b"v0", write=b"v1")
+    _serial_update(h, 1, 12, 11, "0", read=b"v1", write=b"v2")
+    result = check_history(h)
+    assert result.ok
+    assert result.files_checked == 1
+    assert result.committed_versions == 3  # create counts as a commit
+    assert result.reads_checked == 2
+
+
+def test_non_serializable_read_flagged():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("write", actor="fs0", file=1, version=10, path="0", value=b"v0")
+    _serial_update(h, 1, 11, 10, "0", read=b"v0", write=b"v1")
+    # Version 12 commits AFTER 11 but read the pre-11 value: a lost update.
+    _serial_update(h, 1, 12, 10, "0", read=b"v0", write=b"v2")
+    result = check_history(h)
+    assert not result.ok
+    assert any(v.kind == "non-serializable-read" for v in result.violations)
+
+
+def test_double_commit_flagged():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("begin", actor="c", file=1, version=11, base=10)
+    h.record("commit", actor="fs0", file=1, version=11)
+    h.record("commit", actor="fs1", file=1, version=11)
+    result = check_history(h)
+    assert any(v.kind == "double-commit" for v in result.violations)
+
+
+def test_commit_after_abort_flagged():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("begin", actor="c", file=1, version=11, base=10)
+    h.record("abort", actor="fs0", file=1, version=11)
+    h.record("commit", actor="fs0", file=1, version=11)
+    result = check_history(h)
+    assert any(v.kind == "commit-after-abort" for v in result.violations)
+
+
+def test_aborted_update_leaves_no_trace():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("write", actor="fs0", file=1, version=10, path="0", value=b"v0")
+    h.record("begin", actor="c", file=1, version=11, base=10)
+    h.record("write", actor="c", file=1, version=11, path="0", value=b"doomed")
+    h.record("abort", actor="fs0", file=1, version=11)
+    # The aborted write must not appear in the replayed serial state.
+    result = check_history(h, final_state={1: {"0": b"v0"}})
+    assert result.ok
+    assert result.aborted_versions == 1
+
+
+def test_aborted_write_leak_is_durable_divergence():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("write", actor="fs0", file=1, version=10, path="0", value=b"v0")
+    h.record("begin", actor="c", file=1, version=11, base=10)
+    h.record("write", actor="c", file=1, version=11, path="0", value=b"doomed")
+    h.record("abort", actor="fs0", file=1, version=11)
+    result = check_history(h, final_state={1: {"0": b"doomed"}})
+    assert any(v.kind == "durable-divergence" for v in result.violations)
+
+
+def test_uncommitted_base_flagged():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    # Version 12 grew from version 11, which never committed (e.g. its
+    # blocks were freed): recovery must never expose such a graft.
+    h.record("begin", actor="c", file=1, version=12, base=11)
+    h.record("commit", actor="fs0", file=1, version=12)
+    result = check_history(h)
+    assert any(v.kind == "uncommitted-base" for v in result.violations)
+
+
+def test_stale_snapshot_read_flagged():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("write", actor="fs0", file=1, version=10, path="0", value=b"v0")
+    _serial_update(h, 1, 11, 10, "0", read=b"v0", write=b"v1")
+    # Committed versions are immutable: a read of version 11 must see v1.
+    h.record(
+        "snapshot_read", actor="cache", file=1, version=11, path="0", value=b"v0"
+    )
+    result = check_history(h)
+    assert any(v.kind == "stale-snapshot-read" for v in result.violations)
+    assert result.snapshot_reads_checked == 1
+
+
+def test_snapshot_read_of_aborted_version_flagged():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("begin", actor="c", file=1, version=11, base=10)
+    h.record("abort", actor="fs0", file=1, version=11)
+    h.record(
+        "snapshot_read", actor="cache", file=1, version=11, path="0", value=b"x"
+    )
+    result = check_history(h)
+    assert any(v.kind == "aborted-version-exposed" for v in result.violations)
+
+
+def test_structural_surgery_makes_file_opaque():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("write", actor="fs0", file=1, version=10, path="0", value=b"v0")
+    h.record("structure", actor="fs0", file=1, version=10, path="0")
+    # This read would be flagged on a replayable file; on an opaque one the
+    # path-keyed checks are skipped (renumbering made them unsound)...
+    _serial_update(h, 1, 11, 10, "0", read=b"garbage", write=b"v1")
+    result = check_history(h)
+    assert result.ok
+    assert result.opaque_files == [1]
+    # ...but ordering invariants still apply.
+    h.record("commit", actor="fs1", file=1, version=11)
+    result = check_history(h)
+    assert any(v.kind == "double-commit" for v in result.violations)
+
+
+def test_abort_events_are_idempotent():
+    h = HistoryRecorder()
+    h.record("create", actor="fs0", file=1, version=10)
+    h.record("begin", actor="c", file=1, version=11, base=10)
+    h.record("abort", actor="fs0", file=1, version=11)
+    h.record("abort", actor="fs0", file=1, version=11)  # server-side cleanup
+    result = check_history(h)
+    assert result.ok
+    assert result.aborted_versions == 1

@@ -262,6 +262,76 @@ def _commit_message_count(batch: bool):
     return messages, span.find("flush")
 
 
+def test_whole_pair_outage_during_batched_commit_flush():
+    """Both halves of one shard die mid-update: the batched ``write_many``
+    flush loses that shard's group, the commit must fail cleanly without
+    disturbing the committed state, and after the pair restarts and
+    resyncs a redo of the update goes through."""
+    from repro.tools.check import check_cluster
+
+    cluster = build_sharded_cluster(shards=4, servers=1, seed=11)
+    fs = cluster.fs()
+    cap = fs.create_file(b"seed")
+    setup = fs.create_version(cap)
+    for i in range(6):
+        fs.append_page(setup.version, ROOT, b"old %d" % i)
+    fs.commit(setup.version)
+
+    handle = fs.create_version(cap)
+    for i in range(6):
+        fs.write_page(handle.version, PagePath.of(i), b"new %d" % i)
+    pair = cluster.shards.pair(1)
+    pair.a.crash()
+    pair.b.crash()
+    with pytest.raises(ServerUnreachable):
+        fs.commit(handle.version)
+
+    pair.a.restart()
+    pair.b.restart()
+    pair.a.resync()
+    pair.b.resync()
+    # The committed state never moved: every page still reads pre-update.
+    current = fs.current_version(cap)
+    for i in range(6):
+        assert fs.read_page(current, PagePath.of(i)) == b"old %d" % i
+    # The client's redo path: abort the stranded update, run it again.
+    fs.abort(handle.version)
+    redo = fs.create_version(cap)
+    for i in range(6):
+        fs.write_page(redo.version, PagePath.of(i), b"new %d" % i)
+    fs.commit(redo.version)
+    current = fs.current_version(cap)
+    for i in range(6):
+        assert fs.read_page(current, PagePath.of(i)) == b"new %d" % i
+    assert cluster.shards.consistent()
+    assert check_cluster(cluster).ok
+
+
+def test_foreign_server_cannot_touch_an_in_flight_update():
+    """An uncommitted version's pages may still sit in its manager's
+    deferred write buffer; a replica that cannot see that buffer must
+    refuse to read, write, or commit the version (else a failover commit
+    would publish a version whose pages are not durable)."""
+    from repro.errors import NotManagingServer
+
+    cluster = build_sharded_cluster(shards=2, servers=2, seed=13)
+    fs0, fs1 = cluster.fs(0), cluster.fs(1)
+    cap = fs0.create_file(b"seed")
+    setup = fs0.create_version(cap)
+    fs0.append_page(setup.version, ROOT, b"page 0")
+    fs0.commit(setup.version)
+
+    handle = fs0.create_version(cap)
+    fs0.write_page(handle.version, PagePath.of(0), b"in flight")
+    with pytest.raises(NotManagingServer):
+        fs1.write_page(handle.version, PagePath.of(0), b"hijack")
+    with pytest.raises(NotManagingServer):
+        fs1.commit(handle.version)
+    # The managing server itself is unaffected.
+    fs0.commit(handle.version)
+    assert fs1.read_page(fs1.current_version(cap), PagePath.of(0)) == b"in flight"
+
+
 def test_batched_flush_reduces_messages_per_commit():
     """Acceptance: the batched flush path costs fewer network messages per
     commit than the seed's page-by-page path, measured on the commit

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.sched import Scheduler
+from repro.sim.sched import Scheduler, ScheduleError
 
 
 def _counter(log, name, steps):
@@ -111,3 +111,42 @@ def test_exhausted_order_falls_back_to_round_robin():
     sched.run(order=iter([1]))  # one step of b, then round-robin
     assert log[0] == ("b", 0)
     assert len(log) == 6
+
+
+def test_named_order_picks_by_task_name():
+    log = []
+    sched = Scheduler()
+    sched.spawn("a", _counter(log, "a", 2))
+    sched.spawn("b", _counter(log, "b", 2))
+    sched.run(order=iter(["b", "b", "a", "a"]))
+    assert log == [("b", 0), ("b", 1), ("a", 0), ("a", 1)]
+
+
+def test_named_order_of_finished_task_is_an_error():
+    log = []
+    sched = Scheduler()
+    sched.spawn("a", _counter(log, "a", 1))
+    sched.spawn("b", _counter(log, "b", 3))
+    # a yields once and finishes on its second resume; the third pick
+    # names a corpse, and a caller-supplied order must never be fuzzed
+    # silently into a different schedule.
+    with pytest.raises(ScheduleError, match="already finished"):
+        sched.run(order=iter(["a", "a", "a"]))
+
+
+def test_named_order_of_unknown_task_is_an_error():
+    sched = Scheduler()
+    sched.spawn("a", _counter([], "a", 2))
+    with pytest.raises(ScheduleError, match="unknown task"):
+        sched.run(order=iter(["nope"]))
+
+
+def test_steps_accumulate_across_runs():
+    sched = Scheduler()
+    sched.spawn("a", _counter([], "a", 3))
+    sched.run()
+    first = sched.steps
+    assert first > 0
+    sched.spawn("b", _counter([], "b", 2))
+    sched.run()
+    assert sched.steps > first

@@ -1,0 +1,280 @@
+"""Machine-readable benchmark trajectories: BENCH_commit.json / BENCH_scale.json.
+
+``results.txt`` is for people; this harness is for CI and for future PRs
+that need to compare numbers instead of eyeballing tables.  Every
+measurement runs on the deterministic simulation — logical clocks, seeded
+RNGs, counted messages — so the JSON is bit-for-bit reproducible and the
+regression gate can be tight.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_json.py            # rewrite baselines
+    PYTHONPATH=src python benchmarks/bench_json.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/bench_json.py --out DIR  # write elsewhere
+
+``--check`` re-measures and compares every metric named in each file's
+``gate`` list against the committed baseline: a value more than
+``TOLERANCE_PCT`` percent *worse* (higher) fails the run.  Improvements
+pass — refresh the baseline in the same PR that wins them.
+
+Schema and workflow: docs/BENCHMARKS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.client.api import FileClient  # noqa: E402
+from repro.core.pathname import PagePath  # noqa: E402
+from repro.testbed import build_cluster, build_sharded_cluster  # noqa: E402
+
+ROOT = PagePath.ROOT
+HERE = pathlib.Path(__file__).parent
+TOLERANCE_PCT = 20.0
+SCHEMA_VERSION = 1
+
+# How many concurrent ready updates the group-commit claim is measured
+# at — the ISSUE's "8 concurrent non-conflicting updates on one server".
+GROUP_SIZE = 8
+
+
+# ---------------------------------------------------------------------------
+# measurements
+# ---------------------------------------------------------------------------
+
+
+def _costs_around(cluster, fn):
+    """Run ``fn`` and return the deltas of the deployment-wide cost
+    counters it moved: network messages, stable writes (disk A of every
+    pair — companion B mirrors it), and logical ticks."""
+    if cluster.shards is not None:
+        disks = [pair.disk_a for pair in cluster.shards.pairs]
+    else:
+        disks = [cluster.pair.disk_a]
+    msgs = cluster.network.stats.messages
+    writes = sum(d.stats.writes for d in disks)
+    ticks = cluster.clock.now
+    fn()
+    return {
+        "messages": cluster.network.stats.messages - msgs,
+        "stable_writes": sum(d.stats.writes for d in disks) - writes,
+        "ticks": cluster.clock.now - ticks,
+    }
+
+
+def measure_fast_commit(n_pages: int) -> dict:
+    """One sequential fast-path commit on a file of ``n_pages`` pages —
+    claim C1's flat line, now as numbers a gate can hold."""
+    cluster = build_cluster(seed=20)
+    fs = cluster.fs()
+    cap = fs.create_file(b"root")
+    setup = fs.create_version(cap)
+    for i in range(n_pages):
+        fs.append_page(setup.version, ROOT, b"p%d" % i)
+    fs.commit(setup.version)
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, PagePath.of(n_pages // 2), b"x")
+    fs.store.flush()
+    return _costs_around(cluster, lambda: fs.commit(handle.version))
+
+
+def _group_workload(grouped: bool) -> dict:
+    """GROUP_SIZE ready, non-conflicting updates on one file server,
+    settled either one commit at a time (the seed path) or through one
+    ``commit_group`` call."""
+    cluster = build_cluster(seed=7)
+    client = FileClient(cluster.network, "bench", cluster.service_port,
+                        use_cache=False)
+    cap = client.create_file(b"base")
+    setup = client.begin(cap)
+    paths = [setup.append_page(ROOT, b"init") for _ in range(GROUP_SIZE)]
+    setup.commit()
+    client.prefer_server = client.ping()
+    updates = []
+    for i, path in enumerate(paths):
+        update = client.begin(cap)
+        update.write(path, b"w%d" % i)
+        updates.append(update)
+
+    def settle():
+        if grouped:
+            outcomes = client.commit_group(updates)
+            assert all(v == "committed" for v in outcomes.values()), outcomes
+        else:
+            for update in updates:
+                update.commit()
+
+    return _costs_around(cluster, settle)
+
+
+def measure_group_commit() -> dict:
+    sequential = _group_workload(grouped=False)
+    grouped = _group_workload(grouped=True)
+    reduction = {
+        key: round(100.0 * (1.0 - grouped[key] / sequential[key]), 1)
+        for key in sequential
+    }
+    return {
+        "members": GROUP_SIZE,
+        "sequential": sequential,
+        "grouped": grouped,
+        "reduction_pct": reduction,
+    }
+
+
+def measure_scale(ops: int = 24, shards: int = 4) -> dict:
+    """Per-op commit cost of a fixed update workload on the sharded
+    deployment — the trajectory that shows batching holding up as the
+    storage fans out."""
+    cluster = build_sharded_cluster(shards=shards, seed=9)
+    client = FileClient(cluster.network, "bench", cluster.service_port,
+                        use_cache=False)
+    caps = []
+    for i in range(3):
+        cap = client.create_file(b"file%d" % i)
+        setup = client.begin(cap)
+        for j in range(4):
+            setup.append_page(ROOT, b"p%d" % j)
+        setup.commit()
+        caps.append(cap)
+
+    def workload():
+        for op in range(ops):
+            cap = caps[op % len(caps)]
+            update = client.begin(cap)
+            update.write(PagePath.of(op % 4), b"op%d" % op)
+            update.commit()
+
+    costs = _costs_around(cluster, workload)
+    return {
+        "shards": shards,
+        "ops": ops,
+        "total": costs,
+        "per_op": {key: round(value / ops, 2) for key, value in costs.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# the two trajectory files
+# ---------------------------------------------------------------------------
+
+
+def bench_commit() -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "fast_commit": {str(n): measure_fast_commit(n) for n in (1, 8, 64)},
+        "group_commit": measure_group_commit(),
+        # Metrics the CI gate holds against this committed baseline:
+        # more than TOLERANCE_PCT percent higher fails the build.
+        "gate": [
+            "fast_commit.64.messages",
+            "fast_commit.64.ticks",
+            "group_commit.grouped.messages",
+            "group_commit.grouped.stable_writes",
+            "group_commit.grouped.ticks",
+        ],
+    }
+
+
+def bench_scale() -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "sharded_updates": measure_scale(),
+        "gate": [
+            "sharded_updates.per_op.messages",
+            "sharded_updates.per_op.ticks",
+        ],
+    }
+
+
+BENCHES = {
+    "BENCH_commit.json": bench_commit,
+    "BENCH_scale.json": bench_scale,
+}
+
+
+# ---------------------------------------------------------------------------
+# gate plumbing
+# ---------------------------------------------------------------------------
+
+
+def resolve(data: dict, dotted: str):
+    node = data
+    for part in dotted.split("."):
+        node = node[part]
+    return node
+
+
+def compare(baseline: dict, fresh: dict, name: str) -> list[str]:
+    """Regressions of gated metrics, as human-readable failure lines."""
+    failures = []
+    for dotted in baseline.get("gate", []):
+        old = resolve(baseline, dotted)
+        new = resolve(fresh, dotted)
+        if old == 0:
+            if new != 0:
+                failures.append(f"{name}: {dotted} regressed 0 -> {new}")
+            continue
+        worse_pct = 100.0 * (new - old) / old
+        if worse_pct > TOLERANCE_PCT:
+            failures.append(
+                f"{name}: {dotted} regressed {old} -> {new} "
+                f"(+{worse_pct:.1f}%, tolerance {TOLERANCE_PCT:.0f}%)"
+            )
+    return failures
+
+
+def write_baselines(out: pathlib.Path) -> None:
+    for filename, produce in BENCHES.items():
+        path = out / filename
+        path.write_text(json.dumps(produce(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+def check_baselines(out: pathlib.Path) -> int:
+    failures: list[str] = []
+    for filename, produce in BENCHES.items():
+        path = out / filename
+        if not path.exists():
+            print(f"MISSING baseline {path} — run bench_json.py to create it")
+            return 2
+        baseline = json.loads(path.read_text())
+        fresh = produce()
+        failures.extend(compare(baseline, fresh, filename))
+        for dotted in baseline.get("gate", []):
+            old, new = resolve(baseline, dotted), resolve(fresh, dotted)
+            marker = "=" if new == old else ("<" if new < old else ">")
+            print(f"  {filename}: {dotted}: {old} {marker} {new}")
+    if failures:
+        print("\nBENCH GATE FAILED:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print("bench gate ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(HERE), help="baseline directory")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh measurements against committed baselines",
+    )
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.out)
+    if args.check:
+        return check_baselines(out)
+    out.mkdir(parents=True, exist_ok=True)
+    write_baselines(out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -11,7 +11,8 @@ Subcommands:
   per-commit span trees.  See docs/OBSERVABILITY.md.
 * ``soak``   — deterministic randomised soak under fault injection with
   serializability history checking.  ``--seed N`` (or ``--seed A..B`` for
-  a range), ``--ops M``, ``--shards K``, ``--clients C``, ``--mutant``.
+  a range), ``--ops M``, ``--shards K``, ``--clients C``, ``--mutant``,
+  ``--group-commit`` (mix grouped commit batches into the workload).
   Exits nonzero and prints the replay command on any violation.  See
   docs/SIMULATION.md.
 """
@@ -207,6 +208,7 @@ def _soak(extra: list[str]) -> None:
     shards = 0
     clients = 3
     mutant = False
+    group_commit = False
     args = list(extra)
     while args:
         flag = args.pop(0)
@@ -225,6 +227,8 @@ def _soak(extra: list[str]) -> None:
             clients = int(args.pop(0))
         elif flag == "--mutant":
             mutant = True
+        elif flag == "--group-commit":
+            group_commit = True
         else:
             print(f"unknown soak flag {flag!r}")
             print(__doc__)
@@ -233,7 +237,12 @@ def _soak(extra: list[str]) -> None:
     failed = False
     for seed in seeds:
         config = SoakConfig(
-            seed=seed, ops=ops, shards=shards, clients=clients, mutant=mutant
+            seed=seed,
+            ops=ops,
+            shards=shards,
+            clients=clients,
+            mutant=mutant,
+            group_commit=group_commit,
         )
         report = run_soak(config)
         print(report.summary())

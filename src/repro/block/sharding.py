@@ -314,6 +314,12 @@ class ShardedBlockClient:
                 self.recorder.event(
                     "shard.batch", shard=shard, pages=len(group)
                 )
+        if self.recorder.enabled:
+            # How widely one commit flush fans out — the round-trip cost
+            # of a batch is exactly the number of shards it touches.
+            self.recorder.observe(
+                "shard.batch_shards", len(by_shard), bounds=(1, 2, 4, 8, 16)
+            )
         return written
 
     def read(self, block_no: int) -> bytes:

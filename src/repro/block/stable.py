@@ -448,6 +448,7 @@ class StableServer:
             self.recorder.event(
                 "stable.write_many", origin=self.name, pages=len(writes)
             )
+            self.recorder.count("stable.write_many_blocks", len(writes))
             self.recorder.observe(
                 "stable.batch_pages", len(writes), bounds=_BATCH_BUCKETS
             )

@@ -130,6 +130,22 @@ class FileClient:
                 self.cache.put(file_cap, path, data)
         return data
 
+    def snapshot_read(
+        self, file_cap: Capability, path: PagePath = PagePath.ROOT
+    ) -> bytes:
+        """Read the file's current committed state via the server's
+        snapshot fast path: no commit-path work, no client cache, served
+        from the server's current-version hint.  May run one version
+        behind commits made through *other* server processes; use
+        :meth:`read` when the newest committed state matters."""
+        return self._call("snapshot_read", file_cap=file_cap, path=str(path))
+
+    def ping(self) -> str:
+        """Name of the server process currently answering this client —
+        group commits must hand all their updates to one server, so
+        callers pin ``prefer_server`` to this before beginning them."""
+        return self._call("ping")
+
     def history(self, file_cap: Capability) -> list[Capability]:
         """Capabilities for every committed version, oldest to current —
         committed versions are immutable snapshots, so these stay readable
@@ -200,6 +216,39 @@ class FileClient:
                 # or tells us the holder is alive (keep waiting).
                 self._call("recover_lock", file_cap=file_cap)
         raise FileLocked(f"file {file_cap.obj}: still locked after {max_waits} waits")
+
+    def commit_group(self, updates: list["ClientUpdate"]) -> dict[int, str]:
+        """Commit several ready updates in one group-commit call.
+
+        Every update must be managed by the same server process (begin
+        them with ``prefer_server`` pinned to :meth:`ping`'s answer).
+        Buffered writes ship first, then one ``commit_group`` RPC settles
+        the whole batch.  Returns the server's per-version outcome map
+        (``version obj -> "committed" | "conflict: ..."``); conflicted
+        members are already removed server-side and must be redone.  If
+        the call itself fails (server or storage outage) no member
+        committed and the updates stay open for retry.
+        """
+        for update in updates:
+            update.flush()
+        outcomes = self._call(
+            "commit_group",
+            version_caps=[update.version for update in updates],
+        )
+        for update in updates:
+            outcome = outcomes.get(update.version.obj)
+            if outcome is None:
+                continue
+            update.done = True
+            if outcome == "committed":
+                self.stats.commits += 1
+                if self.cache is not None and update._written:
+                    self.cache.remember(
+                        update.file_cap, update.version, update._written
+                    )
+            else:
+                self.stats.conflicts += 1
+        return outcomes
 
     def transact(
         self,

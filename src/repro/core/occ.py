@@ -341,6 +341,62 @@ def _merge_restructured(
 
 
 # ---------------------------------------------------------------------------
+# Chain serialisation (group commit)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChainResult:
+    """Outcome of serialising one version through a whole committed chain."""
+
+    ok: bool
+    tip: int  # last committed block the walk reached (the new base on ok)
+    conflict_path: PagePath | None = None
+    reason: str = ""
+    serialise_runs: int = 0
+    pages_visited: int = 0
+    grafts: int = 0
+
+
+def serialise_through(
+    store: PageStore,
+    b_root: int,
+    first_successor: int,
+    merge: bool = True,
+    recorder=None,
+) -> ChainResult:
+    """Serialise ``V.b`` after *every* committed version from
+    ``first_successor`` to the end of the commit-reference chain, merging
+    as it goes, without flushing or touching the critical section between
+    steps.
+
+    The single-commit path interleaves one ``serialise`` per test-and-set
+    round (flush, TAS, fail, serialise, retry); group commit instead
+    catches a version up through the whole intervening chain in memory
+    and pays for stable storage once at the end.  Returns a
+    :class:`ChainResult` whose ``tip`` is the last committed version
+    walked — on success the caller may attempt its test-and-set there.
+    """
+    out = ChainResult(ok=True, tip=first_successor)
+    successor = first_successor
+    while True:
+        result = serialise(store, b_root, successor, merge, recorder=recorder)
+        out.serialise_runs += 1
+        out.pages_visited += result.pages_visited
+        out.grafts += result.grafts
+        out.tip = successor
+        if not result.ok:
+            out.ok = False
+            out.conflict_path = result.conflict_path
+            out.reason = result.reason
+            return out
+        next_block = store.load(successor, fresh=True).commit_ref
+        if next_block == NIL:
+            return out
+        successor = next_block
+
+
+# ---------------------------------------------------------------------------
 # Write-path collection (cache validation, §5.4)
 # ---------------------------------------------------------------------------
 

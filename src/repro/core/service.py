@@ -57,6 +57,7 @@ from repro.errors import (
     FileLocked,
     HoleReference,
     PageTooLarge,
+    ReproError,
     VersionAborted,
     VersionCommitted,
 )
@@ -64,7 +65,7 @@ from repro.block.stable import StableClient
 from repro.core.cache import PageCache
 from repro.core.flags import Flags
 from repro.core.locks import LockOps, LockSnapshot
-from repro.core.occ import collect_write_paths, serialise
+from repro.core.occ import collect_write_paths, serialise, serialise_through
 from repro.core.page import NIL, PAGE_BODY_SIZE, Page, PageRef, REF_SIZE
 from repro.core.pathname import PagePath
 from repro.core.registry import FileEntry, FileRegistry, VersionEntry
@@ -91,10 +92,14 @@ class ServiceMetrics:
     commits: int = 0
     fast_commits: int = 0  # base still current: pure test-and-set
     merged_commits: int = 0  # went through serialise at least once
+    group_commits: int = 0  # group-commit batches published
+    group_committed: int = 0  # members committed through a group batch
     conflicts: int = 0
     aborts: int = 0
     pages_read: int = 0
     pages_written: int = 0
+    snapshot_reads: int = 0  # reads of the current committed tree
+    snapshot_fast: int = 0  # served from the hint, no resolution round trip
     serialise_runs: int = 0
     serialise_pages_visited: int = 0
 
@@ -151,6 +156,14 @@ class FileService:
         # to make crash recovery possible."  Per committed version page:
         # its write paths, as cache validation consumes them.
         self._write_paths_cache: dict[int, list[PagePath]] = {}
+        # Current-version hints: file obj -> the block of its current
+        # committed version page, as last seen by this server.  Snapshot
+        # reads use the hint to serve committed trees straight from the
+        # page cache, without the fresh version-page read every chain
+        # resolution costs; every commit and every resolution repairs it.
+        # Only ever points at committed version pages, so a stale hint can
+        # at worst serve a slightly older *committed* snapshot.
+        self._current_hints: dict[int, int] = {}
         # Ports of updates this server process is managing.  Deliberately
         # in-memory only: "when the server crashes, the outstanding
         # transactions with the server crash as well, telling all servers
@@ -170,6 +183,7 @@ class FileService:
         self.store.cache.clear()
         self._live_updates.clear()
         self._write_paths_cache.clear()  # recoverable: flags are on disk
+        self._current_hints.clear()  # recoverable: resolution rebuilds them
         self.network.detach(self.name)
         if self.history is not None:
             self.history.record("crash", actor=self.name)
@@ -279,6 +293,7 @@ class FileService:
         entry = self._file_entry(file_cap, RIGHT_DESTROY)
         self.registry.drop_file(entry.obj)
         self.issuer.revoke(entry.obj)
+        self._current_hints.pop(entry.obj, None)
 
     def _resolve_current(self, entry: FileEntry) -> int:
         """Find the current version's block by chasing commit references
@@ -293,6 +308,7 @@ class FileService:
             page = self.store.load(block, fresh=True)
             if page.commit_ref == NIL:
                 entry.entry_block = block
+                self._current_hints[entry.obj] = block
                 return block, page
             block = page.commit_ref
 
@@ -563,6 +579,63 @@ class FileService:
                 value=bytes(data),
             )
 
+    def snapshot_read(self, file_cap: Capability, path: PagePath) -> bytes:
+        """Read a page of the file's *current committed* version without
+        entering the commit path at all.
+
+        Committed version trees are immutable, so once this server knows
+        which block holds the current version page it can serve the whole
+        read from its page cache: no fresh version-page load, no commit-
+        reference chase, no contact with the critical section.  The hint
+        is repaired by every commit and every resolution on this server;
+        when it is missing or visibly stale the read falls back to full
+        resolution (one fresh load per chain hop) and repairs it.
+
+        A hint that lags commits made through *another* server serves a
+        slightly older — but still committed and internally consistent —
+        snapshot; callers that need the newest version use ``read_page``
+        on ``current_version`` instead.
+        """
+        self._check_up()
+        entry = self._file_entry(file_cap, RIGHT_READ)
+        block = self._current_hints.get(entry.obj)
+        fast = False
+        if block is not None:
+            try:
+                page = self.store.load(block)
+                fast = page.commit_ref == NIL
+            except ReproError:
+                # The hinted block vanished (history pruned, file
+                # restructured): drop the hint and resolve from scratch.
+                self._current_hints.pop(entry.obj, None)
+                block = None
+        if not fast:
+            block, _ = self._resolve_current_page(entry)  # repairs the hint
+        data = self._walk_readonly(block, path).data
+        self.metrics.snapshot_reads += 1
+        if fast:
+            self.metrics.snapshot_fast += 1
+        if self.recorder.enabled:
+            self.recorder.count(
+                "snapshot.fast_reads" if fast else "snapshot.resolved_reads"
+            )
+        if self.history is not None:
+            version = self.registry.version_by_block(block)
+            obj = (
+                version.obj
+                if version is not None
+                else self._version_cap_for_block(entry.obj, block).obj
+            )
+            self.history.record(
+                "snapshot_read",
+                actor=self.name,
+                file=entry.obj,
+                version=obj,
+                path=str(path),
+                value=data,
+            )
+        return data
+
     def page_structure(self, version_cap: Capability, path: PagePath) -> list[int]:
         """The block-validity view of a page's reference table: for each
         entry, 1 if it refers to a page and 0 if it is a hole.  Reading the
@@ -745,6 +818,7 @@ class FileService:
                         )
                     file_entry = self.registry.file(entry.file_obj)
                     file_entry.entry_block = v_block
+                    self._current_hints[entry.file_obj] = v_block
                     self._live_updates.discard(entry.update_port)
                     # Cache the flag administration while it is still in memory.
                     self._write_paths_cache[v_block] = collect_write_paths(
@@ -787,6 +861,249 @@ class FileService:
                 f"version {entry.obj}: commit did not settle in {max_rounds} rounds"
             )
 
+    def commit_group(
+        self, version_caps: list[Capability], max_rounds: int = 64
+    ) -> dict[int, str]:
+        """Commit a batch of ready updates through ONE critical section
+        per file and ONE batched flush for the whole group.
+
+        The sequential path pays, for the k-th of N back-to-back commits
+        on one file, k-1 failed test-and-sets each followed by a
+        serialise pass and a re-flush — O(N²) storage transactions in
+        total.  Grouping exploits that all members are on *this* server:
+        they are serialised against each other in memory, their version
+        pages are pre-linked into a commit-reference chain, the whole
+        set is flushed in one ``write_many`` batch, and a single
+        test-and-set on the base publishes the entire chain atomically.
+        Until that test-and-set lands, the chain hangs off nothing: a
+        crash or storage failure mid-flush aborts *every* member, never
+        a prefix.
+
+        Returns ``{version_obj: "committed" | "conflict: ..."}`` for each
+        distinct member.  Storage outages (e.g. a whole companion pair
+        down mid-flush) propagate as :class:`ServerUnreachable` after the
+        chain links are withdrawn — no member commits, all stay
+        uncommitted for the client to retry.
+        """
+        self._check_up()
+        outcomes: dict[int, str] = {}
+        entries: list[VersionEntry] = []
+        seen: set[int] = set()
+        for cap in version_caps:
+            entry = self._version_entry(cap, RIGHT_COMMIT)
+            if entry.status == "committed":
+                raise VersionCommitted(f"version {entry.obj} already committed")
+            if entry.status == "aborted":
+                raise VersionAborted(f"version {entry.obj} was aborted")
+            if entry.obj in seen:
+                continue
+            seen.add(entry.obj)
+            entries.append(entry)
+        if not entries:
+            return outcomes
+        recorder = self.recorder
+        started = self.clock.now
+        pending: dict[int, list[VersionEntry]] = {}
+        for entry in entries:
+            pending.setdefault(entry.file_obj, []).append(entry)
+        # Last committed block each member has serialised against.  Kept
+        # apart from the page's base_ref: intra-group merges rebase
+        # base_ref onto *uncommitted* predecessors, which must not be
+        # mistaken for catch-up progress when a test-and-set is lost.
+        caught_up = {
+            e.obj: self.store.load(e.root_block, fresh=True).base_ref
+            for e in entries
+        }
+        with recorder.span(
+            "commit.group", server=self.name, members=len(entries)
+        ) as span:
+            recorder.count("commit.group.batches")
+            recorder.count("commit.group.members", len(entries))
+            recorder.observe("commit.group.size", len(entries))
+            rounds_used = 0
+            for _ in range(max_rounds):
+                rounds_used += 1
+                survivors: dict[int, list[VersionEntry]] = {}
+                bases: dict[int, int] = {}
+                for file_obj, members in pending.items():
+                    file_entry = self.registry.file(file_obj)
+                    group_base = self._resolve_current(file_entry)
+                    bases[file_obj] = group_base
+                    chain: list[VersionEntry] = []
+                    dead = False
+                    for entry in members:
+                        if dead:
+                            # Members after a conflicted predecessor were
+                            # rebased onto it and share its pages; they
+                            # cannot outlive it.
+                            self._group_conflict(
+                                entry,
+                                None,
+                                "grouped predecessor conflicted with a "
+                                "committed update; redo the update",
+                                outcomes,
+                            )
+                            continue
+                        if self._group_catch_up(
+                            entry, group_base, caught_up, chain, outcomes
+                        ):
+                            chain.append(entry)
+                        else:
+                            dead = True
+                    if chain:
+                        survivors[file_obj] = chain
+                if not survivors:
+                    pending = {}
+                    break
+                for chain in survivors.values():
+                    self._link_chain_refs(chain)
+                try:
+                    self.store.flush(reason="commit_group")
+                except Exception:
+                    # Atomic group abort: withdraw the chain links so a
+                    # later retry cannot publish half-written pages, and
+                    # leave every member uncommitted.
+                    for chain in survivors.values():
+                        self._unlink_chain_refs(chain)
+                    recorder.count("commit.group.flush_failures")
+                    span.tag(path="flush_failed")
+                    raise
+                retry: dict[int, list[VersionEntry]] = {}
+                for file_obj, chain in survivors.items():
+                    result = self.store.tas_commit_ref(
+                        bases[file_obj], chain[0].root_block
+                    )
+                    if result.success:
+                        self._publish_chain(file_obj, chain, outcomes)
+                    else:
+                        # Another server slipped a commit in; next round
+                        # catches the chain up behind the new tip.
+                        recorder.count("commit.group.tas_retries")
+                        retry[file_obj] = chain
+                pending = retry
+                if not pending:
+                    break
+            for members in pending.values():
+                for entry in members:
+                    self._group_conflict(
+                        entry,
+                        None,
+                        f"group commit did not settle in {max_rounds} rounds",
+                        outcomes,
+                    )
+            self.metrics.group_commits += 1
+            span.tag(rounds=rounds_used)
+            recorder.observe("commit.group.ticks", self.clock.now - started)
+        return outcomes
+
+    def _group_catch_up(
+        self,
+        entry: VersionEntry,
+        group_base: int,
+        caught_up: dict[int, int],
+        prior: list[VersionEntry],
+        outcomes: dict[int, str],
+    ) -> bool:
+        """Serialise one group member up to the head of its chain: first
+        through any externally committed versions it has not seen, then —
+        always — against this round's earlier survivors, so the member's
+        own writes re-graft over whatever external catch-up pulled in
+        (idempotent where already merged)."""
+        v_block = entry.root_block
+        base = caught_up[entry.obj]
+        if base != group_base:
+            first = self.store.load(base, fresh=True).commit_ref
+            if first != NIL:
+                chain = serialise_through(
+                    self.store, v_block, first, recorder=self.recorder
+                )
+                self.metrics.serialise_runs += chain.serialise_runs
+                self.metrics.serialise_pages_visited += chain.pages_visited
+                if not chain.ok:
+                    self._group_conflict(
+                        entry, chain.conflict_path, chain.reason, outcomes
+                    )
+                    return False
+                caught_up[entry.obj] = chain.tip
+        for earlier in prior:
+            result = serialise(
+                self.store, v_block, earlier.root_block, recorder=self.recorder
+            )
+            self.metrics.serialise_runs += 1
+            self.metrics.serialise_pages_visited += result.pages_visited
+            if not result.ok:
+                self._group_conflict(
+                    entry, result.conflict_path, result.reason, outcomes
+                )
+                return False
+        return True
+
+    def _group_conflict(
+        self, entry: VersionEntry, path, reason: str, outcomes: dict[int, str]
+    ) -> None:
+        self.metrics.conflicts += 1
+        self.recorder.count("commit.conflicts")
+        self.recorder.count("commit.group.conflicts")
+        where = f"page '{path}': " if path is not None else ""
+        outcomes[entry.obj] = f"conflict: {where}{reason}"
+        self._remove_version(entry)
+
+    def _link_chain_refs(self, chain: list[VersionEntry]) -> None:
+        """Pre-link the members' commit references into the chain order
+        they will be published in, dirtying only pages whose reference
+        actually changes (re-linking after a lost test-and-set is mostly
+        a no-op)."""
+        for i, entry in enumerate(chain):
+            successor = chain[i + 1].root_block if i + 1 < len(chain) else NIL
+            page = self.store.load(entry.root_block)
+            if page.commit_ref != successor:
+                page.commit_ref = successor
+                self.store.store_in_place(entry.root_block, page)
+
+    def _unlink_chain_refs(self, chain: list[VersionEntry]) -> None:
+        for entry in chain:
+            try:
+                page = self.store.load(entry.root_block)
+            except ReproError:
+                continue
+            if page.commit_ref != NIL:
+                page.commit_ref = NIL
+                self.store.store_in_place(entry.root_block, page)
+
+    def _publish_chain(
+        self, file_obj: int, chain: list[VersionEntry], outcomes: dict[int, str]
+    ) -> None:
+        """Bookkeeping for a chain the test-and-set just made current:
+        every member is now committed, in chain order."""
+        recorder = self.recorder
+        for entry in chain:
+            entry.status = "committed"
+            if self.history is not None:
+                # Same rule as the sequential path: these records are made
+                # while the critical section's outcome is fresh and no
+                # other task can run, so their seq order IS chain order.
+                self.history.record(
+                    "commit",
+                    actor=self.name,
+                    file=file_obj,
+                    version=entry.obj,
+                )
+            self._live_updates.discard(entry.update_port)
+            self._write_paths_cache[entry.root_block] = collect_write_paths(
+                self.store, entry.root_block
+            ).paths
+            while len(self._write_paths_cache) > 4096:
+                self._write_paths_cache.pop(next(iter(self._write_paths_cache)))
+            self.metrics.commits += 1
+            self.metrics.group_committed += 1
+            recorder.count("commit.committed")
+            recorder.count("commit.group.committed")
+            outcomes[entry.obj] = "committed"
+        file_entry = self.registry.file(file_obj)
+        tip = chain[-1].root_block
+        file_entry.entry_block = tip
+        self._current_hints[file_obj] = tip
+
     def abort(self, version_cap: Capability) -> None:
         """Explicitly discard an uncommitted version."""
         self._check_up()
@@ -823,7 +1140,14 @@ class FileService:
         except BlockError:
             pass
         if base != NIL and entry.update_port:
-            self.locks.clear_top_if(base, entry.update_port)
+            try:
+                self.locks.clear_top_if(base, entry.update_port)
+            except BlockError:
+                # A group-commit merge may have rebased base_ref onto a
+                # fellow member that was never flushed; no lock can live
+                # on an unwritten block (locks are only pushed on durable
+                # current-version pages), so there is nothing to clear.
+                pass
         try:
             self.store.free(entry.root_block)
         except BlockError:
@@ -1121,6 +1445,12 @@ class FileService:
 
     def cmd_commit(self, version_cap: Capability) -> None:
         return self.commit(version_cap)
+
+    def cmd_commit_group(self, version_caps: list[Capability]) -> dict[int, str]:
+        return self.commit_group(list(version_caps))
+
+    def cmd_snapshot_read(self, file_cap: Capability, path: str) -> bytes:
+        return self.snapshot_read(file_cap, PagePath.parse(path))
 
     def cmd_abort(self, version_cap: Capability) -> None:
         return self.abort(version_cap)

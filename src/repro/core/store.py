@@ -105,7 +105,7 @@ class PageStore:
     # Histogram buckets for pages-per-flush (commit batch sizes).
     _FLUSH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
-    def flush(self) -> int:
+    def flush(self, reason: str = "commit") -> int:
         """Write all dirty pages to stable storage; returns how many.
 
         With batching enabled (the default) a multi-page flush is grouped
@@ -113,12 +113,15 @@ class PageStore:
         shard/pair, "so an M-page commit costs O(shards) round trips
         instead of O(M)"; single pages and unbatched stores write page by
         page, which is also the seed behaviour benchmarks compare against.
+
+        ``reason`` distinguishes the callers in traces (a plain commit's
+        flush vs a group commit's single batched flush).
         """
         if not self._dirty:
             return 0
         recorder = self.recorder
         items = sorted(self._dirty.items())
-        with recorder.span("flush", pages=len(items)) as span:
+        with recorder.span("flush", pages=len(items), reason=reason) as span:
             batched = (
                 self.batch_flushes
                 and len(items) > 1

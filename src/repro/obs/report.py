@@ -75,10 +75,13 @@ def render_span(span: Span, indent: str = "") -> str:
 def render_commit_table(tracer: Tracer) -> str:
     """The commit-path breakdown the paper's claims are about: how many
     commits took the one-block fast path versus the serialise path, and
-    what each cost."""
+    what each cost.  Group-commit batches appear as one ``group`` row
+    per batch (their members never enter the sequential path)."""
     groups: dict[str, list[Span]] = {}
     for span in tracer.spans_named("commit"):
         groups.setdefault(str(span.tags.get("path", "?")), []).append(span)
+    for span in tracer.spans_named("commit.group"):
+        groups.setdefault("group", []).append(span)
     if not groups:
         return "(no commits recorded)"
     header = f"{'path':<10} {'commits':>8} {'avg ticks':>10} {'max ticks':>10}"

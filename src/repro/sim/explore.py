@@ -110,6 +110,11 @@ class SoakConfig:
     pages: int = 4
     servers: int = 2
     mutant: bool = False
+    # Mix group commits into the workload: clients periodically pin a
+    # server, build two updates, and settle both through one
+    # ``commit_group`` call.  The history checker holds the grouped path
+    # to the same serialisability bar as the sequential one.
+    group_commit: bool = False
 
 
 @dataclass
@@ -148,6 +153,8 @@ class SoakReport:
             line += f" --clients {cfg.clients}"
         if cfg.mutant:
             line += " --mutant"
+        if cfg.group_commit:
+            line += " --group-commit"
         return line
 
     def summary(self) -> str:
@@ -333,6 +340,7 @@ def _client_script(
     ops: int,
     pages: int,
     tally: dict,
+    group_commit: bool = False,
 ) -> Generator[None, None, None]:
     """One soak client: a random mix of cached reads and page updates.
 
@@ -341,11 +349,19 @@ def _client_script(
     reply may surface as a duplicate commit (``VersionCommitted``: the
     first try won, which is success).  Correctness is judged afterwards by
     the history checker and fsck, not by per-operation outcomes.
+
+    With ``group_commit`` on, some update slots become group slots: the
+    client pins whichever server answers its ping, builds two updates
+    there, and settles both through one ``commit_group`` call — the same
+    workload the sequential path would run as two commits.
     """
     for opno in range(ops):
         cap = caps[rng.randrange(len(caps))]
         path = PagePath.of(rng.randrange(pages))
         yield
+        if group_commit and rng.random() < 0.3:
+            yield from _grouped_op(client, caps, rng, opno, pages, tally)
+            continue
         if rng.random() < 0.4:
             try:
                 client.read(cap, path)
@@ -371,6 +387,55 @@ def _client_script(
                     update.abort()
                 except ReproError:
                     pass
+    return None
+
+
+def _grouped_op(
+    client: FileClient,
+    caps: list,
+    rng: random.Random,
+    opno: int,
+    pages: int,
+    tally: dict,
+) -> Generator[None, None, None]:
+    """One group-commit slot: pin a server, build two updates, settle
+    both in one call.  A failed call (server crash mid-episode, storage
+    outage, ``NotManagingServer`` after a failover) leaves all members
+    uncommitted; they are aborted best-effort and counted as faulted
+    ops."""
+    updates = []
+    old_prefer = client.prefer_server
+    try:
+        client.prefer_server = client.ping()
+        for k in range(2):
+            gcap = caps[rng.randrange(len(caps))]
+            gpath = PagePath.of(rng.randrange(pages))
+            yield
+            update = client.begin(gcap)
+            update.read(gpath)
+            yield
+            update.write(gpath, f"{client.node}-op{opno}.{k}".encode())
+            updates.append(update)
+        yield
+        outcomes = client.commit_group(updates)
+        for update in updates:
+            if outcomes.get(update.version.obj) == "committed":
+                tally["commits"] += 1
+            else:
+                tally["op_errors"] += 1
+    except VersionCommitted:
+        # Dropped reply, retransmitted call: the first try landed.
+        tally["commits"] += len(updates)
+    except ReproError:
+        tally["op_errors"] += 1
+        for update in updates:
+            if not update.done:
+                try:
+                    update.abort()
+                except ReproError:
+                    pass
+    finally:
+        client.prefer_server = old_prefer
     return None
 
 
@@ -458,7 +523,15 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
         crng = random.Random(f"soak-{config.seed}-client-{ci}")
         scheduler.spawn(
             f"soak-c{ci}",
-            _client_script(client, caps, crng, per_client, config.pages, tally),
+            _client_script(
+                client,
+                caps,
+                crng,
+                per_client,
+                config.pages,
+                tally,
+                group_commit=config.group_commit,
+            ),
         )
     scheduler.spawn("soak-gc", _gc_script(cluster, cycles=3))
 

@@ -130,6 +130,123 @@ def test_soak_emits_observability_counters(soak_seed):
     assert recorder.tracer.spans_named("soak")
 
 
+def _grouped_updates(client, cap, paths, tag=b"grp"):
+    updates = []
+    for i, path in enumerate(paths):
+        update = client.begin(cap)
+        update.write(path, tag + b"%d" % i)
+        updates.append(update)
+    return updates
+
+
+def test_group_commit_aborts_atomically_under_whole_pair_outage():
+    """A whole-pair outage mid-flush must leave the group all-or-nothing:
+    no member commits, every member stays open, and a retry after the
+    pair heals settles the whole batch."""
+    from repro.client.api import FileClient
+    from repro.core.pathname import PagePath
+    from repro.errors import ReproError
+    from repro.verify.history import HistoryRecorder, check_history
+
+    history = HistoryRecorder()
+    cluster = build_cluster(seed=31, history=history)
+    client = FileClient(cluster.network, "host", cluster.service_port)
+    cap = client.create_file(b"base")
+    setup = client.begin(cap)
+    paths = [setup.append_page(PagePath.ROOT, b"init") for _ in range(4)]
+    setup.commit()
+    client.prefer_server = client.ping()
+    updates = _grouped_updates(client, cap, paths)
+    before = [client.read(cap, path) for path in paths]
+
+    apply_fault(cluster, FaultEvent(0, "pair_down", (0,)))
+    with pytest.raises(ReproError):
+        client.commit_group(updates)
+    apply_fault(cluster, FaultEvent(0, "pair_up", (0,)))
+
+    # Nothing committed: the current version still shows the old pages,
+    # and every member is still open (uncommitted, not aborted).
+    assert [client.read(cap, path) for path in paths] == before
+    for update in updates:
+        assert not update.done
+        assert (
+            cluster.registry.version(update.version.obj).status
+            == "uncommitted"
+        )
+    # The same handles retry cleanly once storage is back.
+    outcomes = client.commit_group(updates)
+    assert all(v == "committed" for v in outcomes.values())
+    assert [client.read(cap, path) for path in paths] == [
+        b"grp%d" % i for i in range(4)
+    ]
+    result = check_history(history)
+    assert result.ok, "\n".join(str(v) for v in result.violations)
+
+
+def test_group_commit_aborts_atomically_when_one_shard_dies_mid_flush():
+    """Sharded variant: the batch's pages straddle shards, and only the
+    shard holding one member's pages goes down — the flush lands some
+    shards before failing, yet no member may commit."""
+    from repro.client.api import FileClient
+    from repro.core.pathname import PagePath
+    from repro.errors import ReproError
+    from repro.testbed import build_sharded_cluster
+
+    cluster = build_sharded_cluster(shards=4, seed=32, shard_capacity=16)
+    client = FileClient(cluster.network, "host", cluster.service_port)
+    cap = client.create_file(b"base")
+    setup = client.begin(cap)
+    paths = [setup.append_page(PagePath.ROOT, b"init") for _ in range(6)]
+    setup.commit()
+    client.prefer_server = client.ping()
+    updates = _grouped_updates(client, cap, paths)
+    # Down the shard that owns one member's version page: the batched
+    # flush writes the other shards, then hits the dead one.
+    shard_map = cluster.shards.map
+    root = cluster.registry.version(updates[-1].version.obj).root_block
+    victim = shard_map.shard_of(root)
+    shards_touched = {
+        shard_map.shard_of(
+            cluster.registry.version(u.version.obj).root_block
+        )
+        for u in updates
+    }
+    assert len(shards_touched) > 1, "batch must straddle shards"
+
+    apply_fault(cluster, FaultEvent(0, "pair_down", (victim,)))
+    with pytest.raises(ReproError):
+        client.commit_group(updates)
+    apply_fault(cluster, FaultEvent(0, "pair_up", (victim,)))
+
+    assert [client.read(cap, path) for path in paths] == [b"init"] * 6
+    for update in updates:
+        assert not update.done
+    outcomes = client.commit_group(updates)
+    assert all(v == "committed" for v in outcomes.values())
+    assert [client.read(cap, path) for path in paths] == [
+        b"grp%d" % i for i in range(6)
+    ]
+    from repro.tools.check import check_cluster
+
+    fsck = check_cluster(cluster)
+    assert fsck.ok, "\n".join(fsck.errors)
+
+
+def test_soak_passes_with_group_commit(soak_seed):
+    report = run_soak(SoakConfig(seed=soak_seed, ops=60, group_commit=True))
+    assert report.ok, "\n".join(report.violations()) + "\n" + report.repro_line()
+    assert report.commits > 0
+    assert "--group-commit" in report.repro_line()
+
+
+def test_soak_passes_with_group_commit_on_sharded_topology(soak_seed):
+    report = run_soak(
+        SoakConfig(seed=soak_seed, ops=60, shards=4, group_commit=True)
+    )
+    assert report.ok, "\n".join(report.violations()) + "\n" + report.repro_line()
+    assert report.commits > 0
+
+
 def test_driver_threads_history_into_service(rng):
     from repro.verify.history import HistoryRecorder, check_history
     from repro.workloads.driver import AmoebaAdapter, run_workload

@@ -1,0 +1,248 @@
+"""The group-commit pipeline: one critical section, one batched flush.
+
+These tests drive ``FileService.commit_group`` both directly and through
+the client API, and pin down the contract the benchmarks rely on: a batch
+of N non-conflicting ready updates settles with one test-and-set per
+file and one flush for the whole group, conflicting members are removed
+exactly as the sequential path would remove them, and the published
+commit-reference chain is indistinguishable from N sequential commits.
+"""
+
+import pytest
+
+from repro.client.api import FileClient
+from repro.core.pathname import PagePath
+from repro.errors import NotManagingServer, VersionCommitted
+from repro.obs import Recorder
+from repro.testbed import build_cluster
+from repro.verify.history import HistoryRecorder, check_history
+
+ROOT = PagePath.ROOT
+
+
+def _file_with_pages(fs, n_pages, payload=b"init"):
+    cap = fs.create_file(b"base")
+    handle = fs.create_version(cap)
+    paths = [fs.append_page(handle.version, ROOT, payload) for _ in range(n_pages)]
+    fs.commit(handle.version)
+    return cap, paths
+
+
+def _ready_updates(fs, cap, paths, tag=b"new"):
+    """One ready-to-commit update per path, each writing only its page."""
+    handles = []
+    for i, path in enumerate(paths):
+        handle = fs.create_version(cap)
+        fs.write_page(handle.version, path, tag + b"%d" % i)
+        handles.append(handle)
+    return handles
+
+
+def test_group_commit_batches_non_conflicting_updates():
+    cluster = build_cluster(seed=11)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 8)
+    handles = _ready_updates(fs, cap, paths)
+    outcomes = fs.commit_group([h.version for h in handles])
+    assert all(v == "committed" for v in outcomes.values())
+    assert len(outcomes) == 8
+    current = fs.current_version(cap)
+    for i, path in enumerate(paths):
+        assert fs.read_page(current, path) == b"new%d" % i
+    assert fs.metrics.group_commits == 1
+    assert fs.metrics.group_committed == 8
+    assert fs.metrics.commits == 9  # setup commit + 8 members
+
+
+def test_group_commit_publishes_the_chain_in_member_order():
+    cluster = build_cluster(seed=12)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 3)
+    handles = _ready_updates(fs, cap, paths)
+    fs.commit_group([h.version for h in handles])
+    # committed_versions walks the commit-reference chain oldest → current:
+    # the group's members must appear in exactly the order they were given.
+    chain = [v.obj for v in fs.committed_versions(cap)]
+    member_objs = [h.version.obj for h in handles]
+    assert chain[-3:] == member_objs
+    assert chain[-1] == fs.current_version(cap).obj
+
+
+def test_group_commit_conflicting_member_is_removed():
+    cluster = build_cluster(seed=13)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 2)
+    winner = fs.create_version(cap)
+    fs.write_page(winner.version, paths[0], b"winner")
+    loser = fs.create_version(cap)
+    fs.read_page(loser.version, paths[0])  # reads what winner overwrites
+    fs.write_page(loser.version, paths[1], b"loser")
+    outcomes = fs.commit_group([winner.version, loser.version])
+    assert outcomes[winner.version.obj] == "committed"
+    assert outcomes[loser.version.obj].startswith("conflict:")
+    assert fs.registry.version(loser.version.obj).status == "aborted"
+    current = fs.current_version(cap)
+    assert fs.read_page(current, paths[0]) == b"winner"
+    assert fs.read_page(current, paths[1]) == b"init"
+    assert fs.metrics.conflicts == 1
+
+
+def test_group_commit_catches_up_with_external_commits():
+    """Members whose base went stale serialise through the externally
+    committed chain first, then re-graft their own writes."""
+    cluster = build_cluster(seed=14)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 4)
+    handles = _ready_updates(fs, cap, paths[:3])
+    # An outside update commits after the group members were created.
+    external = fs.create_version(cap)
+    fs.write_page(external.version, paths[3], b"external")
+    fs.commit(external.version)
+    outcomes = fs.commit_group([h.version for h in handles])
+    assert all(v == "committed" for v in outcomes.values())
+    current = fs.current_version(cap)
+    for i in range(3):
+        assert fs.read_page(current, paths[i]) == b"new%d" % i
+    assert fs.read_page(current, paths[3]) == b"external"
+
+
+def test_group_commit_spans_multiple_files():
+    cluster = build_cluster(seed=15)
+    fs = cluster.fs()
+    cap_a, paths_a = _file_with_pages(fs, 2)
+    cap_b, paths_b = _file_with_pages(fs, 2)
+    handles = _ready_updates(fs, cap_a, paths_a) + _ready_updates(
+        fs, cap_b, paths_b
+    )
+    outcomes = fs.commit_group([h.version for h in handles])
+    assert all(v == "committed" for v in outcomes.values())
+    for cap, paths in ((cap_a, paths_a), (cap_b, paths_b)):
+        current = fs.current_version(cap)
+        for i, path in enumerate(paths):
+            assert fs.read_page(current, path) == b"new%d" % i
+    assert fs.metrics.group_committed == 4
+
+
+def test_group_commit_deduplicates_and_validates_members():
+    cluster = build_cluster(seed=16)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 1)
+    assert fs.commit_group([]) == {}
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, paths[0], b"once")
+    outcomes = fs.commit_group([handle.version, handle.version])
+    assert outcomes == {handle.version.obj: "committed"}
+    with pytest.raises(VersionCommitted):
+        fs.commit_group([handle.version])
+
+
+def test_group_commit_refuses_other_servers_updates():
+    """The NotManagingServer gate covers the grouped path too: a replica
+    must not publish versions whose pages sit in another live server's
+    write buffer."""
+    cluster = build_cluster(servers=2, seed=17)
+    fs0, fs1 = cluster.servers
+    cap, paths = _file_with_pages(fs0, 1)
+    handle = fs0.create_version(cap)
+    fs0.write_page(handle.version, paths[0], b"mine")
+    with pytest.raises(NotManagingServer):
+        fs1.commit_group([handle.version])
+    # No harm done: the managing server still settles it.
+    assert fs0.commit_group([handle.version]) == {
+        handle.version.obj: "committed"
+    }
+
+
+def test_group_commit_history_is_serializable():
+    history = HistoryRecorder()
+    cluster = build_cluster(seed=18, history=history)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 4)
+    handles = _ready_updates(fs, cap, paths)
+    fs.commit_group([h.version for h in handles])
+    result = check_history(history)
+    assert result.ok, "\n".join(str(v) for v in result.violations)
+
+
+def test_group_commit_emits_counters_and_spans():
+    recorder = Recorder()
+    cluster = build_cluster(seed=19, recorder=recorder)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 4)
+    handles = _ready_updates(fs, cap, paths)
+    fs.commit_group([h.version for h in handles])
+    counters = recorder.metrics.counters
+    assert counters["commit.group.batches"].value == 1
+    assert counters["commit.group.members"].value == 4
+    assert counters["commit.group.committed"].value == 4
+    assert recorder.tracer.spans_named("commit.group")
+
+
+def test_client_commit_group_pins_one_server():
+    cluster = build_cluster(servers=2, seed=20)
+    client = FileClient(cluster.network, "host", cluster.service_port)
+    cap = client.create_file(b"base")
+    setup = client.begin(cap)
+    paths = [setup.append_page(ROOT, b"init") for _ in range(4)]
+    setup.commit()
+    client.prefer_server = client.ping()
+    updates = []
+    for i, path in enumerate(paths):
+        update = client.begin(cap)
+        update.write(path, b"grp%d" % i)
+        updates.append(update)
+    outcomes = client.commit_group(updates)
+    assert all(v == "committed" for v in outcomes.values())
+    assert all(update.done for update in updates)
+    for i, path in enumerate(paths):
+        assert client.read(cap, path) == b"grp%d" % i
+
+
+def test_snapshot_read_serves_committed_state_without_resolution():
+    cluster = build_cluster(seed=21)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 2)
+    # The setup commit primed the hint: the very first snapshot read is
+    # already a fast one.
+    assert fs.snapshot_read(cap, paths[0]) == b"init"
+    assert fs.metrics.snapshot_fast == 1
+    handle = fs.create_version(cap)
+    fs.write_page(handle.version, paths[0], b"updated")
+    fs.commit(handle.version)
+    assert fs.snapshot_read(cap, paths[0]) == b"updated"
+    assert fs.metrics.snapshot_reads == 2
+    assert fs.metrics.snapshot_fast == 2
+
+
+def test_snapshot_read_may_lag_commits_made_elsewhere():
+    """A stale hint serves the previous committed version — still a
+    committed snapshot, repaired by the next resolution on this server."""
+    history = HistoryRecorder()
+    cluster = build_cluster(servers=2, seed=22, history=history)
+    fs0, fs1 = cluster.servers
+    cap, paths = _file_with_pages(fs0, 1)
+    assert fs0.snapshot_read(cap, paths[0]) == b"init"
+    handle = fs1.create_version(cap)
+    fs1.write_page(handle.version, paths[0], b"via-fs1")
+    fs1.commit(handle.version)
+    # fs0's hint (and cached page) predate fs1's commit: it serves the
+    # older committed version, tagged with that version's identity.
+    assert fs0.snapshot_read(cap, paths[0]) == b"init"
+    fs0.current_version(cap)  # resolution repairs the hint
+    assert fs0.snapshot_read(cap, paths[0]) == b"via-fs1"
+    result = check_history(history)
+    assert result.ok, "\n".join(str(v) for v in result.violations)
+
+
+def test_snapshot_read_survives_a_server_restart():
+    cluster = build_cluster(seed=23)
+    fs = cluster.fs()
+    cap, paths = _file_with_pages(fs, 1)
+    fs.crash()
+    fs.restart()
+    # Hints died with the crash; the read falls back to resolution and
+    # rebuilds them.
+    assert fs.snapshot_read(cap, paths[0]) == b"init"
+    assert fs.metrics.snapshot_fast == 0
+    assert fs.snapshot_read(cap, paths[0]) == b"init"
+    assert fs.metrics.snapshot_fast == 1

@@ -1,0 +1,108 @@
+"""Hypothesis properties for the ShardMap placement arithmetic.
+
+The placement map is the one piece of the sharded deployment that every
+participant — clients, servers, the allocator, fsck — must agree on, and
+it is pure arithmetic, so it gets property coverage: every global block
+number lands on exactly one shard (total coverage, no overlap), the
+global/local split round-trips, and placement of existing blocks is
+*stable* when a deployment is rebuilt with more shards (growing a
+deployment must not strand data on the wrong pair).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.sharding import ShardMap
+
+shard_counts = st.integers(min_value=1, max_value=64)
+strides = st.integers(min_value=1, max_value=10_000)
+
+
+@st.composite
+def map_and_block(draw):
+    """A ShardMap plus a global block number inside its range."""
+    shards = draw(shard_counts)
+    stride = draw(strides)
+    block = draw(st.integers(min_value=1, max_value=shards * stride))
+    return ShardMap(shards, stride), block
+
+
+@given(map_and_block())
+def test_every_block_lands_on_exactly_one_shard(case):
+    """Total coverage without overlap: shard_of is a function defined on
+    the whole 1..shards*stride range, and its preimages partition it."""
+    shard_map, block = case
+    shard = shard_map.shard_of(block)
+    assert 0 <= shard < shard_map.shards
+    # The shard's own range contains the block — and no other shard's
+    # range does, because the ranges are disjoint by construction.
+    low = shard * shard_map.stride + 1
+    high = (shard + 1) * shard_map.stride
+    assert low <= block <= high
+
+
+@given(map_and_block())
+def test_global_local_round_trip(case):
+    shard_map, block = case
+    shard = shard_map.shard_of(block)
+    local = shard_map.local_of(block)
+    assert 1 <= local <= shard_map.stride
+    assert shard_map.global_of(shard, local) == block
+
+
+@given(
+    shards=shard_counts,
+    stride=strides,
+    local=st.integers(min_value=1, max_value=10_000),
+)
+def test_local_global_round_trip(shards, stride, local):
+    """The other direction: splicing a valid local number into the global
+    namespace and mapping back recovers both coordinates."""
+    shard_map = ShardMap(shards, stride)
+    if local > stride:
+        with pytest.raises(ValueError):
+            shard_map.global_of(0, local)
+        return
+    for shard in {0, shards - 1}:
+        block = shard_map.global_of(shard, local)
+        assert shard_map.shard_of(block) == shard
+        assert shard_map.local_of(block) == local
+
+
+@given(case=map_and_block(), extra=st.integers(min_value=1, max_value=64))
+def test_placement_is_stable_when_shards_are_added(case, extra):
+    """Growth stability: a map with more shards (same stride) places
+    every pre-existing block exactly where the smaller map did, so a
+    deployment can add pairs without moving a single page."""
+    shard_map, block = case
+    grown = ShardMap(shard_map.shards + extra, shard_map.stride)
+    assert grown.shard_of(block) == shard_map.shard_of(block)
+    assert grown.local_of(block) == shard_map.local_of(block)
+
+
+@given(map_and_block())
+@settings(max_examples=30)
+def test_shard_of_agrees_with_exhaustive_range_walk(case):
+    """shard_of against the ground truth on the block's neighbourhood:
+    walking the range boundaries around the block never skips or doubles
+    a number."""
+    shard_map, block = case
+    shard = shard_map.shard_of(block)
+    boundary = shard * shard_map.stride  # last block of the previous shard
+    if boundary >= 1:
+        assert shard_map.shard_of(boundary) == shard - 1
+    next_boundary = (shard + 1) * shard_map.stride
+    if next_boundary < shard_map.shards * shard_map.stride:
+        assert shard_map.shard_of(next_boundary + 1) == shard + 1
+
+
+@given(shards=shard_counts, stride=strides)
+def test_out_of_range_blocks_are_rejected(shards, stride):
+    shard_map = ShardMap(shards, stride)
+    with pytest.raises(ValueError):
+        shard_map.shard_of(shards * stride + 1)
+    with pytest.raises(ValueError):
+        shard_map.shard_of(0)

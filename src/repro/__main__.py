@@ -15,6 +15,16 @@ Subcommands:
   ``--group-commit`` (mix grouped commit batches into the workload).
   Exits nonzero and prints the replay command on any violation.  See
   docs/SIMULATION.md.
+* ``serve``  — host the whole deployment as real TCP daemons on
+  localhost (``--servers N``, ``--shards K``, ``--seed S``, ``--host``).
+  Prints a ``REPRO_SPEC=...`` line other processes hand to ``repro
+  connect``, then serves until interrupted.  ``--smoke`` instead runs a
+  history-checked workload over the sockets — killing one stable-pair
+  daemon mid-workload — and exits 0 iff failover worked and the recorded
+  history is serializable.  See docs/NETWORKING.md.
+* ``connect`` — join a served deployment by spec string and run a small
+  round-trip workload (create, commit, read back) as a separate-process
+  client.
 """
 
 from __future__ import annotations
@@ -199,6 +209,25 @@ def _stats(extra: list[str] | None = None) -> None:
     counts = sharded.shards.allocation_counts()
     print("blocks allocated per shard:", counts)
 
+    # The same commit loop once more over real localhost TCP sockets,
+    # counted into the same recorder: the net table shows the simulated
+    # message row next to the net.tcp.* counters.
+    from repro.net import build_tcp_cluster
+    from repro.obs.report import render_net_table
+
+    tcp_cluster = build_tcp_cluster(servers=2, seed=11, recorder=recorder)
+    try:
+        client = tcp_cluster.client("stats-host")
+        cap = client.create_file(b"over real sockets")
+        client.transact(cap, lambda u: u.write(PagePath.ROOT, b"tcp commit"))
+        assert client.read(cap) == b"tcp commit"
+    finally:
+        tcp_cluster.stop()
+    print()
+    print("net (simulated vs tcp)")
+    print("======================")
+    print(render_net_table(recorder.metrics))
+
 
 def _soak(extra: list[str]) -> None:
     from repro.sim.explore import SoakConfig, run_soak
@@ -254,6 +283,151 @@ def _soak(extra: list[str]) -> None:
     sys.exit(1 if failed else 0)
 
 
+def _serve(extra: list[str]) -> None:
+    import time
+
+    from repro.net import build_tcp_cluster
+    from repro.obs import Recorder
+
+    servers = 2
+    shards = 0
+    seed = 42
+    host = "127.0.0.1"
+    smoke = False
+    args = list(extra)
+    while args:
+        flag = args.pop(0)
+        if flag == "--servers":
+            servers = int(args.pop(0))
+        elif flag == "--shards":
+            shards = int(args.pop(0))
+        elif flag == "--seed":
+            seed = int(args.pop(0))
+        elif flag == "--host":
+            host = args.pop(0)
+        elif flag == "--smoke":
+            smoke = True
+        else:
+            print(f"unknown serve flag {flag!r}")
+            print(__doc__)
+            sys.exit(2)
+
+    if smoke:
+        sys.exit(_serve_smoke(servers=servers, shards=shards, seed=seed, host=host))
+
+    recorder = Recorder()
+    cluster = build_tcp_cluster(
+        servers=servers, shards=shards, seed=seed, host=host, recorder=recorder
+    )
+    topology = f"{shards}-shard" if shards else "single-pair"
+    print(
+        f"serving {topology} deployment: {servers} file server(s), "
+        f"daemons on {host}"
+    )
+    print("REPRO_SPEC=" + cluster.spec(), flush=True)
+    print("connect with:  python -m repro connect '<spec>'   (^C stops)")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.stop()
+        print("stopped.")
+
+
+def _serve_smoke(servers: int, shards: int, seed: int, host: str) -> int:
+    """End-to-end smoke over real sockets: a history-checked workload that
+    loses one stable-pair daemon mid-run and must fail over cleanly."""
+    from repro.net import build_tcp_cluster
+    from repro.obs import Recorder
+    from repro.obs.report import render_net_table
+    from repro.verify.history import HistoryRecorder, check_history
+
+    recorder = Recorder()
+    history = HistoryRecorder()
+    cluster = build_tcp_cluster(
+        servers=servers,
+        shards=shards,
+        seed=seed,
+        host=host,
+        recorder=recorder,
+        history=history,
+    )
+    try:
+        client = cluster.client("smoke-host", history=history)
+        caps = [client.create_file(b"smoke %d" % i) for i in range(3)]
+        for round_ in range(3):
+            for i, cap in enumerate(caps):
+                client.transact(
+                    cap,
+                    lambda u, r=round_, i=i: u.write(
+                        ROOT, b"round %d of file %d" % (r, i)
+                    ),
+                )
+        # Kill one stable-pair daemon (a real socket teardown: clients see
+        # resets and refusals) and keep committing through its companion.
+        cluster.pair.a.crash()
+        print("killed stable-pair daemon", cluster.pair.a.name)
+        for i, cap in enumerate(caps):
+            client.transact(
+                cap, lambda u, i=i: u.write(ROOT, b"post-crash file %d" % i)
+            )
+        for i, cap in enumerate(caps):
+            assert client.read(cap) == b"post-crash file %d" % i
+        cluster.pair.a.restart()
+        cluster.pair.a.resync()
+        result = check_history(history)
+        print(result.summary())
+        print()
+        print(render_net_table(recorder.metrics))
+        failovers = recorder.metrics.counters.get("net.tcp.failovers")
+        if failovers is None or failovers.value == 0:
+            print("SMOKE FAIL: no TCP failover observed")
+            return 1
+        if not cluster.pair.consistent():
+            print("SMOKE FAIL: companion pair inconsistent after resync")
+            return 1
+        if not result.ok:
+            for line in result.violations():
+                print("  VIOLATION:", line)
+            return 1
+        print("smoke: ok (commits over TCP, companion failover, "
+              "serializable history)")
+        return 0
+    finally:
+        cluster.stop()
+
+
+def _connect(extra: list[str]) -> None:
+    from repro.client.api import FileClient
+    from repro.net import connect
+
+    if not extra:
+        print("usage: python -m repro connect '<spec>' [--node NAME]")
+        sys.exit(2)
+    spec = extra[0]
+    node = "remote-client"
+    args = extra[1:]
+    while args:
+        flag = args.pop(0)
+        if flag == "--node":
+            node = args.pop(0)
+        else:
+            print(f"unknown connect flag {flag!r}")
+            sys.exit(2)
+    network, service_port = connect(spec)
+    client = FileClient(network, node, service_port)
+    cap = client.create_file(b"hello from %s" % node.encode())
+    client.transact(cap, lambda u: u.write(ROOT, b"committed over TCP"))
+    data = client.read(cap)
+    versions = client.history(cap)
+    print(f"served by: {client.ping()}")
+    print(f"read back: {data!r} ({len(versions)} committed versions)")
+    assert data == b"committed over TCP"
+    print("connect: ok")
+
+
 def main(argv: list[str]) -> None:
     command = argv[1] if len(argv) > 1 else "demo"
     if command == "demo":
@@ -266,6 +440,10 @@ def main(argv: list[str]) -> None:
         _stats(argv[2:])
     elif command == "soak":
         _soak(argv[2:])
+    elif command == "serve":
+        _serve(argv[2:])
+    elif command == "connect":
+        _connect(argv[2:])
     else:
         print(__doc__)
         sys.exit(2)

@@ -57,6 +57,35 @@ class ServerCrashed(SimulationError):
 
 
 # ---------------------------------------------------------------------------
+# Wire transport errors (real TCP sockets; see repro.net)
+# ---------------------------------------------------------------------------
+
+
+class WireError(ReproError):
+    """Base class for wire-codec and TCP-transport failures."""
+
+
+class BadFrame(WireError):
+    """A frame failed structural validation (bad magic, unknown wire
+    version, unknown frame type, or malformed payload encoding)."""
+
+
+class FrameTooLarge(WireError):
+    """A frame exceeds the negotiated maximum size.  Raised explicitly on
+    both encode and decode — never silently truncated."""
+
+
+class TruncatedFrame(WireError):
+    """A frame's payload ended before its encoding was complete (short
+    read, torn write, or a lying length prefix)."""
+
+
+class RemoteCallError(WireError):
+    """A server-side exception that has no class on the client side; the
+    original class name and message are preserved in the message."""
+
+
+# ---------------------------------------------------------------------------
 # Block service errors
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,377 @@
+"""The wire codec: versioned, length-prefixed binary frames.
+
+Every message on a real socket is one *frame*:
+
+    offset  size  field
+    0       2     magic ``b"AF"`` (Amoeba File service)
+    2       1     wire version (currently 1)
+    3       1     frame type: 1 request, 2 reply, 3 error
+    4       4     payload length, unsigned big-endian
+    8       n     payload (a value encoding, below)
+
+A request payload is the value-encoded triple ``(sender, command,
+params)``; a reply payload is the value-encoded result; an error payload
+is the pair ``(exception class name, message)``.  The class name maps
+back to the :mod:`repro.errors` hierarchy on the client, so a
+:class:`~repro.errors.CommitConflict` raised by a server over TCP is a
+``CommitConflict`` at the caller — exactly the propagation contract of
+the simulated RPC layer.
+
+The value encoding is a tagged, recursive scheme covering everything the
+``cmd_*`` command set moves: ``None``, bools, arbitrary-precision ints,
+floats, bytes, str, list, tuple, dict, and the service's own value types
+(:class:`~repro.capability.Capability`, ``VersionHandle``, ``TasResult``,
+stable-pair intentions).
+
+Safety is explicit, never silent:
+
+* frames larger than ``max_frame`` raise :class:`~repro.errors.
+  FrameTooLarge` on encode *and* on decode of the length prefix — a
+  malicious or buggy peer cannot make a receiver allocate unbounded
+  memory, and an oversized reply is an error, not a truncation;
+* a payload that ends mid-value raises :class:`~repro.errors.
+  TruncatedFrame`;
+* trailing garbage after a complete value, bad magic, an unknown wire
+  version, tag, or frame type raise :class:`~repro.errors.BadFrame`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.capability import Capability
+from repro.errors import (
+    BadFrame,
+    FrameTooLarge,
+    RemoteCallError,
+    ReproError,
+    TruncatedFrame,
+)
+
+MAGIC = b"AF"
+WIRE_VERSION = 1
+HEADER_SIZE = 8
+_HEADER = struct.Struct(">2sBBI")
+
+FRAME_REQUEST = 1
+FRAME_REPLY = 2
+FRAME_ERROR = 3
+_FRAME_TYPES = (FRAME_REQUEST, FRAME_REPLY, FRAME_ERROR)
+
+# 4 MiB default: a full commit flush of 32 K pages batches comfortably,
+# while a lying length prefix cannot demand unbounded memory.
+DEFAULT_MAX_FRAME = 4 * 1024 * 1024
+
+# Containers deeper than this are rejected rather than recursed into — a
+# hostile frame must not be able to blow the decoder's stack.
+MAX_DEPTH = 32
+
+# -- value tags -------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_BYTES = 0x05
+_T_STR = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_CAP = 0x0A
+_T_HANDLE = 0x0B
+_T_TAS = 0x0C
+_T_INTENTION = 0x0D
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+
+def _lazy_types():
+    """The service value types, imported lazily to avoid import cycles
+    (block.stable imports sim.rpc; wire must stay importable first)."""
+    from repro.block.server import TasResult
+    from repro.block.stable import _Intention
+    from repro.core.service import VersionHandle
+
+    return VersionHandle, TasResult, _Intention
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any, out: bytearray | None = None, _depth: int = 0) -> bytes:
+    """Append the tagged encoding of ``value`` to ``out`` and return it."""
+    if out is None:
+        out = bytearray()
+    if _depth > MAX_DEPTH:
+        raise BadFrame(f"value nesting exceeds {MAX_DEPTH} levels")
+    VersionHandle, TasResult, _Intention = _lazy_types()
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        raw = value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+        if len(raw) > 255:
+            raise BadFrame(f"integer needs {len(raw)} bytes, limit 255")
+        out.append(_T_INT)
+        out.append(len(raw))
+        out += raw
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(_T_BYTES)
+        out += _U32.pack(len(data))
+        out += data
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(data))
+        out += data
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            encode_value(item, out, _depth + 1)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            encode_value(key, out, _depth + 1)
+            encode_value(item, out, _depth + 1)
+    elif isinstance(value, Capability):
+        out.append(_T_CAP)
+        out += value.pack()
+    elif isinstance(value, VersionHandle):
+        out.append(_T_HANDLE)
+        out += value.version.pack()
+        out += value.file.pack()
+    elif isinstance(value, TasResult):
+        out.append(_T_TAS)
+        out.append(1 if value.success else 0)
+        out += _U32.pack(len(value.current))
+        out += value.current
+    elif isinstance(value, _Intention):
+        out.append(_T_INTENTION)
+        encode_value(value.kind, out, _depth + 1)
+        encode_value(value.account, out, _depth + 1)
+        encode_value(value.block_no, out, _depth + 1)
+        encode_value(value.data, out, _depth + 1)
+    else:
+        raise BadFrame(f"type {type(value).__name__} has no wire encoding")
+    return bytes(out)
+
+
+class _Reader:
+    """A bounds-checked cursor over one frame payload."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.buf):
+            raise TruncatedFrame(
+                f"payload ends at byte {len(self.buf)}, "
+                f"needed {self.pos + n}"
+            )
+        chunk = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def done(self) -> bool:
+        return self.pos == len(self.buf)
+
+
+def decode_value(payload: bytes) -> Any:
+    """Decode one complete value; trailing bytes are an error."""
+    reader = _Reader(payload)
+    value = _decode(reader, 0)
+    if not reader.done():
+        raise BadFrame(
+            f"{len(payload) - reader.pos} trailing bytes after value"
+        )
+    return value
+
+
+def _decode(reader: _Reader, depth: int) -> Any:
+    if depth > MAX_DEPTH:
+        raise BadFrame(f"value nesting exceeds {MAX_DEPTH} levels")
+    VersionHandle, TasResult, _Intention = _lazy_types()
+    tag = reader.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return int.from_bytes(reader.take(reader.u8()), "big", signed=True)
+    if tag == _T_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _T_BYTES:
+        return reader.take(reader.u32())
+    if tag == _T_STR:
+        try:
+            return reader.take(reader.u32()).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise BadFrame(f"invalid utf-8 in string value: {exc}") from None
+    if tag in (_T_LIST, _T_TUPLE):
+        count = reader.u32()
+        items = [_decode(reader, depth + 1) for _ in range(count)]
+        return items if tag == _T_LIST else tuple(items)
+    if tag == _T_DICT:
+        count = reader.u32()
+        result = {}
+        for _ in range(count):
+            key = _decode(reader, depth + 1)
+            result[key] = _decode(reader, depth + 1)
+        return result
+    if tag == _T_CAP:
+        cap = Capability.unpack(reader.take(Capability.PACKED_SIZE))
+        if cap is None:
+            raise BadFrame("nil capability on the wire (encode None instead)")
+        return cap
+    if tag == _T_HANDLE:
+        version = Capability.unpack(reader.take(Capability.PACKED_SIZE))
+        file = Capability.unpack(reader.take(Capability.PACKED_SIZE))
+        if version is None or file is None:
+            raise BadFrame("nil capability inside a version handle")
+        return VersionHandle(version, file)
+    if tag == _T_TAS:
+        success = reader.u8() != 0
+        return TasResult(success, reader.take(reader.u32()))
+    if tag == _T_INTENTION:
+        kind = _decode(reader, depth + 1)
+        account = _decode(reader, depth + 1)
+        block_no = _decode(reader, depth + 1)
+        data = _decode(reader, depth + 1)
+        if not isinstance(kind, str):
+            raise BadFrame("intention kind must be a string")
+        return _Intention(kind, account, block_no, data)
+    raise BadFrame(f"unknown value tag {tag:#04x}")
+
+
+# ---------------------------------------------------------------------------
+# frames
+# ---------------------------------------------------------------------------
+
+
+def _frame(frame_type: int, payload: bytes, max_frame: int) -> bytes:
+    if HEADER_SIZE + len(payload) > max_frame:
+        raise FrameTooLarge(
+            f"frame of {HEADER_SIZE + len(payload)} bytes exceeds the "
+            f"{max_frame}-byte maximum"
+        )
+    return _HEADER.pack(MAGIC, WIRE_VERSION, frame_type, len(payload)) + payload
+
+
+def encode_request(
+    sender: str,
+    command: str,
+    params: dict[str, Any],
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> bytes:
+    return _frame(
+        FRAME_REQUEST, encode_value((sender, command, params)), max_frame
+    )
+
+
+def encode_reply(value: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    return _frame(FRAME_REPLY, encode_value(value), max_frame)
+
+
+def encode_error(exc: BaseException, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    payload = encode_value((type(exc).__name__, str(exc)))
+    return _frame(FRAME_ERROR, payload, max_frame)
+
+
+def decode_header(header: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> tuple[int, int]:
+    """Validate an 8-byte frame header; returns (frame type, payload length)."""
+    if len(header) != HEADER_SIZE:
+        raise TruncatedFrame(f"header is {len(header)} bytes, need {HEADER_SIZE}")
+    magic, version, frame_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise BadFrame(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise BadFrame(f"wire version {version}, this codec speaks {WIRE_VERSION}")
+    if frame_type not in _FRAME_TYPES:
+        raise BadFrame(f"unknown frame type {frame_type}")
+    if HEADER_SIZE + length > max_frame:
+        raise FrameTooLarge(
+            f"frame announces {HEADER_SIZE + length} bytes, "
+            f"maximum is {max_frame}"
+        )
+    return frame_type, length
+
+
+def decode_request(payload: bytes) -> tuple[str, str, dict[str, Any]]:
+    """Decode a request payload into (sender, command, params)."""
+    value = decode_value(payload)
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 3
+        or not isinstance(value[0], str)
+        or not isinstance(value[1], str)
+        or not isinstance(value[2], dict)
+    ):
+        raise BadFrame("request payload is not (sender, command, params)")
+    for key in value[2]:
+        if not isinstance(key, str):
+            raise BadFrame("request parameter names must be strings")
+    return value
+
+
+# Server-side exceptions that cross the wire by class name.  ReproError
+# subclasses resolve against repro.errors; a handful of builtins cover the
+# "anything else is a bug and propagates too, loudly" contract of the
+# simulated RPC layer.
+_BUILTIN_ERRORS = {
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "AssertionError": AssertionError,
+    "RuntimeError": RuntimeError,
+    "NotImplementedError": NotImplementedError,
+}
+
+
+def error_to_exception(name: str, message: str) -> BaseException:
+    """Rebuild the exception an error frame describes."""
+    import repro.errors as errors_module
+
+    cls = getattr(errors_module, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    cls = _BUILTIN_ERRORS.get(name)
+    if cls is not None:
+        return cls(message)
+    return RemoteCallError(f"{name}: {message}")
+
+
+def decode_error(payload: bytes) -> BaseException:
+    value = decode_value(payload)
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 2
+        or not isinstance(value[0], str)
+        or not isinstance(value[1], str)
+    ):
+        raise BadFrame("error payload is not (class name, message)")
+    return error_to_exception(value[0], value[1])

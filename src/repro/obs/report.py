@@ -123,6 +123,41 @@ def render_shard_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def render_net_table(metrics: MetricsRegistry) -> str:
+    """Transport traffic: the simulated ``net.messages`` row next to the
+    real-socket ``net.tcp.*`` counters (connections, requests, retries,
+    failovers, bytes in/out), so a mixed run shows both wires side by
+    side.  Empty string when neither wire recorded anything."""
+    rows: list[tuple[str, int]] = []
+    sim = metrics.counters.get("net.messages")
+    if sim is not None:
+        rows.append(("sim net.messages", sim.value))
+    tcp_order = [
+        "net.tcp.connections",
+        "net.tcp.requests",
+        "net.tcp.retries",
+        "net.tcp.failovers",
+        "net.tcp.bytes_in",
+        "net.tcp.bytes_out",
+    ]
+    named = set(tcp_order)
+    for name in tcp_order:
+        counter = metrics.counters.get(name)
+        if counter is not None:
+            rows.append((name, counter.value))
+    for name in sorted(metrics.counters):
+        if name.startswith("net.tcp.") and name not in named:
+            rows.append((name, metrics.counters[name].value))
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    header = f"{'counter':<{width}} {'value':>12}"
+    lines = [header, "-" * len(header)]
+    for name, value in rows:
+        lines.append(f"{name:<{width}} {value:>12}")
+    return "\n".join(lines)
+
+
 def render_report(recorder) -> str:
     """The full text report: metrics, commit table, recent span trees."""
     sections = [render_metrics(recorder.metrics), render_commit_table(recorder.tracer)]

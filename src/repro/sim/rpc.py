@@ -82,15 +82,43 @@ def _registry(network: Network) -> dict[int, list[str]]:
     return registry
 
 
+def failover_order(nodes, prefer: str | None = None) -> list[str]:
+    """The failover order for the servers listening on a port.
+
+    Explicit and deterministic: the preferred server first (when given and
+    listening), then the remaining servers sorted by name.  Registration
+    order — which depends on construction sequence and silently changes
+    when a deployment is assembled differently — plays no part.  Shared by
+    the simulated :class:`Transaction` and the TCP transport
+    (:class:`repro.net.transport.TcpTransaction`), so a client observes
+    the same companion preference whichever wire it runs over.
+    """
+    ordered = sorted(nodes)
+    if prefer is not None and prefer in ordered:
+        ordered.remove(prefer)
+        ordered.insert(0, prefer)
+    return ordered
+
+
 class Transaction:
     """Client-side transaction interface.
 
     ``call`` addresses a port.  If several servers listen on the port the
-    first reachable one (in registration order, starting from ``prefer`` if
-    given) serves the request; unreachable servers are skipped, reproducing
-    the paper's "clients send requests to the alternative block server if
-    the primary fails to respond".
+    first reachable one (in :func:`failover_order`, starting from
+    ``prefer`` if given) serves the request; unreachable servers are
+    skipped, reproducing the paper's "clients send requests to the
+    alternative block server if the primary fails to respond".
     """
+
+    def __new__(cls, network, client_node: str, backoff_ticks: int = 0):
+        # A network may carry its own transaction implementation (the TCP
+        # transport does): constructing ``Transaction(network, node)``
+        # then yields that class, so StableClient, the sharding router and
+        # FileClient run unchanged over real sockets.
+        override = getattr(network, "transaction_class", None)
+        if cls is Transaction and override is not None and override is not cls:
+            return object.__new__(override)
+        return object.__new__(cls)
 
     def __init__(
         self, network: Network, client_node: str, backoff_ticks: int = 0
@@ -117,10 +145,7 @@ class Transaction:
         next server on the port.  If no server on the port is reachable,
         :class:`ServerUnreachable` is raised.
         """
-        nodes = list(_registry(self.network).get(port, []))
-        if prefer is not None and prefer in nodes:
-            nodes.remove(prefer)
-            nodes.insert(0, prefer)
+        nodes = failover_order(_registry(self.network).get(port, []), prefer)
         if not nodes:
             raise ServerUnreachable(f"no server registered on port {port:#x}")
         recorder = getattr(self.network, "recorder", NULL_RECORDER)

@@ -51,6 +51,7 @@ def test_unknown_subcommand_prints_usage():
         "source_control",
         "crash_resilience",
         "project_workspace",
+        "remote_quickstart",
     ],
 )
 def test_examples_run_clean(script):

@@ -1,0 +1,79 @@
+"""The networking CLI, end to end across real process boundaries:
+``repro serve`` in one process, ``repro connect`` in another, plus the
+``--smoke`` workload and the ``repro stats`` net section."""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def _run(*args, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_serve_then_connect_across_processes():
+    """The real deployment shape: a daemon process and a client process
+    that share nothing but the spec string and localhost TCP."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--servers", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        spec = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = server.stdout.readline()
+            if not line:
+                break
+            if line.startswith("REPRO_SPEC="):
+                spec = line[len("REPRO_SPEC=") :].strip()
+                break
+        assert spec, "server never printed its REPRO_SPEC line"
+        result = _run("connect", spec)
+        assert result.returncode == 0, result.stderr
+        assert "connect: ok" in result.stdout
+        assert "read back: b'committed over TCP'" in result.stdout
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+
+def test_serve_smoke_commits_and_fails_over():
+    """The CI gate: a history-checked workload over sockets that loses a
+    stable-pair daemon mid-run."""
+    result = _run("serve", "--smoke")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "killed stable-pair daemon" in result.stdout
+    assert "smoke: ok" in result.stdout
+    assert "net.tcp.failovers" in result.stdout
+
+
+def test_connect_usage_errors():
+    result = _run("connect")
+    assert result.returncode == 2
+    assert "usage" in result.stdout
+
+    result = _run("connect", "not-a-spec")
+    assert result.returncode != 0
+
+
+def test_stats_renders_net_section():
+    result = _run("stats")
+    assert result.returncode == 0, result.stderr
+    assert "net (simulated vs tcp)" in result.stdout
+    assert "sim net.messages" in result.stdout
+    assert "net.tcp.requests" in result.stdout
+
+
+def test_serve_rejects_unknown_flag():
+    result = _run("serve", "--bogus")
+    assert result.returncode == 2

@@ -1,0 +1,333 @@
+"""The socket daemon (repro.net.server) and the TCP transport layer
+(repro.net.transport) at the unit level: framing over real connections,
+concurrent clients, error propagation, busy signalling, crash/restart
+lifecycle, pooling and failover."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    CommitConflict,
+    FrameTooLarge,
+    MessageDropped,
+    ServerUnreachable,
+)
+from repro.net import NetServer, TcpNetwork, TcpTransaction, wire
+from repro.net.server import command_handler
+from repro.obs import Recorder
+from repro.sim.rpc import Request, RpcEndpoint, Transaction
+
+
+class EchoServer:
+    """A toy cmd_* server."""
+
+    def __init__(self, name="echo"):
+        self.name = name
+        self.calls = 0
+
+    def cmd_echo(self, value):
+        self.calls += 1
+        return value
+
+    def cmd_add(self, a, b):
+        return a + b
+
+    def cmd_conflict(self):
+        raise CommitConflict("synthetic conflict")
+
+    def cmd_bug(self):
+        raise ValueError("server bug")
+
+    def cmd_slow(self, seconds):
+        time.sleep(seconds)
+        return "done"
+
+    def cmd_big(self, n):
+        return b"x" * n
+
+
+@pytest.fixture
+def daemon():
+    server = EchoServer()
+    daemon = NetServer("echo", command_handler(server, 0x42)).start()
+    daemon.server_obj = server
+    yield daemon
+    daemon.stop()
+
+
+def _raw_call(address, frame):
+    with socket.create_connection(address, timeout=5) as sock:
+        sock.sendall(frame)
+        header = _read(sock, wire.HEADER_SIZE)
+        frame_type, length = wire.decode_header(header)
+        return frame_type, _read(sock, length)
+
+
+def _read(sock, n):
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        assert chunk, "connection closed early"
+        data += chunk
+    return data
+
+
+# -- the daemon itself ------------------------------------------------------
+
+
+def test_daemon_serves_a_request(daemon):
+    frame_type, body = _raw_call(
+        daemon.address, wire.encode_request("c1", "echo", {"value": b"hi"})
+    )
+    assert frame_type == wire.FRAME_REPLY
+    assert wire.decode_value(body) == b"hi"
+
+
+def test_many_requests_on_one_connection(daemon):
+    with socket.create_connection(daemon.address, timeout=5) as sock:
+        for i in range(20):
+            sock.sendall(wire.encode_request("c1", "add", {"a": i, "b": 1}))
+            header = _read(sock, wire.HEADER_SIZE)
+            _, length = wire.decode_header(header)
+            assert wire.decode_value(_read(sock, length)) == i + 1
+
+
+def test_concurrent_connections(daemon):
+    results = []
+
+    def worker(i):
+        frame_type, body = _raw_call(
+            daemon.address, wire.encode_request("c", "add", {"a": i, "b": i})
+        )
+        results.append((frame_type, wire.decode_value(body), i))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(results) == 8
+    assert all(ft == wire.FRAME_REPLY and v == 2 * i for ft, v, i in results)
+
+
+def test_partial_writes_are_reassembled(daemon):
+    """A request dribbled onto the socket byte by byte still parses."""
+    frame = wire.encode_request("c", "echo", {"value": b"dribble"})
+    with socket.create_connection(daemon.address, timeout=5) as sock:
+        for i in range(len(frame)):
+            sock.sendall(frame[i : i + 1])
+        header = _read(sock, wire.HEADER_SIZE)
+        _, length = wire.decode_header(header)
+        assert wire.decode_value(_read(sock, length)) == b"dribble"
+
+
+def test_server_error_crosses_as_typed_error_frame(daemon):
+    frame_type, body = _raw_call(
+        daemon.address, wire.encode_request("c", "conflict", {})
+    )
+    assert frame_type == wire.FRAME_ERROR
+    assert isinstance(wire.decode_error(body), CommitConflict)
+
+    frame_type, body = _raw_call(daemon.address, wire.encode_request("c", "bug", {}))
+    assert frame_type == wire.FRAME_ERROR
+    assert isinstance(wire.decode_error(body), ValueError)
+
+
+def test_unknown_command_is_server_unreachable(daemon):
+    frame_type, body = _raw_call(
+        daemon.address, wire.encode_request("c", "nonsense", {})
+    )
+    assert frame_type == wire.FRAME_ERROR
+    exc = wire.decode_error(body)
+    assert isinstance(exc, ServerUnreachable)
+    assert "nonsense" in str(exc)
+
+
+def test_oversized_reply_is_an_error_frame_not_a_truncation():
+    server = EchoServer()
+    daemon = NetServer(
+        "small", command_handler(server, 0x42), max_frame=1024
+    ).start()
+    try:
+        frame_type, body = _raw_call(
+            daemon.address, wire.encode_request("c", "big", {"n": 4096})
+        )
+        assert frame_type == wire.FRAME_ERROR
+        assert isinstance(wire.decode_error(body), FrameTooLarge)
+    finally:
+        daemon.stop()
+
+
+def test_garbage_header_gets_error_then_hangup(daemon):
+    with socket.create_connection(daemon.address, timeout=5) as sock:
+        sock.sendall(b"GARBAGE-" + b"\x00" * 8)
+        header = _read(sock, wire.HEADER_SIZE)
+        frame_type, length = wire.decode_header(header)
+        assert frame_type == wire.FRAME_ERROR
+        body = _read(sock, length)
+        exc = wire.decode_error(body)
+        assert "magic" in str(exc)
+        # ...and then the daemon hangs up (EOF, or RST if our unread
+        # garbage was still in its receive buffer at close).
+        try:
+            assert sock.recv(1) == b""
+        except ConnectionResetError:
+            pass
+
+
+def test_busy_dispatch_answers_message_dropped():
+    server = EchoServer()
+    daemon = NetServer(
+        "busy", command_handler(server, 0x42), lock_timeout=0.05
+    ).start()
+    try:
+        blocker = threading.Thread(
+            target=lambda: _raw_call(
+                daemon.address, wire.encode_request("c", "slow", {"seconds": 0.6})
+            )
+        )
+        blocker.start()
+        time.sleep(0.15)  # let the slow call take the dispatch lock
+        frame_type, body = _raw_call(
+            daemon.address, wire.encode_request("c", "echo", {"value": 1})
+        )
+        blocker.join(timeout=5)
+        assert frame_type == wire.FRAME_ERROR
+        assert isinstance(wire.decode_error(body), MessageDropped)
+    finally:
+        daemon.stop()
+
+
+def test_stop_refuses_connections_and_restart_keeps_port(daemon):
+    host, port = daemon.address
+    daemon.stop()
+    try:
+        with socket.create_connection((host, port), timeout=1) as sock:
+            # Connecting to a dead ephemeral port on Linux can self-connect
+            # (source port == destination port); either way, no daemon.
+            assert sock.getsockname() == sock.getpeername()
+    except OSError:
+        pass
+    daemon.start()
+    assert daemon.address == (host, port)
+    frame_type, body = _raw_call(
+        daemon.address, wire.encode_request("c", "echo", {"value": "back"})
+    )
+    assert wire.decode_value(body) == "back"
+
+
+# -- the TcpNetwork / TcpTransaction client layer ---------------------------
+
+
+def test_transaction_class_dispatch_makes_tcp_transactions():
+    net = TcpNetwork()
+    txn = Transaction(net, "client")
+    assert isinstance(txn, TcpTransaction)
+
+
+def test_rpc_endpoint_attach_starts_a_real_daemon():
+    net = TcpNetwork()
+    server = EchoServer()
+    RpcEndpoint(net, "echo", 0x99, server)
+    try:
+        assert net.is_up("echo")
+        txn = Transaction(net, "client")
+        assert txn.call(0x99, "add", a=2, b=3) == 5
+        assert server.calls == 0  # add, not echo
+    finally:
+        net.close()
+
+
+def test_connection_pooling_reuses_one_connection():
+    recorder = Recorder()
+    net = TcpNetwork(recorder=recorder)
+    RpcEndpoint(net, "echo", 0x99, EchoServer())
+    try:
+        txn = Transaction(net, "client")
+        for i in range(10):
+            assert txn.call(0x99, "echo", value=i) == i
+        assert recorder.metrics.counters["net.tcp.connections"].value == 1
+        assert recorder.metrics.counters["net.tcp.requests"].value == 10
+    finally:
+        net.close()
+
+
+def test_failover_to_companion_on_refused_connection():
+    recorder = Recorder()
+    net = TcpNetwork(recorder=recorder)
+    a, b = EchoServer("a"), EchoServer("b")
+    RpcEndpoint(net, "srvA", 0x77, a)
+    RpcEndpoint(net, "srvB", 0x77, b)
+    try:
+        txn = Transaction(net, "client")
+        txn.call(0x77, "echo", value=1)
+        assert (a.calls, b.calls) == (1, 0)  # deterministic order: srvA first
+        net.detach("srvA")
+        txn.call(0x77, "echo", value=2)
+        assert (a.calls, b.calls) == (1, 1)
+        assert recorder.metrics.counters["net.tcp.failovers"].value >= 1
+        net.reattach("srvA")
+        txn.call(0x77, "echo", value=3)
+        assert (a.calls, b.calls) == (2, 1)
+    finally:
+        net.close()
+
+
+def test_stale_pooled_connection_reconnects_transparently():
+    recorder = Recorder()
+    net = TcpNetwork(recorder=recorder)
+    server = EchoServer()
+    RpcEndpoint(net, "echo", 0x99, server)
+    try:
+        txn = Transaction(net, "client")
+        assert txn.call(0x99, "echo", value=1) == 1
+        # Bounce the daemon: the pooled connection is now dead, but the
+        # registry still points at the same port.
+        net.detach("echo")
+        net.reattach("echo")
+        assert txn.call(0x99, "echo", value=2) == 2
+        assert recorder.metrics.counters["net.tcp.connections"].value >= 2
+    finally:
+        net.close()
+
+
+def test_all_daemons_down_raises_server_unreachable():
+    net = TcpNetwork()
+    net.retry_sweeps = 2
+    net.retry_backoff = 0.01
+    RpcEndpoint(net, "solo", 0x55, EchoServer())
+    try:
+        txn = Transaction(net, "client")
+        net.detach("solo")
+        with pytest.raises(ServerUnreachable):
+            txn.call(0x55, "echo", value=1)
+    finally:
+        net.close()
+
+
+def test_unregistered_port_raises():
+    net = TcpNetwork()
+    txn = Transaction(net, "client")
+    with pytest.raises(ServerUnreachable):
+        txn.call(0xDEAD, "echo", value=1)
+
+
+def test_call_timeout_on_a_hung_server():
+    server = EchoServer()
+    net = TcpNetwork(call_timeout=0.3)
+    net.retry_sweeps = 1
+    RpcEndpoint(net, "hung", 0x66, server)
+    try:
+        txn = Transaction(net, "client")
+        start = time.monotonic()
+        with pytest.raises(ServerUnreachable):
+            txn.call(0x66, "slow", seconds=3.0)
+        assert time.monotonic() - start < 2.5
+    finally:
+        net.close()

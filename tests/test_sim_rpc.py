@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ServerUnreachable
 from repro.sim.faults import DropPolicy
 from repro.sim.network import Network
-from repro.sim.rpc import RpcEndpoint, Transaction
+from repro.sim.rpc import RpcEndpoint, Transaction, failover_order
 
 
 class Adder:
@@ -88,6 +88,23 @@ def test_reattach_after_detach(net):
     endpoint.reattach()
     txn = Transaction(net, "cli")
     assert txn.call(0x100, "whoami") == "s1"
+
+
+def test_failover_order_is_deterministic(net):
+    """The order servers on a port are tried is sorted by name with the
+    preferred server first — independent of registration order.  The TCP
+    transaction layer shares the same helper, so sim runs predict real
+    deployments."""
+    assert failover_order(["s2", "s3", "s1"]) == ["s1", "s2", "s3"]
+    assert failover_order(["s3", "s1", "s2"], prefer="s2") == ["s2", "s1", "s3"]
+    # A preference for an unknown server falls back to the sorted order.
+    assert failover_order(["s2", "s1"], prefer="nope") == ["s1", "s2"]
+    assert failover_order([]) == []
+    # End to end: registration order does not decide who serves.
+    RpcEndpoint(net, "zeta", 0x100, Adder("zeta"))
+    RpcEndpoint(net, "alpha", 0x100, Adder("alpha"))
+    txn = Transaction(net, "cli")
+    assert txn.call(0x100, "whoami") == "alpha"
 
 
 def test_exceptions_propagate_to_caller(net):

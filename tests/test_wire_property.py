@@ -1,0 +1,227 @@
+"""Property tests for the wire codec (repro.net.wire).
+
+Round-trips arbitrary requests, replies and errors through the binary
+encoding, and checks the explicit safety guards: oversized frames are
+rejected (never truncated) on both encode and decode, truncated payloads
+raise :class:`TruncatedFrame`, corrupted headers raise :class:`BadFrame`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.block.server import TasResult
+from repro.block.stable import _Intention
+from repro.capability import Capability
+from repro.core.service import VersionHandle
+from repro.errors import (
+    BadFrame,
+    CommitConflict,
+    FrameTooLarge,
+    RemoteCallError,
+    ReproError,
+    TruncatedFrame,
+)
+from repro.net import wire
+
+# -- strategies -------------------------------------------------------------
+
+capabilities = st.builds(
+    Capability,
+    port=st.integers(min_value=0, max_value=(1 << 48) - 1),
+    obj=st.integers(min_value=1, max_value=(1 << 64) - 1),
+    rights=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    check=st.integers(min_value=0, max_value=(1 << 48) - 1),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 256), max_value=1 << 256),
+    st.floats(allow_nan=False),
+    st.binary(max_size=256),
+    st.text(max_size=64),
+    capabilities,
+    st.builds(VersionHandle, version=capabilities, file=capabilities),
+    st.builds(TasResult, success=st.booleans(), current=st.binary(max_size=64)),
+    st.builds(
+        _Intention,
+        kind=st.sampled_from(["write", "free", "reserve"]),
+        account=st.integers(min_value=0, max_value=1 << 32),
+        block_no=st.integers(min_value=0, max_value=1 << 32),
+        data=st.binary(max_size=64),
+    ),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.lists(children, max_size=6).map(tuple),
+        st.dictionaries(
+            st.one_of(st.text(max_size=16), st.integers(), st.binary(max_size=8)),
+            children,
+            max_size=6,
+        ),
+    ),
+    max_leaves=24,
+)
+
+params = st.dictionaries(st.text(max_size=24), values, max_size=6)
+
+
+# -- round trips ------------------------------------------------------------
+
+
+@given(value=values)
+@settings(max_examples=200)
+def test_value_round_trip(value):
+    assert wire.decode_value(wire.encode_value(value)) == value
+
+
+@given(sender=st.text(max_size=32), command=st.text(max_size=32), params=params)
+@settings(max_examples=100)
+def test_request_round_trip(sender, command, params):
+    frame = wire.encode_request(sender, command, params)
+    frame_type, length = wire.decode_header(frame[: wire.HEADER_SIZE])
+    assert frame_type == wire.FRAME_REQUEST
+    assert length == len(frame) - wire.HEADER_SIZE
+    assert wire.decode_request(frame[wire.HEADER_SIZE :]) == (
+        sender,
+        command,
+        params,
+    )
+
+
+@given(value=values)
+@settings(max_examples=100)
+def test_reply_round_trip(value):
+    frame = wire.encode_reply(value)
+    frame_type, length = wire.decode_header(frame[: wire.HEADER_SIZE])
+    assert frame_type == wire.FRAME_REPLY
+    assert wire.decode_value(frame[wire.HEADER_SIZE :]) == value
+
+
+@given(message=st.text(max_size=128))
+def test_error_round_trip_repro_error(message):
+    frame = wire.encode_error(CommitConflict(message))
+    frame_type, _ = wire.decode_header(frame[: wire.HEADER_SIZE])
+    assert frame_type == wire.FRAME_ERROR
+    exc = wire.decode_error(frame[wire.HEADER_SIZE :])
+    assert type(exc) is CommitConflict
+    assert str(exc) == message
+
+
+def test_error_round_trip_builtin_and_unknown():
+    exc = wire.decode_error(
+        wire.encode_error(ValueError("bad range"))[wire.HEADER_SIZE :]
+    )
+    assert type(exc) is ValueError and str(exc) == "bad range"
+
+    class Exotic(Exception):
+        pass
+
+    exc = wire.decode_error(wire.encode_error(Exotic("huh"))[wire.HEADER_SIZE :])
+    assert type(exc) is RemoteCallError
+    assert "Exotic" in str(exc) and "huh" in str(exc)
+
+
+def test_error_decode_never_widens_to_non_repro_class():
+    # A hostile error frame naming a non-exception attribute of the errors
+    # module must not be instantiated.
+    payload = wire.encode_value(("annotations", "x"))
+    exc = wire.error_to_exception("annotations", "x")
+    assert isinstance(exc, RemoteCallError)
+    assert isinstance(wire.decode_error(payload), RemoteCallError)
+
+
+# -- oversize guard ---------------------------------------------------------
+
+
+def test_encode_rejects_oversized_frame():
+    with pytest.raises(FrameTooLarge):
+        wire.encode_reply(b"x" * 100, max_frame=64)
+
+
+def test_decode_header_rejects_oversized_announcement():
+    frame = wire.encode_reply(b"y" * 512)
+    with pytest.raises(FrameTooLarge):
+        wire.decode_header(frame[: wire.HEADER_SIZE], max_frame=64)
+
+
+@given(value=values)
+@settings(max_examples=50)
+def test_oversize_is_all_or_nothing(value):
+    """A value either encodes completely within the limit or raises —
+    there is no silently truncated frame."""
+    try:
+        frame = wire.encode_reply(value, max_frame=256)
+    except FrameTooLarge:
+        return
+    assert len(frame) <= 256
+    assert wire.decode_value(frame[wire.HEADER_SIZE :]) == value
+
+
+# -- truncation and corruption ----------------------------------------------
+
+
+@given(value=values)
+@settings(max_examples=100)
+def test_truncated_payload_raises_cleanly(value):
+    payload = wire.encode_value(value)
+    for cut in {0, 1, len(payload) // 2, len(payload) - 1} - {len(payload)}:
+        with pytest.raises((TruncatedFrame, BadFrame)):
+            wire.decode_value(payload[:cut])
+
+
+def test_trailing_garbage_is_rejected():
+    payload = wire.encode_value(42) + b"\x00"
+    with pytest.raises(BadFrame):
+        wire.decode_value(payload)
+
+
+def test_bad_magic_version_and_type():
+    good = wire.encode_reply(None)
+    with pytest.raises(BadFrame):
+        wire.decode_header(b"ZZ" + good[2 : wire.HEADER_SIZE])
+    with pytest.raises(BadFrame):
+        wire.decode_header(good[:2] + b"\x63" + good[3 : wire.HEADER_SIZE])
+    with pytest.raises(BadFrame):
+        wire.decode_header(good[:3] + b"\x09" + good[4 : wire.HEADER_SIZE])
+    with pytest.raises(TruncatedFrame):
+        wire.decode_header(good[:5])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(BadFrame):
+        wire.decode_value(b"\xfe")
+
+
+def test_depth_limit_is_enforced_both_ways():
+    nested = []
+    for _ in range(wire.MAX_DEPTH + 2):
+        nested = [nested]
+    with pytest.raises(BadFrame):
+        wire.encode_value(nested)
+    # Hand-rolled deep payload (decoder side).
+    payload = b"\x07\x00\x00\x00\x01" * (wire.MAX_DEPTH + 2) + b"\x00"
+    with pytest.raises((BadFrame, TruncatedFrame)):
+        wire.decode_value(payload)
+
+
+def test_unencodable_type_is_an_explicit_error():
+    with pytest.raises(BadFrame):
+        wire.encode_value(object())
+
+
+@given(st.binary(min_size=1, max_size=64))
+@settings(max_examples=200)
+def test_random_payloads_never_crash_the_decoder(data):
+    """Garbage decodes to a value or raises a WireError — nothing else."""
+    try:
+        wire.decode_value(data)
+    except (BadFrame, TruncatedFrame):
+        pass
+    except ReproError as exc:  # pragma: no cover - defensive
+        raise AssertionError(f"unexpected error class {type(exc)}") from exc

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import secrets as _secrets
+import threading
 from dataclasses import dataclass
 
 from repro.errors import BadCapability, InsufficientRights
@@ -160,32 +161,39 @@ class CapabilityIssuer:
         self.port = port
         self._secrets: dict[int, int] = {}
         self._next_obj = 1
+        # Minting is no longer confined to the dispatch lock: the async
+        # transport's lock-free read path can lazily re-mint a version
+        # capability while a commit mints new ones.
+        self._mint_lock = threading.Lock()
 
     # -- minting ----------------------------------------------------------
 
     def mint(self, rights: int = ALL_RIGHTS, rng=None) -> Capability:
         """Create a new object number and return its owner capability."""
-        obj = self._next_obj
-        self._next_obj += 1
-        secret = new_secret(rng)
-        self._secrets[obj] = secret
+        with self._mint_lock:
+            obj = self._next_obj
+            self._next_obj += 1
+            secret = new_secret(rng)
+            self._secrets[obj] = secret
         return Capability(self.port, obj, rights, _one_way(secret, rights))
 
     def mint_for(self, obj: int, rights: int = ALL_RIGHTS, rng=None) -> Capability:
         """Create (or re-key) the capability for a caller-chosen object number."""
-        secret = self._secrets.get(obj)
-        if secret is None:
-            secret = new_secret(rng)
-            self._secrets[obj] = secret
-        self._next_obj = max(self._next_obj, obj + 1)
+        with self._mint_lock:
+            secret = self._secrets.get(obj)
+            if secret is None:
+                secret = new_secret(rng)
+                self._secrets[obj] = secret
+            self._next_obj = max(self._next_obj, obj + 1)
         return Capability(self.port, obj, rights, _one_way(secret, rights))
 
     def install_secret(self, obj: int, secret: int) -> None:
         """Adopt a known (obj, secret) pair — used when a server rebuilds
         its state from a persisted file table, so capabilities minted
         before the crash stay valid after it."""
-        self._secrets[obj] = secret
-        self._next_obj = max(self._next_obj, obj + 1)
+        with self._mint_lock:
+            self._secrets[obj] = secret
+            self._next_obj = max(self._next_obj, obj + 1)
 
     def secret_of(self, obj: int) -> int:
         """The secret backing an object (persisted in the file table)."""

@@ -27,6 +27,7 @@ mode implements the same idea server-side).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -49,7 +50,14 @@ class CacheStats:
 
 
 class PageCache:
-    """A bounded LRU cache of deserialised pages by block number."""
+    """A bounded LRU cache of deserialised pages by block number.
+
+    Thread-safe: the async transport serves snapshot reads without the
+    dispatch lock, so a read's LRU bookkeeping can race a commit's
+    ``put``/``invalidate`` on the same server.  OrderedDict reordering is
+    not atomic, hence the internal mutex (uncontended in the simulation
+    and the threaded transport, where dispatch is already serialised).
+    """
 
     def __init__(self, capacity: int = 1024, recorder=None) -> None:
         if capacity < 1:
@@ -58,40 +66,49 @@ class PageCache:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.stats = CacheStats()
         self._pages: OrderedDict[int, Page] = OrderedDict()
+        self._mutex = threading.Lock()
 
     def get(self, block: int) -> Page | None:
-        page = self._pages.get(block)
+        with self._mutex:
+            page = self._pages.get(block)
+            if page is not None:
+                self._pages.move_to_end(block)
         if page is None:
             self.stats.misses += 1
             if self.recorder.enabled:
                 self.recorder.count("cache.misses")
             return None
-        self._pages.move_to_end(block)
         self.stats.hits += 1
         if self.recorder.enabled:
             self.recorder.count("cache.hits")
         return page
 
     def put(self, block: int, page: Page) -> None:
-        self._pages[block] = page
-        self._pages.move_to_end(block)
-        while len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
+        with self._mutex:
+            self._pages[block] = page
+            self._pages.move_to_end(block)
+            while len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
 
     def invalidate(self, block: int) -> None:
-        if self._pages.pop(block, None) is not None:
+        with self._mutex:
+            died = self._pages.pop(block, None) is not None
+        if died:
             self.stats.invalidations += 1
             if self.recorder.enabled:
                 self.recorder.count("cache.invalidations")
 
     def clear(self) -> None:
-        self._pages.clear()
+        with self._mutex:
+            self._pages.clear()
 
     def __len__(self) -> int:
-        return len(self._pages)
+        with self._mutex:
+            return len(self._pages)
 
     def __contains__(self, block: int) -> bool:
-        return block in self._pages
+        with self._mutex:
+            return block in self._pages
 
 
 @dataclass

@@ -24,6 +24,7 @@ recover the whole file system from disk, reproducing the §4 recovery path.
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import NoSuchFile, NoSuchVersion
@@ -67,12 +68,19 @@ class FileRegistry:
     versions: dict[int, VersionEntry] = field(default_factory=dict)
     _next_obj: int = 1
 
+    def __post_init__(self) -> None:
+        # Lock-free snapshot reads can lazily mint version entries (after
+        # a registry restore) while a commit allocates objects; the
+        # counter must never hand out the same number twice.
+        self._obj_lock = threading.Lock()
+
     # -- object numbers -----------------------------------------------------
 
     def fresh_obj(self) -> int:
-        obj = self._next_obj
-        self._next_obj += 1
-        return obj
+        with self._obj_lock:
+            obj = self._next_obj
+            self._next_obj += 1
+            return obj
 
     # -- files ----------------------------------------------------------------
 
@@ -112,8 +120,12 @@ class FileRegistry:
 
         Aborted tombstones are skipped: their blocks are freed and the
         numbers may have been reused by newer versions.
+
+        Iterates a snapshot: lock-free snapshot reads (async transport)
+        walk this table while a concurrent commit inserts entries, and a
+        live dict iterator would raise ``RuntimeError`` mid-read.
         """
-        for entry in self.versions.values():
+        for entry in list(self.versions.values()):
             if entry.root_block == block and entry.status != "aborted":
                 return entry
         return None

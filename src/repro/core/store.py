@@ -63,8 +63,12 @@ class PageStore:
         commit reference another server may have just set).  Dirty
         not-yet-flushed pages are always served from memory.
         """
-        if block in self._dirty:
-            return self._dirty[block]
+        # Single atomic lookup: a lock-free snapshot read can race a
+        # commit's flush clearing this entry between a membership test
+        # and the access.
+        dirty = self._dirty.get(block)
+        if dirty is not None:
+            return dirty
         if not fresh:
             cached = self.cache.get(block)
             if cached is not None:

@@ -70,6 +70,13 @@ class BadFrame(WireError):
     version, unknown frame type, or malformed payload encoding)."""
 
 
+class WireVersionMismatch(BadFrame):
+    """The peer speaks a different wire protocol version.  Raised (and
+    shipped as a typed error frame) instead of misparsing the rest of the
+    header — version 1 frames have no correlation id, so decoding them as
+    version 2 would read garbage lengths."""
+
+
 class FrameTooLarge(WireError):
     """A frame exceeds the negotiated maximum size.  Raised explicitly on
     both encode and decode — never silently truncated."""

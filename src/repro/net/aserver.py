@@ -1,0 +1,458 @@
+"""The asyncio socket daemon: one event loop, many pipelined connections.
+
+:class:`AsyncNetServer` serves the same wire protocol as the threaded
+:class:`repro.net.server.NetServer`, with three structural differences
+that are exactly ROADMAP item 1:
+
+* **One event loop, many connections.**  All daemons of an
+  :class:`AsyncTcpNetwork` share a single loop thread
+  (:class:`LoopThread`).  Accepting, frame reassembly and reply writing
+  are coroutines; no thread-per-connection.
+
+* **Pipelining.**  A connection may carry many in-flight requests (wire
+  version 2 correlation ids).  Requests are *dispatched* as they arrive
+  and may execute concurrently, but replies are written back in request
+  arrival order — a per-connection queue of futures drained by a single
+  writer coroutine gives each connection FIFO replies, which is what the
+  synchronous demultiplexer on the client relies on for fairness and
+  what makes a pipelined stream deterministic to reason about.
+
+* **Lock-free reads.**  The per-port dispatch lock shrinks to the
+  mutating commands: anything in :data:`READ_ONLY_COMMANDS` (the
+  snapshot-read fast path of §4, plus pure introspection) executes
+  without taking the lock, so a long-running commit no longer makes
+  concurrent ``snapshot_read`` calls time out with a busy signal.
+
+Handlers never run on the loop: they make *nested blocking RPCs* (a file
+server's commit calls the block daemons, a stable half calls its
+companion), so running them inline would deadlock the loop on itself.
+Instead every daemon owns two small thread pools — one for reads, one
+for mutations — and the loop merely shepherds bytes.  Separate pools
+mean a burst of commits cannot queue reads behind it, the thread-level
+analogue of the shrunken lock.
+
+Crash semantics are bit-identical to the threaded daemon: ``stop()``
+aborts every connection (RST, not FIN), refuses new ones, and keeps the
+TCP port so ``start()`` rebinds the same address; clients observe
+resets/refusals and fail over in the shared deterministic order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.errors import MessageDropped, ReproError, WireError
+from repro.net import wire
+from repro.net.server import DEFAULT_LOCK_TIMEOUT
+from repro.obs import NULL_RECORDER
+
+# Commands that never mutate server state and are safe to run while a
+# mutating command holds the dispatch lock.  Deliberately conservative:
+# ``read_page``/``page_structure`` record search flags on uncommitted
+# versions, and a stable server's ``read`` performs repairing writes, so
+# none of those qualify.
+READ_ONLY_COMMANDS = frozenset(
+    {
+        "snapshot_read",
+        "ping",
+        "current_version",
+        "committed_versions",
+        "family_tree",
+        "probe_update",
+    }
+)
+
+# Pool sizes per daemon.  Mutating throughput is bounded by the dispatch
+# lock anyway; the write pool only needs enough threads that waiters
+# reach the lock's timeout (and turn into busy signals) instead of
+# queueing invisibly.  The read pool bounds concurrent lock-free reads.
+READ_POOL_SIZE = 16
+WRITE_POOL_SIZE = 16
+
+
+class LoopThread:
+    """One daemonised thread running an asyncio event loop forever.
+
+    Shared by every daemon of an :class:`AsyncTcpNetwork` — the whole
+    point of the async transport is that *n* ports need one loop, not
+    *n* accept threads plus a thread per connection.
+    """
+
+    def __init__(self, name: str = "repro-aserver-loop") -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+
+    def submit(self, coro) -> Any:
+        """Run ``coro`` on the loop from any other thread and wait."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
+
+    def stop(self) -> None:
+        if self.loop.is_closed():
+            return
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=2.0)
+        if not self.loop.is_running():
+            self.loop.close()
+
+
+class AsyncNetServer:
+    """An event-loop TCP daemon serving the wire protocol for one server.
+
+    Same constructor surface and lifecycle as the threaded
+    :class:`~repro.net.server.NetServer` (so :class:`AsyncTcpNetwork`
+    and the cluster builder swap it in unchanged), but connections are
+    multiplexed on a shared loop and requests on one connection are
+    dispatched concurrently.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        handler: Callable[[str, str, dict], Any],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder=None,
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+        dispatch_lock: threading.Lock | None = None,
+        lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+        loop_thread: LoopThread | None = None,
+    ) -> None:
+        self.name = name
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.max_frame = max_frame
+        self.lock_timeout = lock_timeout
+        self._dispatch_lock = (
+            dispatch_lock if dispatch_lock is not None else threading.Lock()
+        )
+        self._owns_loop = loop_thread is None
+        self._loop_thread = loop_thread if loop_thread is not None else LoopThread()
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self._read_pool: ThreadPoolExecutor | None = None
+        self._write_pool: ThreadPoolExecutor | None = None
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "AsyncNetServer":
+        """Bind, listen, and serve on the shared loop.  Idempotent while
+        running; a restart rebinds the port kept from the first start."""
+        if self._running:
+            return self
+        self._read_pool = ThreadPoolExecutor(
+            max_workers=READ_POOL_SIZE, thread_name_prefix=f"aserver-{self.name}-r"
+        )
+        self._write_pool = ThreadPoolExecutor(
+            max_workers=WRITE_POOL_SIZE, thread_name_prefix=f"aserver-{self.name}-w"
+        )
+        self._loop_thread.submit(self._start_on_loop())
+        return self
+
+    async def _start_on_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        # A restart can race the previous incarnation's sockets draining
+        # out of the kernel; retry the bind briefly, as the threaded
+        # daemon does.
+        deadline = loop.time() + 2.0
+        while True:
+            try:
+                self._server = await asyncio.start_server(
+                    self._serve_connection,
+                    host=self.host,
+                    port=self.port,
+                    reuse_address=True,
+                    backlog=256,
+                )
+                break
+            except OSError:
+                if loop.time() >= deadline:
+                    raise
+                await asyncio.sleep(0.02)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._running = True
+
+    def stop(self) -> None:
+        """Stop accepting and abort every live connection (a crash, as
+        the network sees it).  The TCP port number is retained."""
+        if not self._running:
+            return
+        self._running = False
+        try:
+            self._loop_thread.submit(self._stop_on_loop())
+        except RuntimeError:
+            pass  # loop already gone (network.close during interpreter exit)
+        read_pool, self._read_pool = self._read_pool, None
+        write_pool, self._write_pool = self._write_pool, None
+        for pool in (read_pool, write_pool):
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    async def _stop_on_loop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            # Two accept races hide here, and both would otherwise end
+            # with a peer whose handshake succeeded but who never
+            # observes the crash — it would block in recv until its own
+            # timeout instead of seeing a reset:
+            #
+            # * an accept the loop already pulled off the backlog may
+            #   still be mid-transport-creation.  Closing the server
+            #   under it makes CPython's ``_accept_connection2`` die on
+            #   ``Server._attach`` (``assert _sockets is not None``) and
+            #   silently leak the accepted socket open.  Wait those
+            #   tasks out first; the connections they produce reach
+            #   ``_serve_connection``, see ``not self._running``, and
+            #   are aborted there.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 0.5
+            while loop.time() < deadline:
+                accepts = [
+                    task
+                    for task in asyncio.all_tasks()
+                    if not task.done()
+                    and "_accept_connection2"
+                    in getattr(task.get_coro(), "__qualname__", "")
+                ]
+                if not accepts:
+                    break
+                await asyncio.wait(accepts, timeout=0.2)
+            # * a handshake the kernel completed but the loop never
+            #   accepted sits in the listen backlog; closing the
+            #   listener discards it silently (no RST).  Drain and reset
+            #   those directly.  No await separates the drain from
+            #   close(), so no new accept can slip between them.
+            for listener in server.sockets:
+                try:
+                    raw = listener.dup()
+                except OSError:
+                    continue
+                try:
+                    raw.setblocking(False)
+                    while True:
+                        try:
+                            pending, _ = raw.accept()
+                        except OSError:
+                            break
+                        _abort_socket(pending)
+                finally:
+                    raw.close()
+            server.close()
+            try:
+                await asyncio.wait_for(server.wait_closed(), timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pass
+        tasks, self._conn_tasks = set(self._conn_tasks), set()
+        for task in tasks:
+            task.cancel()
+        # Abort every live connection directly as well: a cancelled
+        # task's cleanup can stall behind an in-flight handler, and the
+        # peer must see the reset *now*, not after a timeout.
+        writers, self._conn_writers = set(self._conn_writers), set()
+        for writer in writers:
+            _abort_writer(writer)
+        if tasks:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*tasks, return_exceptions=True), timeout=1.0
+                )
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pass
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def close_loop(self) -> None:
+        """Tear down a private loop thread (only when this daemon made
+        its own; a network-shared loop outlives its daemons)."""
+        if self._owns_loop:
+            self._loop_thread.stop()
+
+    # -- the wire ----------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if not self._running:
+            _abort_writer(writer)
+            return
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        self.recorder.count("net.tcp.accepts")
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        assembler = wire.FrameAssembler(self.max_frame)
+        replies: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.ensure_future(self._write_loop(replies, writer))
+        loop = asyncio.get_running_loop()
+        try:
+            while self._running:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break  # orderly close from the peer
+                for frame_type, request_id, payload in assembler.feed(data):
+                    if frame_type != wire.FRAME_REQUEST:
+                        raise wire.BadFrame(
+                            "server expected a request frame, "
+                            f"got type {frame_type}"
+                        )
+                    self.recorder.count(
+                        "net.tcp.bytes_in", wire.HEADER_SIZE + len(payload)
+                    )
+                    sender, command, params = wire.decode_request(payload)
+                    pool = (
+                        self._read_pool
+                        if command in READ_ONLY_COMMANDS
+                        else self._write_pool
+                    )
+                    if pool is None:
+                        return  # stopping: drop the request on the floor
+                    # Dispatch now, reply in arrival order: the future
+                    # enters the FIFO immediately, the work runs off-loop.
+                    replies.put_nowait(
+                        loop.run_in_executor(
+                            pool,
+                            self._execute,
+                            sender,
+                            command,
+                            params,
+                            request_id,
+                        )
+                    )
+        except WireError as exc:
+            # Protocol violation: answer if possible, then hang up — a
+            # peer speaking garbage gets no second frame.  The error
+            # frame joins the FIFO behind any legitimate replies.
+            self.recorder.count("net.tcp.protocol_errors")
+            failure: asyncio.Future = loop.create_future()
+            failure.set_result(wire.encode_error(exc, self.max_frame))
+            replies.put_nowait(failure)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            replies.put_nowait(None)  # sentinel: flush, then stop writing
+            try:
+                await asyncio.wait_for(writer_task, timeout=self.lock_timeout * 2)
+            except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
+                writer_task.cancel()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            _abort_writer(writer)
+
+    async def _write_loop(
+        self, replies: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Drain the per-connection FIFO: await each dispatched reply in
+        request order and write it.  This single writer is what makes
+        pipelined replies FIFO per connection."""
+        while True:
+            item = await replies.get()
+            if item is None:
+                return
+            try:
+                reply = await item
+            except (asyncio.CancelledError, Exception):
+                return  # executor torn down mid-crash: peer sees a reset
+            try:
+                writer.write(reply)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+            self.recorder.count("net.tcp.bytes_out", len(reply))
+
+    # -- dispatch (executor threads) ---------------------------------------
+
+    def _execute(
+        self, sender: str, command: str, params: dict, request_id: int
+    ) -> bytes:
+        """Run one command and encode its reply; never raises — every
+        outcome becomes a frame, so the writer coroutine always has
+        something to send for this slot."""
+        self.recorder.count("net.tcp.requests_served")
+        try:
+            if command in READ_ONLY_COMMANDS:
+                result = self.handler(sender, command, params)
+            else:
+                if not self._dispatch_lock.acquire(timeout=self.lock_timeout):
+                    self.recorder.count("net.tcp.busy")
+                    return wire.encode_error(
+                        MessageDropped(f"{self.name}: dispatch busy, retry"),
+                        self.max_frame,
+                        request_id=request_id,
+                    )
+                try:
+                    result = self.handler(sender, command, params)
+                finally:
+                    self._dispatch_lock.release()
+        except ReproError as exc:
+            return wire.encode_error(exc, self.max_frame, request_id=request_id)
+        except Exception as exc:  # a server bug: propagate loudly, typed
+            self.recorder.count("net.tcp.server_errors")
+            return wire.encode_error(exc, self.max_frame, request_id=request_id)
+        try:
+            return wire.encode_reply(result, self.max_frame, request_id=request_id)
+        except WireError as exc:
+            # The reply itself cannot cross the wire (too large, or an
+            # unencodable type).  Tell the caller the truth.
+            return wire.encode_error(exc, self.max_frame, request_id=request_id)
+
+
+def _abort_writer(writer: asyncio.StreamWriter) -> None:
+    """Abortive close (RST, not FIN): a graceful close would leave the
+    socket in FIN_WAIT while the peer's pooled connection stays open,
+    holding the port against an immediate restart."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+    try:
+        writer.transport.abort()
+    except Exception:
+        pass
+
+
+def _abort_socket(sock: socket.socket) -> None:
+    """Abortive close of a raw accepted socket (same RST semantics as
+    :func:`_abort_writer`, for connections that never became streams)."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -28,7 +28,7 @@ from repro.capability import CapabilityIssuer, new_port
 from repro.block.stable import StablePair
 from repro.core.registry import FileRegistry
 from repro.core.service import FileService
-from repro.net.transport import TcpNetwork
+from repro.net.transport import AsyncTcpNetwork, TcpNetwork
 from repro.obs import NULL_RECORDER
 from repro.sim.rpc import RpcEndpoint, _registry
 from repro.testbed import FILE_SERVICE_ACCOUNT
@@ -100,18 +100,27 @@ def build_tcp_cluster(
     recorder=None,
     history=None,
     call_timeout: float | None = None,
+    async_mode: bool = False,
+    lock_timeout: float | None = None,
 ) -> TcpCluster:
     """Build and start a localhost TCP deployment.
 
     ``shards=0`` gives one companion pair; ``shards=K`` a K-pair sharded
     block tier.  Every daemon binds an OS-assigned port on ``host``.
+    ``async_mode=True`` hosts every daemon on the shared asyncio event
+    loop (:class:`~repro.net.transport.AsyncTcpNetwork`): pipelined
+    connections, lock-free reads, identical wire protocol and crash
+    semantics.
     """
     rng = random.Random(seed)
     if recorder is None:
         recorder = NULL_RECORDER
-    network = TcpNetwork(host=host, recorder=recorder)
+    network_cls = AsyncTcpNetwork if async_mode else TcpNetwork
+    network = network_cls(host=host, recorder=recorder)
     if call_timeout is not None:
         network.call_timeout = call_timeout
+    if lock_timeout is not None:
+        network.lock_timeout = lock_timeout
     recorder.bind_clock(network.clock)
     service_port = new_port(rng)
     registry = FileRegistry()

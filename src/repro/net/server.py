@@ -208,7 +208,9 @@ class NetServer:
                     return
                 if header is None:
                     return  # orderly close from the peer
-                frame_type, length = wire.decode_header(header, self.max_frame)
+                frame_type, request_id, length = wire.decode_header(
+                    header, self.max_frame
+                )
                 payload = _recv_exact(conn, length)
                 if payload is None:
                     return  # torn frame: peer died mid-write
@@ -217,7 +219,7 @@ class NetServer:
                         f"server expected a request frame, got type {frame_type}"
                     )
                 self.recorder.count("net.tcp.bytes_in", wire.HEADER_SIZE + length)
-                reply = self._dispatch(payload)
+                reply = self._dispatch(payload, request_id)
                 conn.sendall(reply)
                 self.recorder.count("net.tcp.bytes_out", len(reply))
         except WireError as exc:
@@ -238,7 +240,7 @@ class NetServer:
             except OSError:
                 pass
 
-    def _dispatch(self, payload: bytes) -> bytes:
+    def _dispatch(self, payload: bytes, request_id: int = 0) -> bytes:
         sender, command, params = wire.decode_request(payload)
         self.recorder.count("net.tcp.requests_served")
         try:
@@ -250,18 +252,19 @@ class NetServer:
             return wire.encode_error(
                 MessageDropped(f"{self.name}: dispatch busy, retry"),
                 self.max_frame,
+                request_id=request_id,
             )
         except ReproError as exc:
-            return wire.encode_error(exc, self.max_frame)
+            return wire.encode_error(exc, self.max_frame, request_id=request_id)
         except Exception as exc:  # a server bug: propagate loudly, typed
             self.recorder.count("net.tcp.server_errors")
-            return wire.encode_error(exc, self.max_frame)
+            return wire.encode_error(exc, self.max_frame, request_id=request_id)
         try:
-            return wire.encode_reply(result, self.max_frame)
+            return wire.encode_reply(result, self.max_frame, request_id=request_id)
         except WireError as exc:
             # The reply itself cannot cross the wire (too large, or an
             # unencodable type).  Tell the caller the truth.
-            return wire.encode_error(exc, self.max_frame)
+            return wire.encode_error(exc, self.max_frame, request_id=request_id)
 
     def _locked_call(self, sender: str, command: str, params: dict) -> Any:
         if not self._dispatch_lock.acquire(timeout=self.lock_timeout):

@@ -16,6 +16,16 @@ restart), and companion failover on refused / reset / timed-out
 connections in the shared deterministic :func:`repro.sim.rpc.
 failover_order`.
 
+Connections are :class:`PipelinedConnection` objects: every request
+frame carries a fresh correlation id (wire version 2) and a caller may
+have *several* requests in flight on one socket before collecting any
+reply.  Replies are demultiplexed by id under a shared-reader scheme —
+whichever waiter arrives first reads frames off the socket and delivers
+them to their owners — so the synchronous one-call-at-a-time facade the
+rest of the stack uses pays no extra thread, while pipelined callers
+(and the async daemon, which answers out of one event loop) get true
+multiplexing.
+
 Failure mapping keeps the simulation's error contract:
 
 * connection refused / reset / timed out → :class:`~repro.errors.
@@ -111,6 +121,7 @@ class TcpNetwork:
         max_frame: int = wire.DEFAULT_MAX_FRAME,
         retry_sweeps: int = DEFAULT_RETRY_SWEEPS,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        lock_timeout: float | None = None,
     ) -> None:
         self.host = host
         self.clock = clock if clock is not None else WallClock()
@@ -119,7 +130,14 @@ class TcpNetwork:
         self.max_frame = max_frame
         self.retry_sweeps = retry_sweeps
         self.retry_backoff = retry_backoff
+        # How long a daemon lets one request wait for its dispatch lock
+        # before answering busy; None keeps each daemon's own default.
+        self.lock_timeout = lock_timeout
         self.stats = NetworkStats()
+        # Exact under concurrency: the benchmark gate compares message
+        # counts across transports, and unsynchronised ``+=`` from many
+        # client threads loses increments.
+        self._stats_lock = threading.Lock()
         self._port_registry: dict[int, list[str]] = {}
         self._addresses: dict[str, tuple[str, int]] = {}
         self._daemons: dict[str, NetServer] = {}
@@ -151,6 +169,10 @@ class TcpNetwork:
                 daemon.stop()
                 daemon.handler = dispatch
             else:
+                extra = (
+                    {} if self.lock_timeout is None
+                    else {"lock_timeout": self.lock_timeout}
+                )
                 daemon = NetServer(
                     name,
                     dispatch,
@@ -158,6 +180,7 @@ class TcpNetwork:
                     recorder=self.recorder,
                     max_frame=self.max_frame,
                     dispatch_lock=self._dispatch_groups.get(name),
+                    **extra,
                 )
                 self._daemons[name] = daemon
             daemon.start()
@@ -253,44 +276,52 @@ class TcpNetwork:
         if address is None:
             self.stats.unreachable += 1
             raise ServerUnreachable(f"{dest}: no TCP address registered")
-        frame = wire.encode_request(
-            sender, payload.command, payload.params, self.max_frame
-        )
         pool = self._pool()
-        sock = pool.pop(dest, None)
-        fresh = sock is None
+        conn = pool.get(dest)
+        fresh = conn is None
         try:
-            if sock is None:
-                sock = self._connect(dest, address)
+            if conn is None:
+                conn = self.connection(dest)
             try:
-                raw_type, body = self._exchange(sock, frame)
+                raw_type, body, sent = conn.call(
+                    sender, payload.command, payload.params
+                )
             except ConnectionError:
                 # Dead connection — distinct from a timeout, which is a
                 # slow (possibly still-executing) server and is never
                 # retried here.
-                sock.close()
+                conn.close()
+                pool.pop(dest, None)
                 if fresh:
                     raise
                 # The pooled connection was stale (the daemon restarted
                 # since we last used it).  One retry on a fresh
                 # connection; at-least-once, as documented.
                 self.recorder.count("net.tcp.reconnects")
-                sock = self._connect(dest, address)
-                raw_type, body = self._exchange(sock, frame)
+                conn = self.connection(dest)
+                raw_type, body, sent = conn.call(
+                    sender, payload.command, payload.params
+                )
         except socket.timeout:
             self.recorder.count("net.tcp.timeouts")
             self.stats.unreachable += 1
+            if conn is not None:
+                conn.close()
+            pool.pop(dest, None)
             raise ServerUnreachable(f"{dest}: call timed out") from None
         except (ConnectionError, OSError) as exc:
             self.recorder.count("net.tcp.conn_errors")
             self.stats.unreachable += 1
+            if conn is not None:
+                conn.close()
+            pool.pop(dest, None)
             raise ServerUnreachable(f"{dest}: {exc}") from None
-        pool[dest] = sock
-        self.stats.messages += 2  # request + reply, as the sim counts
-        self.stats.bytes += len(frame) + len(body)
+        with self._stats_lock:
+            self.stats.messages += 2  # request + reply, as the sim counts
+            self.stats.bytes += sent + len(body)
         if self.recorder.enabled:
             self.recorder.count("net.tcp.requests")
-            self.recorder.count("net.tcp.bytes_out", len(frame))
+            self.recorder.count("net.tcp.bytes_out", sent)
             self.recorder.count("net.tcp.bytes_in", wire.HEADER_SIZE + len(body))
             span = self.recorder.current_span
             if span is not None:
@@ -299,14 +330,23 @@ class TcpNetwork:
             raise wire.decode_error(body)
         return wire.decode_value(body)
 
-    def _exchange(self, sock: socket.socket, frame: bytes) -> tuple[int, bytes]:
-        sock.sendall(frame)
-        header = _recv_exact_or_raise(sock, wire.HEADER_SIZE)
-        frame_type, length = wire.decode_header(header, self.max_frame)
-        body = _recv_exact_or_raise(sock, length)
-        if frame_type == wire.FRAME_REQUEST:
-            raise wire.BadFrame("peer sent a request frame as a reply")
-        return frame_type, body
+    def connection(self, dest: str) -> "PipelinedConnection":
+        """This thread's pipelined connection to ``dest``, creating (and
+        pooling) it if absent.  Direct users pipeline with ``submit`` /
+        ``result``; :meth:`send` rides the same object one call at a
+        time."""
+        pool = self._pool()
+        conn = pool.get(dest)
+        if conn is not None and not conn.closed:
+            return conn
+        address = self.address_of(dest)
+        if address is None:
+            raise ServerUnreachable(f"{dest}: no TCP address registered")
+        conn = PipelinedConnection(
+            self._connect(dest, address), dest, self.max_frame
+        )
+        pool[dest] = conn
+        return conn
 
     def _connect(self, dest: str, address: tuple[str, int]) -> socket.socket:
         sock = socket.create_connection(address, timeout=self.call_timeout)
@@ -319,7 +359,7 @@ class TcpNetwork:
         self.recorder.count("net.tcp.connections")
         return sock
 
-    def _pool(self) -> dict[str, socket.socket]:
+    def _pool(self) -> dict[str, "PipelinedConnection"]:
         pool = getattr(self._pools, "pool", None)
         if pool is None:
             pool = {}
@@ -329,12 +369,219 @@ class TcpNetwork:
     def _drop_pool(self) -> None:
         pool = getattr(self._pools, "pool", None)
         if pool:
-            for sock in pool.values():
-                try:
-                    sock.close()
-                except OSError:
-                    pass
+            for conn in pool.values():
+                conn.close()
             pool.clear()
+
+
+class AsyncTcpNetwork(TcpNetwork):
+    """A :class:`TcpNetwork` whose daemons are event-loop
+    :class:`~repro.net.aserver.AsyncNetServer` instances sharing one
+    loop thread.
+
+    The client side is inherited unchanged — the wire protocol is
+    identical, so ``send``, pooling, failover and the counters all work
+    the same; only ``attach`` swaps the daemon implementation.  What the
+    swap buys: many connections multiplexed per port, pipelined requests
+    dispatched concurrently, and read-path commands served without the
+    dispatch lock (see the ``aserver`` module docstring).
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        from repro.net.aserver import LoopThread
+
+        self._loop_thread = LoopThread()
+
+    def attach(self, name: str, handler: Callable[[str, Any], Any]) -> None:
+        from repro.net.aserver import AsyncNetServer
+
+        def dispatch(sender: str, command: str, params: dict) -> Any:
+            from repro.sim.rpc import Request
+
+            return handler(sender, Request(command, params))
+
+        with self._topology_lock:
+            daemon = self._daemons.get(name)
+            if daemon is not None:
+                daemon.stop()
+                daemon.handler = dispatch
+            else:
+                extra = (
+                    {} if self.lock_timeout is None
+                    else {"lock_timeout": self.lock_timeout}
+                )
+                daemon = AsyncNetServer(
+                    name,
+                    dispatch,
+                    host=self.host,
+                    recorder=self.recorder,
+                    max_frame=self.max_frame,
+                    dispatch_lock=self._dispatch_groups.get(name),
+                    loop_thread=self._loop_thread,
+                    **extra,
+                )
+                self._daemons[name] = daemon
+            daemon.start()
+            self._addresses[name] = daemon.address
+
+    def close(self) -> None:
+        super().close()
+        self._loop_thread.stop()
+
+
+class PipelinedConnection:
+    """One TCP connection carrying any number of in-flight exchanges.
+
+    ``submit`` writes a request frame tagged with a fresh correlation id
+    and returns the id immediately; ``result`` blocks until that id's
+    reply (or error frame) arrives.  Replies are collected under a
+    *shared reader*: whichever waiter gets there first reads frames off
+    the socket, delivers each to the pending entry its id names, and
+    hands the reader role on.  No background thread exists — a purely
+    synchronous caller (``submit`` immediately followed by ``result``)
+    costs exactly what the old one-exchange-at-a-time socket did.
+
+    A connection failure or timeout poisons the connection: every
+    pending and future call raises, and the owner reconnects (the
+    at-least-once edge the module docstring describes).
+    """
+
+    __slots__ = (
+        "sock", "dest", "max_frame", "_send_lock", "_cond", "_pending",
+        "_reading", "_next_id", "_dead", "_closed",
+    )
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        dest: str = "?",
+        max_frame: int = wire.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.sock = sock
+        self.dest = dest
+        self.max_frame = max_frame
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition()
+        # id -> [done, frame_type, body]
+        self._pending: dict[int, list] = {}
+        self._reading = False
+        self._next_id = 1
+        self._dead: Exception | None = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._dead is not None
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def call(
+        self, sender: str, command: str, params: dict
+    ) -> tuple[int, bytes, int]:
+        """One synchronous exchange: returns (frame type, body, bytes
+        sent)."""
+        request_id, sent = self.submit(sender, command, params)
+        frame_type, body = self.result(request_id)
+        return frame_type, body, sent
+
+    def submit(self, sender: str, command: str, params: dict) -> tuple[int, int]:
+        """Write one request frame; returns (request id, bytes written).
+        Several submissions may be outstanding at once."""
+        with self._cond:
+            if self._dead is not None:
+                raise self._dead
+            if self._closed:
+                raise ConnectionResetError(f"{self.dest}: connection closed")
+            request_id = self._next_id
+            self._next_id = (self._next_id % wire.MAX_REQUEST_ID) + 1
+            # Register before sending: a reply cannot outrun its entry.
+            self._pending[request_id] = [False, 0, b""]
+        try:
+            frame = wire.encode_request(
+                sender, command, params, self.max_frame, request_id=request_id
+            )
+        except Exception:
+            # Nothing reached the wire: the connection stays healthy,
+            # only this request's entry is withdrawn.
+            with self._cond:
+                self._pending.pop(request_id, None)
+            raise
+        try:
+            with self._send_lock:
+                self.sock.sendall(frame)
+        except Exception as exc:
+            self._poison(exc)
+            raise
+        return request_id, len(frame)
+
+    def result(self, request_id: int) -> tuple[int, bytes]:
+        """Block until the reply for ``request_id`` arrives; returns
+        (frame type, body).  Safe to call from any thread, in any order
+        relative to other pending ids."""
+        while True:
+            with self._cond:
+                slot = self._pending.get(request_id)
+                if slot is None:
+                    raise wire.BadFrame(
+                        f"{self.dest}: request id {request_id} is not pending"
+                    )
+                if slot[0]:
+                    del self._pending[request_id]
+                    return slot[1], slot[2]
+                if self._dead is not None:
+                    del self._pending[request_id]
+                    raise self._dead
+                if self._reading:
+                    self._cond.wait()
+                    continue
+                self._reading = True
+            try:
+                frame_type, reply_id, body = self._read_frame()
+            except Exception as exc:
+                self._poison(exc)
+                raise
+            with self._cond:
+                self._reading = False
+                slot = self._pending.get(reply_id)
+                if slot is not None:
+                    slot[0] = True
+                    slot[1] = frame_type
+                    slot[2] = body
+                self._cond.notify_all()
+            # An unsolicited id is dropped rather than fatal: an
+            # at-least-once retransmit's late first answer may arrive
+            # after its entry was abandoned.
+
+    def _read_frame(self) -> tuple[int, int, bytes]:
+        header = _recv_exact_or_raise(self.sock, wire.HEADER_SIZE)
+        frame_type, reply_id, length = wire.decode_header(header, self.max_frame)
+        body = _recv_exact_or_raise(self.sock, length)
+        if frame_type == wire.FRAME_REQUEST:
+            raise wire.BadFrame("peer sent a request frame as a reply")
+        return frame_type, reply_id, body
+
+    def _poison(self, exc: Exception | None) -> None:
+        with self._cond:
+            self._reading = False
+            if self._dead is None:
+                self._dead = (
+                    exc
+                    if exc is not None
+                    else ConnectionResetError(f"{self.dest}: connection died")
+                )
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        self._closed = True
+        self._poison(ConnectionResetError(f"{self.dest}: connection closed"))
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 def _recv_exact_or_raise(sock: socket.socket, n: int) -> bytes:

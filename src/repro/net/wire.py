@@ -4,10 +4,18 @@ Every message on a real socket is one *frame*:
 
     offset  size  field
     0       2     magic ``b"AF"`` (Amoeba File service)
-    2       1     wire version (currently 1)
+    2       1     wire version (currently 2)
     3       1     frame type: 1 request, 2 reply, 3 error
-    4       4     payload length, unsigned big-endian
-    8       n     payload (a value encoding, below)
+    4       4     request id (correlation header), unsigned big-endian
+    8       4     payload length, unsigned big-endian
+    12      n     payload (a value encoding, below)
+
+The *request id* is the correlation header that makes pipelining
+possible: a client may write several request frames onto one connection
+before reading any reply, and every reply or error frame echoes the id
+of the request it answers.  Wire version 1 had no correlation header;
+version-1 frames are rejected with the typed
+:class:`~repro.errors.WireVersionMismatch` error rather than misparsed.
 
 A request payload is the value-encoded triple ``(sender, command,
 params)``; a reply payload is the value-encoded result; an error payload
@@ -47,12 +55,17 @@ from repro.errors import (
     RemoteCallError,
     ReproError,
     TruncatedFrame,
+    WireVersionMismatch,
 )
 
 MAGIC = b"AF"
-WIRE_VERSION = 1
-HEADER_SIZE = 8
-_HEADER = struct.Struct(">2sBBI")
+WIRE_VERSION = 2
+HEADER_SIZE = 12
+_HEADER = struct.Struct(">2sBBII")
+
+# Request ids are a u32; connections wrap around (a connection never has
+# 2**32 calls in flight, so reuse after wrap cannot collide).
+MAX_REQUEST_ID = (1 << 32) - 1
 
 FRAME_REQUEST = 1
 FRAME_REPLY = 2
@@ -273,13 +286,20 @@ def _decode(reader: _Reader, depth: int) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def _frame(frame_type: int, payload: bytes, max_frame: int) -> bytes:
+def _frame(
+    frame_type: int, request_id: int, payload: bytes, max_frame: int
+) -> bytes:
+    if not 0 <= request_id <= MAX_REQUEST_ID:
+        raise BadFrame(f"request id {request_id} outside the u32 range")
     if HEADER_SIZE + len(payload) > max_frame:
         raise FrameTooLarge(
             f"frame of {HEADER_SIZE + len(payload)} bytes exceeds the "
             f"{max_frame}-byte maximum"
         )
-    return _HEADER.pack(MAGIC, WIRE_VERSION, frame_type, len(payload)) + payload
+    return (
+        _HEADER.pack(MAGIC, WIRE_VERSION, frame_type, request_id, len(payload))
+        + payload
+    )
 
 
 def encode_request(
@@ -287,30 +307,47 @@ def encode_request(
     command: str,
     params: dict[str, Any],
     max_frame: int = DEFAULT_MAX_FRAME,
+    request_id: int = 0,
 ) -> bytes:
     return _frame(
-        FRAME_REQUEST, encode_value((sender, command, params)), max_frame
+        FRAME_REQUEST,
+        request_id,
+        encode_value((sender, command, params)),
+        max_frame,
     )
 
 
-def encode_reply(value: Any, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    return _frame(FRAME_REPLY, encode_value(value), max_frame)
+def encode_reply(
+    value: Any, max_frame: int = DEFAULT_MAX_FRAME, request_id: int = 0
+) -> bytes:
+    return _frame(FRAME_REPLY, request_id, encode_value(value), max_frame)
 
 
-def encode_error(exc: BaseException, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+def encode_error(
+    exc: BaseException,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    request_id: int = 0,
+) -> bytes:
     payload = encode_value((type(exc).__name__, str(exc)))
-    return _frame(FRAME_ERROR, payload, max_frame)
+    return _frame(FRAME_ERROR, request_id, payload, max_frame)
 
 
-def decode_header(header: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> tuple[int, int]:
-    """Validate an 8-byte frame header; returns (frame type, payload length)."""
+def decode_header(
+    header: bytes, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[int, int, int]:
+    """Validate a frame header; returns (frame type, request id, payload
+    length).  The wire version is checked *before* any later field is
+    trusted — a version-1 header has a different layout, so misparsing it
+    would read a garbage length."""
     if len(header) != HEADER_SIZE:
         raise TruncatedFrame(f"header is {len(header)} bytes, need {HEADER_SIZE}")
-    magic, version, frame_type, length = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise BadFrame(f"bad magic {magic!r}")
-    if version != WIRE_VERSION:
-        raise BadFrame(f"wire version {version}, this codec speaks {WIRE_VERSION}")
+    if header[:2] != MAGIC:
+        raise BadFrame(f"bad magic {header[:2]!r}")
+    if header[2] != WIRE_VERSION:
+        raise WireVersionMismatch(
+            f"wire version {header[2]}, this codec speaks {WIRE_VERSION}"
+        )
+    _, _, frame_type, request_id, length = _HEADER.unpack(header)
     if frame_type not in _FRAME_TYPES:
         raise BadFrame(f"unknown frame type {frame_type}")
     if HEADER_SIZE + length > max_frame:
@@ -318,7 +355,45 @@ def decode_header(header: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> tuple[in
             f"frame announces {HEADER_SIZE + length} bytes, "
             f"maximum is {max_frame}"
         )
-    return frame_type, length
+    return frame_type, request_id, length
+
+
+class FrameAssembler:
+    """An incremental decoder for a pipelined frame stream.
+
+    Network reads deliver arbitrary byte chunks — half a header, three
+    frames and a bit, one byte at a time.  ``feed`` buffers whatever
+    arrives and returns every *complete* frame it now holds, as
+    ``(frame type, request id, payload)`` triples in stream order.
+    Header validation errors (bad magic, wrong version, oversize) raise
+    exactly as :func:`decode_header` does, with the offending bytes left
+    unconsumed — the stream is unrecoverable after that, as on a socket.
+    """
+
+    __slots__ = ("max_frame", "_buffer")
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, int, bytes]]:
+        self._buffer += data
+        frames = []
+        while len(self._buffer) >= HEADER_SIZE:
+            frame_type, request_id, length = decode_header(
+                bytes(self._buffer[:HEADER_SIZE]), self.max_frame
+            )
+            if len(self._buffer) < HEADER_SIZE + length:
+                break
+            payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buffer[: HEADER_SIZE + length]
+            frames.append((frame_type, request_id, payload))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
 
 
 def decode_request(payload: bytes) -> tuple[str, str, dict[str, Any]]:

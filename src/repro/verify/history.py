@@ -39,6 +39,7 @@ so every soak run gets the full check.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -75,6 +76,9 @@ class HistoryRecorder:
     def __init__(self) -> None:
         self.events: list[HistoryEvent] = []
         self._seq = 0
+        # Lock-free snapshot reads (async transport) record concurrently
+        # with commits; sequence numbers must stay unique and ordered.
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -86,10 +90,11 @@ class HistoryRecorder:
         value: bytes | None = None,
         base: int | None = None,
     ) -> None:
-        self._seq += 1
-        self.events.append(
-            HistoryEvent(self._seq, kind, actor, file, version, path, value, base)
-        )
+        with self._lock:
+            self._seq += 1
+            self.events.append(
+                HistoryEvent(self._seq, kind, actor, file, version, path, value, base)
+            )
 
     def of_kind(self, kind: str) -> list[HistoryEvent]:
         return [event for event in self.events if event.kind == kind]

@@ -19,6 +19,7 @@ from repro.errors import (
     ServerUnreachable,
 )
 from repro.net import NetServer, TcpNetwork, TcpTransaction, wire
+from repro.net.aserver import AsyncNetServer
 from repro.net.server import command_handler
 from repro.obs import Recorder
 from repro.sim.rpc import Request, RpcEndpoint, Transaction
@@ -52,20 +53,34 @@ class EchoServer:
         return b"x" * n
 
 
+def _stop_daemon(daemon):
+    daemon.stop()
+    if isinstance(daemon, AsyncNetServer):
+        daemon.close_loop()
+
+
+# Every daemon-level test runs against both implementations: the threaded
+# thread-per-connection server and the asyncio event-loop server speak the
+# same wire protocol and must be behaviourally identical at this level.
+@pytest.fixture(params=[NetServer, AsyncNetServer], ids=["threaded", "async"])
+def daemon_cls(request):
+    return request.param
+
+
 @pytest.fixture
-def daemon():
+def daemon(daemon_cls):
     server = EchoServer()
-    daemon = NetServer("echo", command_handler(server, 0x42)).start()
+    daemon = daemon_cls("echo", command_handler(server, 0x42)).start()
     daemon.server_obj = server
     yield daemon
-    daemon.stop()
+    _stop_daemon(daemon)
 
 
 def _raw_call(address, frame):
     with socket.create_connection(address, timeout=5) as sock:
         sock.sendall(frame)
         header = _read(sock, wire.HEADER_SIZE)
-        frame_type, length = wire.decode_header(header)
+        frame_type, _, length = wire.decode_header(header)
         return frame_type, _read(sock, length)
 
 
@@ -94,7 +109,7 @@ def test_many_requests_on_one_connection(daemon):
         for i in range(20):
             sock.sendall(wire.encode_request("c1", "add", {"a": i, "b": 1}))
             header = _read(sock, wire.HEADER_SIZE)
-            _, length = wire.decode_header(header)
+            _, _, length = wire.decode_header(header)
             assert wire.decode_value(_read(sock, length)) == i + 1
 
 
@@ -123,7 +138,7 @@ def test_partial_writes_are_reassembled(daemon):
         for i in range(len(frame)):
             sock.sendall(frame[i : i + 1])
         header = _read(sock, wire.HEADER_SIZE)
-        _, length = wire.decode_header(header)
+        _, _, length = wire.decode_header(header)
         assert wire.decode_value(_read(sock, length)) == b"dribble"
 
 
@@ -149,9 +164,9 @@ def test_unknown_command_is_server_unreachable(daemon):
     assert "nonsense" in str(exc)
 
 
-def test_oversized_reply_is_an_error_frame_not_a_truncation():
+def test_oversized_reply_is_an_error_frame_not_a_truncation(daemon_cls):
     server = EchoServer()
-    daemon = NetServer(
+    daemon = daemon_cls(
         "small", command_handler(server, 0x42), max_frame=1024
     ).start()
     try:
@@ -161,14 +176,14 @@ def test_oversized_reply_is_an_error_frame_not_a_truncation():
         assert frame_type == wire.FRAME_ERROR
         assert isinstance(wire.decode_error(body), FrameTooLarge)
     finally:
-        daemon.stop()
+        _stop_daemon(daemon)
 
 
 def test_garbage_header_gets_error_then_hangup(daemon):
     with socket.create_connection(daemon.address, timeout=5) as sock:
         sock.sendall(b"GARBAGE-" + b"\x00" * 8)
         header = _read(sock, wire.HEADER_SIZE)
-        frame_type, length = wire.decode_header(header)
+        frame_type, _, length = wire.decode_header(header)
         assert frame_type == wire.FRAME_ERROR
         body = _read(sock, length)
         exc = wire.decode_error(body)
@@ -181,9 +196,9 @@ def test_garbage_header_gets_error_then_hangup(daemon):
             pass
 
 
-def test_busy_dispatch_answers_message_dropped():
+def test_busy_dispatch_answers_message_dropped(daemon_cls):
     server = EchoServer()
-    daemon = NetServer(
+    daemon = daemon_cls(
         "busy", command_handler(server, 0x42), lock_timeout=0.05
     ).start()
     try:
@@ -201,7 +216,7 @@ def test_busy_dispatch_answers_message_dropped():
         assert frame_type == wire.FRAME_ERROR
         assert isinstance(wire.decode_error(body), MessageDropped)
     finally:
-        daemon.stop()
+        _stop_daemon(daemon)
 
 
 def test_stop_refuses_connections_and_restart_keeps_port(daemon):

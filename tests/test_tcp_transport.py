@@ -20,9 +20,17 @@ from repro.verify.history import HistoryRecorder, check_history
 ROOT = PagePath.ROOT
 
 
+# The whole acceptance bar applies to both daemon implementations: the
+# threaded thread-per-connection transport and the asyncio event-loop
+# transport serve the same service over the same wire protocol.
+@pytest.fixture(params=[False, True], ids=["threaded", "async"])
+def async_mode(request):
+    return request.param
+
+
 @pytest.fixture
-def tcp_cluster():
-    cluster = build_tcp_cluster(servers=2, seed=7)
+def tcp_cluster(async_mode):
+    cluster = build_tcp_cluster(servers=2, seed=7, async_mode=async_mode)
     yield cluster
     cluster.stop()
 
@@ -112,14 +120,15 @@ def test_file_server_replica_failover_over_tcp(tcp_cluster):
     tcp_cluster.fs(0).restart()
 
 
-def test_kill_stable_pair_daemon_mid_workload_with_history_check():
+def test_kill_stable_pair_daemon_mid_workload_with_history_check(async_mode):
     """The acceptance criterion: a real daemon dies mid-workload, the
     workload completes through the companion, and the recorded history
-    passes the serializability checker."""
+    passes the serializability checker — on both daemon implementations."""
     recorder = Recorder()
     history = HistoryRecorder()
     cluster = build_tcp_cluster(
-        servers=2, seed=13, recorder=recorder, history=history
+        servers=2, seed=13, recorder=recorder, history=history,
+        async_mode=async_mode,
     )
     try:
         client = cluster.client("host", history=history)
@@ -147,8 +156,8 @@ def test_kill_stable_pair_daemon_mid_workload_with_history_check():
         cluster.stop()
 
 
-def test_sharded_topology_over_tcp():
-    cluster = build_tcp_cluster(servers=1, shards=3, seed=11)
+def test_sharded_topology_over_tcp(async_mode):
+    cluster = build_tcp_cluster(servers=1, shards=3, seed=11, async_mode=async_mode)
     try:
         client = cluster.client("host")
         caps = [client.create_file(b"shard me %d" % i) for i in range(6)]
@@ -163,10 +172,11 @@ def test_sharded_topology_over_tcp():
         cluster.stop()
 
 
-def test_connect_spec_round_trip():
+def test_connect_spec_round_trip(async_mode):
     """A second network object built purely from the spec string (the
-    cross-process path) reaches the same deployment."""
-    cluster = build_tcp_cluster(servers=2, seed=7)
+    cross-process path) reaches the same deployment — including one
+    hosted by the async daemons (the wire protocol is identical)."""
+    cluster = build_tcp_cluster(servers=2, seed=7, async_mode=async_mode)
     try:
         from repro.client.api import FileClient
 
@@ -184,9 +194,11 @@ def test_connect_spec_round_trip():
         cluster.stop()
 
 
-def test_tcp_counters_flow_through_the_obs_layer():
+def test_tcp_counters_flow_through_the_obs_layer(async_mode):
     recorder = Recorder()
-    cluster = build_tcp_cluster(servers=1, seed=7, recorder=recorder)
+    cluster = build_tcp_cluster(
+        servers=1, seed=7, recorder=recorder, async_mode=async_mode
+    )
     try:
         client = cluster.client("host")
         cap = client.create_file(b"counted")
@@ -206,11 +218,11 @@ def test_tcp_counters_flow_through_the_obs_layer():
         cluster.stop()
 
 
-def test_service_state_is_shared_across_wire_flavours():
+def test_service_state_is_shared_across_wire_flavours(async_mode):
     """The OCC logic is byte-for-byte the sim's: the same FileService
     object hosted behind TCP can be driven directly (in process) and over
     the wire, and both views agree."""
-    cluster = build_tcp_cluster(servers=1, seed=7)
+    cluster = build_tcp_cluster(servers=1, seed=7, async_mode=async_mode)
     try:
         client = cluster.client("host")
         cap = client.create_file(b"dual view")

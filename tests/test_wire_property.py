@@ -22,6 +22,7 @@ from repro.errors import (
     RemoteCallError,
     ReproError,
     TruncatedFrame,
+    WireVersionMismatch,
 )
 from repro.net import wire
 
@@ -80,12 +81,21 @@ def test_value_round_trip(value):
     assert wire.decode_value(wire.encode_value(value)) == value
 
 
-@given(sender=st.text(max_size=32), command=st.text(max_size=32), params=params)
+request_ids = st.integers(min_value=0, max_value=wire.MAX_REQUEST_ID)
+
+
+@given(
+    sender=st.text(max_size=32),
+    command=st.text(max_size=32),
+    params=params,
+    request_id=request_ids,
+)
 @settings(max_examples=100)
-def test_request_round_trip(sender, command, params):
-    frame = wire.encode_request(sender, command, params)
-    frame_type, length = wire.decode_header(frame[: wire.HEADER_SIZE])
+def test_request_round_trip(sender, command, params, request_id):
+    frame = wire.encode_request(sender, command, params, request_id=request_id)
+    frame_type, rid, length = wire.decode_header(frame[: wire.HEADER_SIZE])
     assert frame_type == wire.FRAME_REQUEST
+    assert rid == request_id
     assert length == len(frame) - wire.HEADER_SIZE
     assert wire.decode_request(frame[wire.HEADER_SIZE :]) == (
         sender,
@@ -94,23 +104,34 @@ def test_request_round_trip(sender, command, params):
     )
 
 
-@given(value=values)
+@given(value=values, request_id=request_ids)
 @settings(max_examples=100)
-def test_reply_round_trip(value):
-    frame = wire.encode_reply(value)
-    frame_type, length = wire.decode_header(frame[: wire.HEADER_SIZE])
+def test_reply_round_trip(value, request_id):
+    frame = wire.encode_reply(value, request_id=request_id)
+    frame_type, rid, length = wire.decode_header(frame[: wire.HEADER_SIZE])
     assert frame_type == wire.FRAME_REPLY
+    assert rid == request_id
     assert wire.decode_value(frame[wire.HEADER_SIZE :]) == value
 
 
-@given(message=st.text(max_size=128))
-def test_error_round_trip_repro_error(message):
-    frame = wire.encode_error(CommitConflict(message))
-    frame_type, _ = wire.decode_header(frame[: wire.HEADER_SIZE])
+@given(message=st.text(max_size=128), request_id=request_ids)
+def test_error_round_trip_repro_error(message, request_id):
+    frame = wire.encode_error(CommitConflict(message), request_id=request_id)
+    frame_type, rid, _ = wire.decode_header(frame[: wire.HEADER_SIZE])
     assert frame_type == wire.FRAME_ERROR
+    assert rid == request_id
     exc = wire.decode_error(frame[wire.HEADER_SIZE :])
     assert type(exc) is CommitConflict
     assert str(exc) == message
+
+
+@given(request_id=st.one_of(
+    st.integers(max_value=-1),
+    st.integers(min_value=wire.MAX_REQUEST_ID + 1),
+))
+def test_out_of_range_request_id_rejected_on_encode(request_id):
+    with pytest.raises(BadFrame):
+        wire.encode_reply(None, request_id=request_id)
 
 
 def test_error_round_trip_builtin_and_unknown():
@@ -225,3 +246,90 @@ def test_random_payloads_never_crash_the_decoder(data):
         pass
     except ReproError as exc:  # pragma: no cover - defensive
         raise AssertionError(f"unexpected error class {type(exc)}") from exc
+
+
+# -- wire versioning (the pipelining header bump) ----------------------------
+
+
+@given(version=st.integers(min_value=0, max_value=255))
+def test_other_wire_versions_rejected_with_typed_error(version):
+    """Every version byte except ours raises WireVersionMismatch — a
+    *typed* error, distinct from plain corruption, and raised before the
+    rest of the header (whose layout we cannot trust) is parsed."""
+    frame = bytearray(wire.encode_reply(None))
+    frame[2] = version
+    if version == wire.WIRE_VERSION:
+        wire.decode_header(bytes(frame[: wire.HEADER_SIZE]))
+        return
+    with pytest.raises(WireVersionMismatch):
+        wire.decode_header(bytes(frame[: wire.HEADER_SIZE]))
+
+
+def test_version_1_header_layout_is_not_misparsed():
+    """An actual v1 header (magic, version=1, type, u32 length — no
+    correlation id) must be refused outright: its length field sits where
+    v2 keeps the request id, so 'parsing' it would read garbage."""
+    import struct
+
+    v1 = struct.pack(">2sBBI", b"AF", 1, wire.FRAME_REQUEST, 4) + b"\x00" * 4
+    with pytest.raises(WireVersionMismatch):
+        wire.decode_header(v1[: wire.HEADER_SIZE])
+    assert issubclass(WireVersionMismatch, BadFrame)  # old catch sites hold
+
+
+# -- FrameAssembler: pipelined streams reassembled from arbitrary chunks -----
+
+
+frame_specs = st.lists(
+    st.tuples(request_ids, st.binary(max_size=128)), min_size=1, max_size=10
+)
+
+
+@given(specs=frame_specs, data=st.data())
+@settings(max_examples=100)
+def test_assembler_reassembles_interleaved_partial_frames(specs, data):
+    """A pipelined stream of reply frames, delivered in arbitrary chunk
+    sizes (as TCP is free to do), comes out of the assembler as exactly
+    the original frames, in order, with ids intact."""
+    stream = b"".join(
+        wire.encode_reply(payload, request_id=rid) for rid, payload in specs
+    )
+    assembler = wire.FrameAssembler()
+    out = []
+    i = 0
+    while i < len(stream):
+        step = data.draw(st.integers(min_value=1, max_value=37), label="chunk")
+        out.extend(assembler.feed(stream[i : i + step]))
+        i += step
+    assert assembler.pending_bytes == 0
+    assert [
+        (frame_type, rid) for frame_type, rid, _ in out
+    ] == [(wire.FRAME_REPLY, rid) for rid, _ in specs]
+    assert [
+        wire.decode_value(body) for _, _, body in out
+    ] == [payload for _, payload in specs]
+
+
+@given(specs=frame_specs)
+@settings(max_examples=50)
+def test_assembler_single_feed_equals_chunked_feed(specs):
+    stream = b"".join(
+        wire.encode_request("s", "c", {"p": payload}, request_id=rid)
+        for rid, payload in specs
+    )
+    whole = wire.FrameAssembler().feed(stream)
+    assert [(t, rid) for t, rid, _ in whole] == [
+        (wire.FRAME_REQUEST, rid) for rid, _ in specs
+    ]
+
+
+def test_assembler_rejects_old_version_mid_stream():
+    import struct
+
+    good = wire.encode_reply(1, request_id=7)
+    # A complete v1 frame: 8-byte header (no correlation id) + payload.
+    v1 = struct.pack(">2sBBI", b"AF", 1, wire.FRAME_REPLY, 4) + b"\x00" * 4
+    assembler = wire.FrameAssembler()
+    assert [rid for _, rid, _ in assembler.feed(good)] == [7]
+    with pytest.raises(WireVersionMismatch):
+        assembler.feed(v1)

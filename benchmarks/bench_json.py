@@ -159,6 +159,50 @@ def measure_scale(ops: int = 24, shards: int = 4) -> dict:
     }
 
 
+def measure_hot_reads(files: int = 4, rounds: int = 16) -> dict:
+    """Repeated reads of a warm working set, with and without leases.
+
+    The leased client warms its cache once, then every further read is
+    served locally while the lease is live — the gate holds the leased
+    series at exactly 0 messages per read.  The leaseless client pays a
+    validation round-trip per read, the seed's best case."""
+
+    def series(lease_ticks: int | None) -> dict:
+        cluster = build_cluster(seed=13)
+        client = FileClient(cluster.network, "bench", cluster.service_port,
+                            lease_ticks=lease_ticks)
+        caps = [client.create_file(b"hot%d" % i) for i in range(files)]
+        for i, cap in enumerate(caps):
+            update = client.begin(cap)
+            update.write(ROOT, b"hot data %d" % i)
+            update.commit()
+        # Warm the cache (and grant the leases) outside the measurement.
+        for cap in caps:
+            client.read(cap)
+
+        def workload():
+            for _ in range(rounds):
+                for i, cap in enumerate(caps):
+                    assert client.read(cap) == b"hot data %d" % i
+
+        costs = _costs_around(cluster, workload)
+        reads = rounds * files
+        return {
+            "reads": reads,
+            "total": costs,
+            "per_read": {
+                key: round(value / reads, 4) for key, value in costs.items()
+            },
+        }
+
+    return {
+        "files": files,
+        "rounds": rounds,
+        "leased": series(lease_ticks=1_000_000),
+        "leaseless": series(lease_ticks=None),
+    }
+
+
 # ---------------------------------------------------------------------------
 # the two trajectory files
 # ---------------------------------------------------------------------------
@@ -185,9 +229,14 @@ def bench_scale() -> dict:
     return {
         "schema": SCHEMA_VERSION,
         "sharded_updates": measure_scale(),
+        "hot_reads": measure_hot_reads(),
         "gate": [
             "sharded_updates.per_op.messages",
             "sharded_updates.per_op.ticks",
+            # A leased hot-set read must stay a zero-message operation:
+            # the baseline is 0, and compare() fails any nonzero value.
+            "hot_reads.leased.per_read.messages",
+            "hot_reads.leaseless.per_read.messages",
         ],
     }
 

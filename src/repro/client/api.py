@@ -26,6 +26,7 @@ from repro.errors import CommitConflict, FileLocked, ReproError
 from repro.core.cache import ClientFileCache
 from repro.core.pathname import PagePath
 from repro.core.service import VersionHandle
+from repro.obs import NULL_RECORDER
 from repro.sim.network import Network
 from repro.sim.rpc import Transaction
 
@@ -40,6 +41,8 @@ class ClientStats:
     lock_waits: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    lease_hits: int = 0  # cached reads served under a live lease (0 messages)
+    lease_expired: int = 0  # reads that found the lease dead and revalidated
 
 
 class FileClient:
@@ -54,14 +57,24 @@ class FileClient:
         use_cache: bool = True,
         buffer_writes: bool = False,
         history: "Any | None" = None,
+        lease_ticks: int | None = None,
+        cache_pages: int = 1024,
     ) -> None:
         self.node = node
         self.txn = Transaction(network, node)
         self.service_port = service_port
         self.prefer_server = prefer_server
-        self.cache = ClientFileCache() if use_cache else None
+        self.cache = ClientFileCache(max_pages=cache_pages) if use_cache else None
         self.buffer_writes = buffer_writes
+        # Read-lease TTL this client asks servers for, in the deployment's
+        # clock units (logical ticks on the simulation, microseconds over
+        # TCP) — also the client's staleness tolerance: a lease-served
+        # read may lag the newest commit by at most this much.  None
+        # keeps the seed behaviour: revalidate on every read.
+        self.lease_ticks = lease_ticks
+        self.clock = network.clock
         self.stats = ClientStats()
+        self._recorder = getattr(network, "recorder", NULL_RECORDER)
         # Operation-history recorder (repro.verify.history.HistoryRecorder).
         # Only cache-served reads are recorded here — every other operation
         # reaches a server, which records it.  Named history_recorder because
@@ -94,41 +107,131 @@ class FileClient:
     def read(self, file_cap: Capability, path: PagePath = PagePath.ROOT) -> bytes:
         """Read a page of the file's current state, going through the cache.
 
-        The cache is revalidated first (the §5.4 serialisability test);
-        for a file nobody else modified this costs one small message and
-        no page transfers.
+        Without leases the cache is revalidated first (the §5.4
+        serialisability test); for a file nobody else modified this costs
+        one small message and no page transfers.  With ``lease_ticks``
+        set, a cache hit under a live lease costs **no messages at all**;
+        when the lease dies the next read renews it with one validation
+        message, and a cold file is fetched (and leased) in one
+        ``read_current`` round trip.
         """
-        if self.cache is not None:
+        if self.cache is None:
+            current = self.current_version(file_cap)
+            return self._call("read_page", version_cap=current, path=str(path))
+        recorder = self._recorder
+        entry = self.cache.entry(file_cap)
+        if (
+            entry is not None
+            and self.lease_ticks
+            and entry.lease_live(self.clock.now)
+        ):
+            data = self.cache.get(file_cap, path)
+            if data is not None:
+                self.stats.cache_hits += 1
+                self.stats.lease_hits += 1
+                if recorder.enabled:
+                    recorder.count("cache.lease.hits")
+                self._record_cached_read(file_cap, entry, path, data, leased=True)
+                return data
+            data = self._fetch_into(file_cap, entry, path)
+            if data is not None:
+                return data
+            entry = None  # leased version vanished: cold-read below
+        if entry is not None:
+            if self.lease_ticks:
+                self.stats.lease_expired += 1
+                if recorder.enabled:
+                    recorder.count("cache.lease.expired")
+            self.revalidate(file_cap)
+            data = self.cache.get(file_cap, path)
+            if data is not None:
+                self.stats.cache_hits += 1
+                # Re-fetch: revalidate may have advanced the cached
+                # version.  A cache-served read is a snapshot read of
+                # that committed version — the one read path no server
+                # ever sees.
+                entry = self.cache.entry(file_cap)
+                self._record_cached_read(file_cap, entry, path, data, leased=False)
+                return data
             entry = self.cache.entry(file_cap)
             if entry is not None:
-                self.revalidate(file_cap)
-                data = self.cache.get(file_cap, path)
+                data = self._fetch_into(file_cap, entry, path)
                 if data is not None:
-                    self.stats.cache_hits += 1
-                    if self.history_recorder is not None:
-                        # Re-fetch: revalidate may have advanced the cached
-                        # version.  A cache-served read is a snapshot read of
-                        # that committed version — the one read path no
-                        # server ever sees.
-                        entry = self.cache.entry(file_cap)
-                        self.history_recorder.record(
-                            "snapshot_read",
-                            actor=self.node,
-                            file=file_cap.obj,
-                            version=entry.version_cap.obj,
-                            path=str(path),
-                            value=data,
-                        )
                     return data
-                self.stats.cache_misses += 1
+        if self.lease_ticks:
+            # Stamped before the request: the version granted on cannot
+            # have been superseded before this instant, so the lease
+            # window bounds how far any lease-served read can lag.
+            now = self.clock.now
+            try:
+                data, current, lease = self._call(
+                    "read_current",
+                    file_cap=file_cap,
+                    path=str(path),
+                    lease_ticks=self.lease_ticks,
+                )
+            except ReproError:
+                # Degraded fallback (e.g. a daemon predating the lease
+                # protocol): the server-side snapshot fast path, uncached.
+                return self.snapshot_read(file_cap, path)
+            self.cache.remember(file_cap, current, {path: data})
+            self.cache.set_lease(file_cap, lease, now)
+            return data
         current = self.current_version(file_cap)
         data = self._call("read_page", version_cap=current, path=str(path))
-        if self.cache is not None:
-            if self.cache.entry(file_cap) is None:
-                self.cache.remember(file_cap, current, {path: data})
-            else:
-                self.cache.put(file_cap, path, data)
+        if self.cache.entry(file_cap) is None:
+            self.cache.remember(file_cap, current, {path: data})
+        else:
+            self.cache.put(file_cap, path, data)
         return data
+
+    def _fetch_into(
+        self, file_cap: Capability, entry: Any, path: PagePath
+    ) -> bytes | None:
+        """Fetch one page of the entry's *validated* version into the cache.
+
+        Fetching via ``entry.version_cap`` — never a fresh
+        ``current_version`` call — keeps the entry a single-version
+        snapshot: a commit landing between the validation and this fetch
+        must not install a newer version's page into an entry tagged with
+        the older version.  Returns None when the version vanished
+        (history pruned): the entry is dropped and the caller falls back
+        to a cold read.
+        """
+        self.stats.cache_misses += 1
+        try:
+            data = self.read_version(entry.version_cap, path)
+        except ReproError:
+            self.cache.drop(file_cap)
+            return None
+        self.cache.put(file_cap, path, data)
+        return data
+
+    def _record_cached_read(
+        self,
+        file_cap: Capability,
+        entry: Any,
+        path: PagePath,
+        data: bytes,
+        leased: bool,
+    ) -> None:
+        if self.history_recorder is None or entry is None:
+            return
+        extra: dict[str, int] = {}
+        if leased:
+            # The tick and TTL let the history checker prove the
+            # staleness bound: this read may lag the superseding commit
+            # by at most the lease TTL.
+            extra = {"tick": self.clock.now, "ttl": entry.lease_ttl}
+        self.history_recorder.record(
+            "snapshot_read",
+            actor=self.node,
+            file=file_cap.obj,
+            version=entry.version_cap.obj,
+            path=str(path),
+            value=data,
+            **extra,
+        )
 
     def snapshot_read(
         self, file_cap: Capability, path: PagePath = PagePath.ROOT
@@ -160,12 +263,30 @@ class FileClient:
 
     def revalidate(self, file_cap: Capability) -> int:
         """Run the cache-validation test for one file; returns the number
-        of cached pages discarded."""
+        of cached pages discarded.
+
+        With leases enabled the same round trip also renews the lease: the
+        client presents the epoch its old lease carried, and a server that
+        sees the file unchanged answers without touching any page tree.
+        """
         if self.cache is None:
             return 0
         entry = self.cache.entry(file_cap)
         if entry is None:
             return 0
+        if self.lease_ticks:
+            now = self.clock.now  # pre-send: see read()'s staleness note
+            discard_texts, current, lease = self._call(
+                "renew_lease",
+                file_cap=file_cap,
+                cached_version_cap=entry.version_cap,
+                epoch=entry.lease_epoch,
+                lease_ticks=self.lease_ticks,
+            )
+            discards = [PagePath.parse(text) for text in discard_texts]
+            dead = self.cache.apply_discards(file_cap, discards, current)
+            self.cache.set_lease(file_cap, lease, now)
+            return dead
         discard_texts, current = self._call(
             "validate_cache",
             file_cap=file_cap,

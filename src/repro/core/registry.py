@@ -44,6 +44,12 @@ class FileEntry:
     secret: int  # capability-check secret for the file object
     is_super: bool = False  # root is an internal node of the system tree
     parent_obj: int = 0  # enclosing super-file (0 = top level)
+    # Commit counter for client-cache leases: bumped by every commit
+    # publication, read by the lease fast-renewal path.  In-memory only —
+    # a deliberately volatile hint, like the current-version hints: -1
+    # means "cannot vouch" (set after a registry restore), and a lease
+    # carrying -1 is never fast-renewed, only fully re-validated.
+    epoch: int = 0
 
 
 @dataclass
@@ -176,6 +182,12 @@ class FileRegistry:
     def restore_from(self, other: "FileRegistry") -> None:
         """Adopt the durable file entries of a deserialised table."""
         self.files = dict(other.files)
+        # The epoch counters died with the old in-memory table and the
+        # restored entry blocks may be arbitrarily stale; mark every
+        # epoch "unknown" so no pre-restore lease can ever fast-renew
+        # against a rolled-back entry block.
+        for entry in self.files.values():
+            entry.epoch = -1
         self.versions = {}
         self._next_obj = max(
             [self._next_obj] + [obj + 1 for obj in self.files]

@@ -62,7 +62,7 @@ from repro.errors import (
     VersionCommitted,
 )
 from repro.block.stable import StableClient
-from repro.core.cache import PageCache
+from repro.core.cache import Lease, PageCache
 from repro.core.flags import Flags
 from repro.core.locks import LockOps, LockSnapshot
 from repro.core.occ import collect_write_paths, serialise, serialise_through
@@ -102,6 +102,9 @@ class ServiceMetrics:
     snapshot_fast: int = 0  # served from the hint, no resolution round trip
     serialise_runs: int = 0
     serialise_pages_visited: int = 0
+    leases_granted: int = 0  # client-cache read leases handed out
+    lease_fast_renewals: int = 0  # renewals answered from the epoch alone
+    epoch_bumps: int = 0  # lease epochs advanced by commit publications
 
 
 class FileService:
@@ -121,6 +124,7 @@ class FileService:
         store: PageStore | None = None,
         recorder=None,
         history=None,
+        max_lease_ticks: int = 1_000_000,
     ) -> None:
         self.name = name
         self.network = network
@@ -148,6 +152,11 @@ class FileService:
             )
         self.locks = LockOps(self.store)
         self.metrics = ServiceMetrics()
+        # Hard ceiling on the lease TTL this server grants, in the
+        # deployment's clock units (logical ticks on the simulation,
+        # microseconds over TCP).  Clients request shorter TTLs suited
+        # to their staleness tolerance; the grant is the minimum.
+        self.max_lease_ticks = max_lease_ticks
         self._crashed = False
         # §5.4: "The Amoeba File Servers can also conveniently cache the
         # concurrency control administration, the flag bits.  This allows
@@ -283,6 +292,7 @@ class FileService:
                 version=version_cap.obj,
                 path="",
                 value=bytes(initial_data),
+                tick=self.clock.now,
             )
         return file_cap
 
@@ -294,6 +304,22 @@ class FileService:
         self.registry.drop_file(entry.obj)
         self.issuer.revoke(entry.obj)
         self._current_hints.pop(entry.obj, None)
+
+    def _bump_epoch(self, file_obj: int) -> None:
+        """Advance the file's commit counter (the lease-invalidation
+        epoch) in the shared registry.  Every commit-publication point
+        calls this, so a lease granted through *any* replica stops
+        fast-renewing the moment the file changes through any other.
+        ``max(..., 0)`` heals the post-restore "unknown" marker: the
+        first commit after a restore re-establishes a trustworthy
+        counter."""
+        entry = self.registry.files.get(file_obj)
+        if entry is None:
+            return  # file deleted while the commit was in flight
+        entry.epoch = max(entry.epoch, 0) + 1
+        self.metrics.epoch_bumps += 1
+        if self.recorder.enabled:
+            self.recorder.count("cache.lease.epoch_bumps")
 
     def _resolve_current(self, entry: FileEntry) -> int:
         """Find the current version's block by chasing commit references
@@ -815,10 +841,12 @@ class FileService:
                             actor=self.name,
                             file=entry.file_obj,
                             version=entry.obj,
+                            tick=self.clock.now,
                         )
                     file_entry = self.registry.file(entry.file_obj)
                     file_entry.entry_block = v_block
                     self._current_hints[entry.file_obj] = v_block
+                    self._bump_epoch(entry.file_obj)
                     self._live_updates.discard(entry.update_port)
                     # Cache the flag administration while it is still in memory.
                     self._write_paths_cache[v_block] = collect_write_paths(
@@ -1087,6 +1115,7 @@ class FileService:
                     actor=self.name,
                     file=file_obj,
                     version=entry.obj,
+                    tick=self.clock.now,
                 )
             self._live_updates.discard(entry.update_port)
             self._write_paths_cache[entry.root_block] = collect_write_paths(
@@ -1103,6 +1132,11 @@ class FileService:
         tip = chain[-1].root_block
         file_entry.entry_block = tip
         self._current_hints[file_obj] = tip
+        # One bump per member: a client that leased mid-chain state must
+        # miss the fast-renewal path just as it would under sequential
+        # commits.
+        for _ in chain:
+            self._bump_epoch(file_obj)
 
     def abort(self, version_cap: Capability) -> None:
         """Explicitly discard an uncommitted version."""
@@ -1243,6 +1277,89 @@ class FileService:
         file_entry.entry_block = block
         current_cap = self._version_cap_for_block(file_entry.obj, block)
         return discards, current_cap
+
+    # ------------------------------------------------------------------
+    # read leases (epoch-invalidated zero-message cached reads)
+    # ------------------------------------------------------------------
+
+    def _grant_lease(self, epoch: int, lease_ticks: int) -> Lease:
+        granted = max(0, min(int(lease_ticks), self.max_lease_ticks))
+        self.metrics.leases_granted += 1
+        if self.recorder.enabled:
+            self.recorder.count("cache.lease.grants")
+        return Lease(epoch, granted)
+
+    def renew_lease(
+        self,
+        file_cap: Capability,
+        cached_version_cap: Capability,
+        epoch: int | None = None,
+        lease_ticks: int = 0,
+        allow_delegate: bool = True,
+    ) -> tuple[list[PagePath], Capability, Lease]:
+        """The §5.4 validation test, answered with a fresh read lease.
+
+        When the client presents the epoch its dying lease carried and
+        nothing committed since — the registry's counter is unchanged
+        and the entry block still points at the client's version — the
+        renewal is answered from the file table alone: empty discard
+        list, same version, new lease, no page tree or version chain
+        touched.  Otherwise the full :meth:`validate_cache` walk runs
+        and the lease carries the pre-walk epoch (conservative: a commit
+        racing the walk makes the *next* renewal walk again, it can
+        never make a stale fast-renewal).
+        """
+        self._check_up()
+        file_entry = self._file_entry(file_cap, RIGHT_READ)
+        cached = self._version_entry(cached_version_cap)
+        if (
+            epoch is not None
+            and epoch >= 0
+            and file_entry.epoch == epoch
+            and file_entry.entry_block == cached.root_block
+            and cached.status == "committed"
+        ):
+            self.metrics.lease_fast_renewals += 1
+            if self.recorder.enabled:
+                self.recorder.count("cache.lease.fast_renewals")
+            return [], cached_version_cap, self._grant_lease(epoch, lease_ticks)
+        new_epoch = file_entry.epoch
+        discards, current = self.validate_cache(
+            file_cap, cached_version_cap, allow_delegate
+        )
+        return discards, current, self._grant_lease(new_epoch, lease_ticks)
+
+    def read_current(
+        self, file_cap: Capability, path: PagePath, lease_ticks: int = 0
+    ) -> tuple[bytes, Capability, Lease]:
+        """One-round-trip cold read: resolve the current version *truly*
+        (full commit-reference chase, never the snapshot hint — a lease
+        granted on a hint that already lags another server's commit
+        would break the staleness bound), read the page, and grant a
+        lease on what was current at this instant.
+        """
+        self._check_up()
+        entry = self._file_entry(file_cap, RIGHT_READ)
+        # Epoch before resolution: if a commit lands in between, the
+        # lease pairs an old epoch with the new version and the next
+        # renewal does a harmless full walk.
+        epoch = entry.epoch
+        block, _ = self._resolve_current_page(entry)
+        data = self._walk_readonly(block, path).data
+        self.metrics.snapshot_reads += 1
+        if self.recorder.enabled:
+            self.recorder.count("cache.lease.cold_reads")
+        current_cap = self._version_cap_for_block(entry.obj, block)
+        if self.history is not None:
+            self.history.record(
+                "snapshot_read",
+                actor=self.name,
+                file=entry.obj,
+                version=current_cap.obj,
+                path=str(path),
+                value=data,
+            )
+        return data, current_cap, self._grant_lease(epoch, lease_ticks)
 
     def _validation_delegate(self, file_entry: FileEntry) -> str | None:
         """Pick the server to delegate a cache-validation test to: the
@@ -1465,6 +1582,23 @@ class FileService:
             file_cap, cached_version_cap, allow_delegate
         )
         return [str(path) for path in discards], current
+
+    def cmd_renew_lease(
+        self,
+        file_cap: Capability,
+        cached_version_cap: Capability,
+        epoch: int | None = None,
+        lease_ticks: int = 0,
+    ) -> tuple[list[str], Capability, Lease]:
+        discards, current, lease = self.renew_lease(
+            file_cap, cached_version_cap, epoch=epoch, lease_ticks=lease_ticks
+        )
+        return [str(path) for path in discards], current, lease
+
+    def cmd_read_current(
+        self, file_cap: Capability, path: str, lease_ticks: int = 0
+    ) -> tuple[bytes, Capability, Lease]:
+        return self.read_current(file_cap, PagePath.parse(path), lease_ticks)
 
     def cmd_family_tree(self, file_cap: Capability) -> dict:
         return self.family_tree(file_cap)

@@ -268,6 +268,9 @@ class SystemTree:
                 entry.status = "committed"
                 file_entry = service.registry.file(entry.file_obj)
                 file_entry.entry_block = entry.root_block
+                # A commit-publication point like any other: leases on
+                # the old current version must stop fast-renewing.
+                service._bump_epoch(entry.file_obj)
                 finished += 1
             service.locks.clear_inner_if(base, update_port)
         return finished

@@ -65,6 +65,10 @@ READ_ONLY_COMMANDS = frozenset(
         "committed_versions",
         "family_tree",
         "probe_update",
+        # Same mutation class as current_version + snapshot_read: hint
+        # repair and lazy version-entry minting only.  renew_lease stays
+        # locked — it feeds the write-paths cache via validate_cache.
+        "read_current",
     }
 )
 

@@ -29,7 +29,7 @@ The value encoding is a tagged, recursive scheme covering everything the
 ``cmd_*`` command set moves: ``None``, bools, arbitrary-precision ints,
 floats, bytes, str, list, tuple, dict, and the service's own value types
 (:class:`~repro.capability.Capability`, ``VersionHandle``, ``TasResult``,
-stable-pair intentions).
+stable-pair intentions, and read leases).
 
 Safety is explicit, never silent:
 
@@ -96,6 +96,7 @@ _T_CAP = 0x0A
 _T_HANDLE = 0x0B
 _T_TAS = 0x0C
 _T_INTENTION = 0x0D
+_T_LEASE = 0x0E
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -106,9 +107,10 @@ def _lazy_types():
     (block.stable imports sim.rpc; wire must stay importable first)."""
     from repro.block.server import TasResult
     from repro.block.stable import _Intention
+    from repro.core.cache import Lease
     from repro.core.service import VersionHandle
 
-    return VersionHandle, TasResult, _Intention
+    return VersionHandle, TasResult, _Intention, Lease
 
 
 # ---------------------------------------------------------------------------
@@ -122,7 +124,7 @@ def encode_value(value: Any, out: bytearray | None = None, _depth: int = 0) -> b
         out = bytearray()
     if _depth > MAX_DEPTH:
         raise BadFrame(f"value nesting exceeds {MAX_DEPTH} levels")
-    VersionHandle, TasResult, _Intention = _lazy_types()
+    VersionHandle, TasResult, _Intention, Lease = _lazy_types()
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -178,6 +180,10 @@ def encode_value(value: Any, out: bytearray | None = None, _depth: int = 0) -> b
         encode_value(value.account, out, _depth + 1)
         encode_value(value.block_no, out, _depth + 1)
         encode_value(value.data, out, _depth + 1)
+    elif isinstance(value, Lease):
+        out.append(_T_LEASE)
+        encode_value(value.epoch, out, _depth + 1)
+        encode_value(value.ttl, out, _depth + 1)
     else:
         raise BadFrame(f"type {type(value).__name__} has no wire encoding")
     return bytes(out)
@@ -226,7 +232,7 @@ def decode_value(payload: bytes) -> Any:
 def _decode(reader: _Reader, depth: int) -> Any:
     if depth > MAX_DEPTH:
         raise BadFrame(f"value nesting exceeds {MAX_DEPTH} levels")
-    VersionHandle, TasResult, _Intention = _lazy_types()
+    VersionHandle, TasResult, _Intention, Lease = _lazy_types()
     tag = reader.u8()
     if tag == _T_NONE:
         return None
@@ -278,6 +284,12 @@ def _decode(reader: _Reader, depth: int) -> Any:
         if not isinstance(kind, str):
             raise BadFrame("intention kind must be a string")
         return _Intention(kind, account, block_no, data)
+    if tag == _T_LEASE:
+        epoch = _decode(reader, depth + 1)
+        ttl = _decode(reader, depth + 1)
+        if not isinstance(epoch, int) or not isinstance(ttl, int):
+            raise BadFrame("lease epoch and ttl must be integers")
+        return Lease(epoch, ttl)
     raise BadFrame(f"unknown value tag {tag:#04x}")
 
 

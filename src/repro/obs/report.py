@@ -158,12 +158,51 @@ def render_net_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def render_cache_table(metrics: MetricsRegistry) -> str:
+    """Client-cache effectiveness: plain hit/miss traffic next to the
+    lease counters (zero-message hits, epoch fast-renewals, epoch bumps,
+    expiries, evictions).  Empty string when no cache counter was
+    recorded, so callers can append it conditionally."""
+    order = [
+        "cache.hits",
+        "cache.misses",
+        "cache.invalidations",
+        "cache.evictions",
+        "cache.lease.hits",
+        "cache.lease.expired",
+        "cache.lease.grants",
+        "cache.lease.fast_renewals",
+        "cache.lease.cold_reads",
+        "cache.lease.epoch_bumps",
+    ]
+    named = set(order)
+    rows: list[tuple[str, int]] = []
+    for name in order:
+        counter = metrics.counters.get(name)
+        if counter is not None:
+            rows.append((name, counter.value))
+    for name in sorted(metrics.counters):
+        if name.startswith("cache.") and name not in named:
+            rows.append((name, metrics.counters[name].value))
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    header = f"{'counter':<{width}} {'value':>12}"
+    lines = [header, "-" * len(header)]
+    for name, value in rows:
+        lines.append(f"{name:<{width}} {value:>12}")
+    return "\n".join(lines)
+
+
 def render_report(recorder) -> str:
     """The full text report: metrics, commit table, recent span trees."""
     sections = [render_metrics(recorder.metrics), render_commit_table(recorder.tracer)]
     shard_table = render_shard_table(recorder.metrics)
     if shard_table:
         sections.append("per-shard balance:\n" + shard_table)
+    cache_table = render_cache_table(recorder.metrics)
+    if cache_table:
+        sections.append("client cache:\n" + cache_table)
     recent = list(recorder.tracer.roots)[-5:]
     if recent:
         sections.append("recent spans:")

@@ -115,6 +115,12 @@ class SoakConfig:
     # ``commit_group`` call.  The history checker holds the grouped path
     # to the same serialisability bar as the sequential one.
     group_commit: bool = False
+    # Give every soak client a read lease of ``lease_ticks`` logical
+    # ticks: cached reads are served with zero messages while the lease
+    # is live, and the history checker holds every lease-stamped read to
+    # the staleness bound (read lags superseding commit by ≤ TTL).
+    leases: bool = False
+    lease_ticks: int = 300
 
 
 @dataclass
@@ -155,6 +161,8 @@ class SoakReport:
             line += " --mutant"
         if cfg.group_commit:
             line += " --group-commit"
+        if cfg.leases:
+            line += " --leases"
         return line
 
     def summary(self) -> str:
@@ -519,6 +527,7 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             f"soak-c{ci}",
             cluster.service_port,
             history=history,
+            lease_ticks=config.lease_ticks if config.leases else None,
         )
         crng = random.Random(f"soak-{config.seed}-client-{ci}")
         scheduler.spawn(

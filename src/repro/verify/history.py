@@ -29,6 +29,9 @@ protocol would corrupt).
 4. **Commit lineage** — a committed version's recorded base must itself be
    a committed version: post-crash recovery must never expose a version
    page grafted onto freed or uncommitted blocks.
+5. **Lease staleness bound** — a cached read served under a live read
+   lease (recorded with its clock tick and lease TTL) may lag the commit
+   that superseded the version it served by at most the TTL.
 
 Files that saw structural surgery the recorder only summarises
 (``structure`` events: removes, splits, moves — they renumber sibling path
@@ -61,6 +64,13 @@ class HistoryEvent:
     path: str | None = None
     value: bytes | None = None
     base: int | None = None
+    # Clock reading at the event's linearisation point.  Commits record
+    # it inside the critical section; lease-served cached reads record it
+    # at serve time, together with the lease TTL — the pair is what the
+    # staleness-bound check consumes.  None on events that predate leases
+    # or never needed a clock.
+    tick: int | None = None
+    ttl: int | None = None
 
 
 class HistoryRecorder:
@@ -89,11 +99,16 @@ class HistoryRecorder:
         path: str | None = None,
         value: bytes | None = None,
         base: int | None = None,
+        tick: int | None = None,
+        ttl: int | None = None,
     ) -> None:
         with self._lock:
             self._seq += 1
             self.events.append(
-                HistoryEvent(self._seq, kind, actor, file, version, path, value, base)
+                HistoryEvent(
+                    self._seq, kind, actor, file, version, path, value, base,
+                    tick, ttl,
+                )
             )
 
     def of_kind(self, kind: str) -> list[HistoryEvent]:
@@ -124,6 +139,7 @@ class CheckResult:
     aborted_versions: int = 0
     reads_checked: int = 0
     snapshot_reads_checked: int = 0
+    lease_reads_checked: int = 0  # lease-stamped reads held to the TTL bound
     unknown_version_reads: int = 0  # reads of versions the log never saw minted
     opaque_files: list[int] = field(default_factory=list)
 
@@ -136,12 +152,15 @@ class CheckResult:
 
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
-        return (
+        line = (
             f"history check: {status}; {self.files_checked} files, "
             f"{self.committed_versions} committed / {self.aborted_versions} "
             f"aborted versions, {self.reads_checked} update reads + "
             f"{self.snapshot_reads_checked} snapshot reads checked"
         )
+        if self.lease_reads_checked:
+            line += f" ({self.lease_reads_checked} held to the lease bound)"
+        return line
 
 
 # Event kinds that mutate a version's page tree in path-keyed ways the
@@ -165,6 +184,7 @@ def check_history(
     version_file: dict[int, int] = {}  # version obj -> file obj
     version_events: dict[int, list[HistoryEvent]] = {}
     commit_seqs: dict[int, list[int]] = {}  # version -> seqs of commit events
+    commit_tick: dict[int, int] = {}  # version -> clock reading at commit
     aborted: set[int] = set()
     begin_base: dict[int, int | None] = {}
     files: dict[int, dict] = {}  # file obj -> {"order": [version objs], ...}
@@ -180,6 +200,8 @@ def check_history(
             files[event.file]["order"].append(event.version)
             commit_seqs.setdefault(event.version, []).append(event.seq)
             version_events.setdefault(event.version, []).append(event)
+            if event.tick is not None:
+                commit_tick.setdefault(event.version, event.tick)
         elif event.kind == "begin":
             begin_base[event.version] = event.base
         elif event.kind in ("read", "write", "append"):
@@ -189,6 +211,8 @@ def check_history(
                 opaque.add(event.file)
         elif event.kind == "commit":
             commit_seqs.setdefault(event.version, []).append(event.seq)
+            if event.tick is not None:
+                commit_tick.setdefault(event.version, event.tick)
             file = version_file.get(event.version)
             if file is not None:
                 files.setdefault(file, {"order": []})["order"].append(event.version)
@@ -289,6 +313,40 @@ def check_history(
             )
         else:
             result.unknown_version_reads += 1
+
+    # --- lease staleness: a lease-served read lags by at most its TTL -------
+    # A read stamped with (tick, ttl) was served from the client cache
+    # under a live lease.  The version it served is superseded at the
+    # *next* version's commit tick; the lease protocol guarantees the
+    # grant happened no earlier than that commit minus nothing — i.e.
+    # read tick − superseding commit tick ≤ TTL.  Events without ticks
+    # (no-lease runs, multi-process clocks) are simply not checked.
+    for event in snapshot_reads:
+        if event.tick is None or event.ttl is None:
+            continue
+        file = event.file if event.file is not None else version_file.get(event.version)
+        if file is None:
+            continue
+        order = files.get(file, {"order": []})["order"]
+        if event.version not in order:
+            continue  # unknown/aborted: flagged by the snapshot pass above
+        result.lease_reads_checked += 1
+        index = order.index(event.version)
+        if index + 1 >= len(order):
+            continue  # still the current version: staleness zero
+        superseded_at = commit_tick.get(order[index + 1])
+        if superseded_at is None:
+            continue
+        lag = event.tick - superseded_at
+        if lag > event.ttl:
+            result.violate(
+                "lease-staleness",
+                f"file {file}: lease-served read of version {event.version} "
+                f"at tick {event.tick} lags the superseding commit of "
+                f"version {order[index + 1]} (tick {superseded_at}) by "
+                f"{lag} > lease ttl {event.ttl} (seq {event.seq}, actor "
+                f"{event.actor})",
+            )
 
     # --- durable state must equal the committed replay ----------------------
     if final_state is not None:

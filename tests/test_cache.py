@@ -51,6 +51,106 @@ def test_page_cache_rejects_zero_capacity():
         PageCache(capacity=0)
 
 
+def test_page_cache_stats_exact_under_thread_barrage():
+    """Counter updates happen under ``_mutex``: a barrage of concurrent
+    gets against concurrent puts must account for every single call.
+    (Regression: hits/misses were read-modify-written outside the lock
+    and lost increments on the async transport's lock-free read path.)"""
+    import sys
+    import threading
+
+    cache = PageCache(capacity=64)
+    cache.put(1, Page(data=b"present"))
+    threads, per_thread = 8, 4000
+    start = threading.Barrier(threads)
+
+    def barrage(churn_key):
+        start.wait()
+        for _ in range(per_thread):
+            cache.get(1)  # hit
+            cache.get(999)  # miss
+            cache.put(churn_key, Page(data=b"churn"))
+            cache.invalidate(churn_key)
+
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)  # force frequent preemption
+    try:
+        workers = [
+            threading.Thread(target=barrage, args=(100 + i,))
+            for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+    finally:
+        sys.setswitchinterval(old_interval)
+    assert cache.stats.hits == threads * per_thread
+    assert cache.stats.misses == threads * per_thread
+    assert cache.stats.invalidations == threads * per_thread
+
+
+def test_page_cache_stat_updates_run_under_the_mutex():
+    """Deterministic form of the lost-update regression: a stats object
+    whose read-modify-write window is widened with a sleep (a GIL yield
+    point) loses increments unless ``get`` updates it while holding
+    ``_mutex``.  On the GIL'd interpreter the raw race above only bites
+    at loop back-edges, so this pins the locking discipline directly."""
+    import threading
+    import time
+
+    class WideWindowStats:
+        """CacheStats with a yawning gap between reading ``hits``/
+        ``misses`` and storing the incremented value."""
+
+        invalidations = 0
+        evictions = 0
+
+        def __init__(self):
+            self._hits = 0
+            self._misses = 0
+
+        @property
+        def hits(self):
+            value = self._hits
+            time.sleep(0.0005)  # yield mid increment
+            return value
+
+        @hits.setter
+        def hits(self, value):
+            self._hits = value
+
+        @property
+        def misses(self):
+            value = self._misses
+            time.sleep(0.0005)
+            return value
+
+        @misses.setter
+        def misses(self, value):
+            self._misses = value
+
+    cache = PageCache(capacity=8)
+    cache.stats = WideWindowStats()
+    cache.put(1, Page(data=b"x"))
+    threads, per_thread = 4, 25
+    start = threading.Barrier(threads)
+
+    def barrage():
+        start.wait()
+        for _ in range(per_thread):
+            cache.get(1)  # hit
+            cache.get(999)  # miss
+
+    workers = [threading.Thread(target=barrage) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert cache.stats.hits == threads * per_thread
+    assert cache.stats.misses == threads * per_thread
+
+
 # ---------------------------------------------------------------------------
 # the server-side validation command
 # ---------------------------------------------------------------------------
@@ -257,3 +357,90 @@ def test_client_cache_discard_kills_subtree():
     assert dead == 2
     assert cache.get(cap, PagePath.of(2)) == b"c"
     assert cache.entry(cap).version_cap == v2
+
+
+def test_client_cache_keys_by_port_and_obj():
+    """Same object number at two service ports must not collide.
+    (Regression: entries were keyed by ``file_cap.obj`` alone.)"""
+    from repro.capability import Capability
+
+    cache = ClientFileCache()
+    cap_a = Capability(port=1000, obj=7, rights=0xFF, check=1)
+    cap_b = Capability(port=2000, obj=7, rights=0xFF, check=2)
+    cache.remember(cap_a, Capability(1000, 8, 0xFF, 1), {ROOT: b"service A"})
+    cache.remember(cap_b, Capability(2000, 9, 0xFF, 2), {ROOT: b"service B"})
+    assert cache.get(cap_a, ROOT) == b"service A"
+    assert cache.get(cap_b, ROOT) == b"service B"
+    assert len(cache) == 2
+    cache.drop(cap_a)
+    assert cache.entry(cap_a) is None
+    assert cache.get(cap_b, ROOT) == b"service B"
+
+
+def test_client_cache_no_cross_deployment_collision():
+    """End to end: one application cache shared by clients of two
+    deployments (a sharded one and a plain one) whose file services
+    mint the same object numbers at different ports."""
+    from repro.testbed import build_cluster, build_sharded_cluster
+
+    sharded = build_sharded_cluster(shards=2, servers=1, seed=3)
+    plain = build_cluster(servers=1, seed=5)
+    client_a = FileClient(sharded.network, "app", sharded.service_port)
+    client_b = FileClient(plain.network, "app", plain.service_port)
+    client_b.cache = client_a.cache  # one shared application cache
+    cap_a = client_a.create_file(b"on the sharded service")
+    cap_b = client_b.create_file(b"on the plain service")
+    assert cap_a.obj == cap_b.obj  # same object number...
+    assert cap_a.port != cap_b.port  # ...different service ports
+    assert client_a.read(cap_a) == b"on the sharded service"
+    assert client_b.read(cap_b) == b"on the plain service"
+    # Both reads again, now cache-served: still no cross-talk.
+    assert client_a.read(cap_a) == b"on the sharded service"
+    assert client_b.read(cap_b) == b"on the plain service"
+    assert len(client_a.cache) == 2
+
+
+def test_client_cache_page_budget_evicts_lru_file():
+    from repro.capability import Capability
+
+    cache = ClientFileCache(max_pages=4)
+    caps = [Capability(1, obj, 3, 4) for obj in (10, 11, 12)]
+    for i, cap in enumerate(caps):
+        version = Capability(1, 100 + i, 3, 4)
+        cache.remember(
+            cap, version, {PagePath.of(0): b"a", PagePath.of(1): b"b"}
+        )
+    # 3 files x 2 pages against a budget of 4: the least recently used
+    # file (the first) is evicted whole.
+    assert cache.total_pages <= 4
+    assert cache.entry(caps[0]) is None
+    assert cache.get(caps[1], PagePath.of(0)) == b"a"
+    assert cache.get(caps[2], PagePath.of(0)) == b"a"
+    assert cache.stats.evictions == 2  # both pages of the evicted file
+
+
+def test_client_cache_eviction_follows_recency():
+    from repro.capability import Capability
+
+    cache = ClientFileCache(max_pages=2)
+    cap_a = Capability(1, 10, 3, 4)
+    cap_b = Capability(1, 11, 3, 4)
+    cache.remember(cap_a, Capability(1, 100, 3, 4), {ROOT: b"a"})
+    cache.remember(cap_b, Capability(1, 101, 3, 4), {ROOT: b"b"})
+    cache.get(cap_a, ROOT)  # A is now most recent
+    cache.put(cap_b, PagePath.of(1), b"bb")  # B over budget: A evicted
+    assert cache.entry(cap_a) is None
+    assert cache.get(cap_b, PagePath.of(1)) == b"bb"
+
+
+def test_client_cache_never_evicts_the_file_being_filled():
+    """A single file larger than the whole budget stays cached (the
+    eviction loop never removes the most recently used entry)."""
+    from repro.capability import Capability
+
+    cache = ClientFileCache(max_pages=2)
+    cap = Capability(1, 10, 3, 4)
+    pages = {PagePath.of(i): b"p%d" % i for i in range(5)}
+    cache.remember(cap, Capability(1, 100, 3, 4), pages)
+    assert cache.entry(cap) is not None
+    assert cache.get(cap, PagePath.of(4)) == b"p4"

@@ -1,4 +1,4 @@
-"""Machine-readable benchmark trajectories: BENCH_commit.json / BENCH_scale.json.
+"""Machine-readable benchmark trajectories: the ``BENCH_*.json`` baselines.
 
 ``results.txt`` is for people; this harness is for CI and for future PRs
 that need to compare numbers instead of eyeballing tables.  Every
@@ -241,6 +241,100 @@ def bench_scale() -> dict:
     }
 
 
+def measure_rebalance(shards: int = 4, files: int = 3, pages: int = 4) -> dict:
+    """Live migration of one shard under a concurrent read workload.
+
+    A reader task and the migration generator interleave round-robin on
+    the deterministic scheduler; every read's logical-tick latency is
+    recorded.  The interesting numbers: how many pages streamed while
+    traffic ran versus inside the cutover fence (the stall window), the
+    message cost of the whole reshape, and the client-visible p99 read
+    latency — the read that eats the ``PlacementStale`` retry after the
+    epoch bump shows up in the tail, and the gate keeps it bounded."""
+    from repro.block.rebalance import migrate_steps
+    from repro.capability import new_port
+    from repro.obs import Recorder
+    from repro.sim.sched import Scheduler
+
+    recorder = Recorder()
+    # cache_capacity=1: reads actually reach the block layer, so the
+    # reader feels the placement change instead of its page cache.
+    cluster = build_sharded_cluster(
+        shards=shards, seed=17, cache_capacity=1, recorder=recorder
+    )
+    fs = cluster.fs()
+    caps = []
+    for i in range(files):
+        cap = fs.create_file(b"reb%d" % i)
+        handle = fs.create_version(cap)
+        for j in range(pages):
+            fs.append_page(handle.version, ROOT, b"p%d.%d" % (i, j))
+        fs.commit(handle.version)
+        caps.append(cap)
+    currents = [fs.current_version(cap) for cap in caps]
+
+    service = cluster.shards
+    stalls: list[int] = []
+    done = {}
+
+    def reader(rounds: int = 40):
+        clock = cluster.clock
+        for r in range(rounds):
+            for i, current in enumerate(currents):
+                before = clock.now
+                data = fs.read_page(current, PagePath.of(r % pages))
+                assert data == b"p%d.%d" % (i, r % pages), data
+                stalls.append(clock.now - before)
+                yield
+
+    def migrator():
+        report = yield from migrate_steps(
+            service, 0, new_port(cluster.rng), node="bench-rebalancer"
+        )
+        done["report"] = report
+
+    messages0 = cluster.network.stats.messages
+    ticks0 = cluster.clock.now
+    scheduler = Scheduler()
+    scheduler.spawn("reader", reader())
+    scheduler.spawn("migrator", migrator())
+    scheduler.run()
+    report = done["report"]
+    assert report.epoch == 2, report
+
+    ordered = sorted(stalls)
+    p99 = ordered[int(0.99 * (len(ordered) - 1))]
+    return {
+        "shards": shards,
+        "reads": len(stalls),
+        "migration": {
+            "pages_streamed": report.blocks_streamed,
+            "cutover_blocks": report.cutover_blocks,
+            "delta_rounds": report.delta_rounds,
+            "messages": cluster.network.stats.messages - messages0,
+            "ticks": cluster.clock.now - ticks0,
+        },
+        "reads_during_migration": {
+            "p99_ticks": p99,
+            "max_ticks": ordered[-1],
+            "mean_ticks": round(sum(ordered) / len(ordered), 2),
+        },
+    }
+
+
+def bench_rebalance() -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "live_migration": measure_rebalance(),
+        "gate": [
+            "live_migration.migration.pages_streamed",
+            "live_migration.migration.messages",
+            "live_migration.migration.ticks",
+            "live_migration.reads_during_migration.p99_ticks",
+        ],
+    }
+
+
 def bench_net() -> dict:
     """The wire-transport benchmark (real sockets, both daemons).
 
@@ -259,6 +353,7 @@ def bench_net() -> dict:
 BENCHES = {
     "BENCH_commit.json": bench_commit,
     "BENCH_scale.json": bench_scale,
+    "BENCH_rebalance.json": bench_rebalance,
     "BENCH_net.json": bench_net,
 }
 

@@ -13,9 +13,17 @@ Subcommands:
   serializability history checking.  ``--seed N`` (or ``--seed A..B`` for
   a range), ``--ops M``, ``--shards K``, ``--clients C``, ``--mutant``,
   ``--group-commit`` (mix grouped commit batches into the workload),
-  ``--leases`` (clients read through leases; lease-staleness checked).
-  Exits nonzero and prints the replay command on any violation.  See
-  docs/SIMULATION.md.
+  ``--leases`` (clients read through leases; lease-staleness checked),
+  ``--rebalance`` (live-migrate one shard mid-workload; needs
+  ``--shards >= 2``; the checker proves nothing was served by the old
+  pair after its cutover).  Exits nonzero and prints the replay command
+  on any violation.  See docs/SIMULATION.md.
+* ``cluster`` — operator verbs over a demo sharded deployment with a
+  discovery service attached: ``status`` (placement map + daemon
+  directory), ``split`` (split one shard's range at its capacity
+  boundary), ``migrate`` (live-migrate one shard to a fresh pair while a
+  workload runs).  ``--shards K``, ``--seed S``, ``--index I`` pick the
+  topology and the shard operated on.  See docs/DISCOVERY.md.
 * ``serve``  — host the whole deployment as real TCP daemons on
   localhost (``--servers N``, ``--shards K``, ``--seed S``, ``--host``).
   ``--async`` hosts every daemon on one asyncio event loop (pipelined
@@ -30,7 +38,9 @@ Subcommands:
   See docs/NETWORKING.md.
 * ``connect`` — join a served deployment by spec string and run a small
   round-trip workload (create, commit, read back) as a separate-process
-  client.
+  client.  With ``--bootstrap`` (serve side: ``--discovery``) only the
+  spec's ``discovery`` entry is used: the client bootstraps the service
+  port and every daemon address from the discovery registry.
 """
 
 from __future__ import annotations
@@ -215,6 +225,24 @@ def _stats(extra: list[str] | None = None) -> None:
     counts = sharded.shards.allocation_counts()
     print("blocks allocated per shard:", counts)
 
+    # Live-migrate shard 0 to a fresh pair and show the reshape in the
+    # placement table: one epoch bump (1 -> 2), the streamed page count,
+    # and zero aborts.  The files written above must still read back.
+    from repro.capability import new_port
+    from repro.obs.report import render_placement_table
+
+    epoch_before = sharded.shards.placement.epoch
+    report = sharded.shards.migrate(0, new_port(sharded.rng))
+    print()
+    print("placement / rebalance (after live-migrating shard 0)")
+    print("====================================================")
+    print(render_placement_table(sharded_recorder.metrics))
+    print(
+        f"placement epoch {epoch_before} -> {report.epoch}; "
+        f"{report.blocks_streamed} blocks streamed, "
+        f"{report.cutover_blocks} inside the cutover fence"
+    )
+
     # A leased hot-read workload: one client warms a small set of files,
     # then re-reads them while its leases are live — every repeat is a
     # zero-message cache hit, and the table shows the lease traffic.
@@ -270,6 +298,7 @@ def _soak(extra: list[str]) -> None:
     mutant = False
     group_commit = False
     leases = False
+    rebalance = False
     args = list(extra)
     while args:
         flag = args.pop(0)
@@ -292,6 +321,8 @@ def _soak(extra: list[str]) -> None:
             group_commit = True
         elif flag == "--leases":
             leases = True
+        elif flag == "--rebalance":
+            rebalance = True
         else:
             print(f"unknown soak flag {flag!r}")
             print(__doc__)
@@ -307,6 +338,7 @@ def _soak(extra: list[str]) -> None:
             mutant=mutant,
             group_commit=group_commit,
             leases=leases,
+            rebalance=rebalance,
         )
         report = run_soak(config)
         print(report.summary())
@@ -316,6 +348,93 @@ def _soak(extra: list[str]) -> None:
                 print("  VIOLATION:", line)
             print("  replay:", report.repro_line())
     sys.exit(1 if failed else 0)
+
+
+def _cluster(extra: list[str]) -> None:
+    """Operator verbs: status / split / migrate over a demo deployment."""
+    from repro.capability import new_port
+    from repro.net.discovery import DiscoveryClient
+    from repro.testbed import build_sharded_cluster
+
+    verb = extra[0] if extra else "status"
+    if verb not in ("status", "split", "migrate"):
+        print(f"unknown cluster verb {verb!r} (want status|split|migrate)")
+        print(__doc__)
+        sys.exit(2)
+    shards = 3
+    seed = 1985
+    index = 0
+    args = list(extra[1:])
+    while args:
+        flag = args.pop(0)
+        if flag == "--shards":
+            shards = int(args.pop(0))
+        elif flag == "--seed":
+            seed = int(args.pop(0))
+        elif flag == "--index":
+            index = int(args.pop(0))
+        else:
+            print(f"unknown cluster flag {flag!r}")
+            sys.exit(2)
+
+    cluster = build_sharded_cluster(
+        shards=shards, servers=1, seed=seed, shard_capacity=64, discovery=True
+    )
+    fs = cluster.fs()
+    caps = []
+    for i in range(6):
+        cap = fs.create_file(b"cluster file %d" % i)
+        handle = fs.create_version(cap)
+        fs.append_page(handle.version, ROOT, b"a page of file %d" % i)
+        fs.commit(handle.version)
+        caps.append(cap)
+    service = cluster.shards
+    disc = DiscoveryClient(cluster.network, "operator", cluster.discovery_port)
+
+    def show_status() -> None:
+        # Stand in for every daemon's heartbeat thread: renew before the
+        # snapshot, so liveness reflects "still registered", not "the
+        # demo workload took longer than one TTL".
+        for entry in disc.directory():
+            disc.heartbeat(entry["name"])
+        placement = disc.bootstrap()["placement"]
+        print(placement.describe())
+        print()
+        print("daemon directory")
+        for entry in disc.directory():
+            liveness = "alive" if entry["alive"] else "DEAD"
+            print(
+                f"  {entry['name']:<12} {entry['kind']:<9} "
+                f"port {entry['port']:#x}  {liveness}"
+            )
+
+    if verb == "status":
+        show_status()
+        return
+
+    print("before:")
+    show_status()
+    print()
+    if verb == "split":
+        new_map = service.split(index, new_port(cluster.rng))
+        print(f"split shard {index}: placement epoch -> {new_map.epoch}")
+    else:
+        report = service.migrate(index, new_port(cluster.rng))
+        print(
+            f"migrated shard {index}: {report.blocks_streamed} blocks "
+            f"streamed live, {report.cutover_blocks} inside the fence, "
+            f"{report.delta_rounds} delta round(s); placement epoch -> "
+            f"{report.epoch}"
+        )
+    print()
+    print("after:")
+    show_status()
+    # Every file must read back through the new map.
+    for i, cap in enumerate(caps):
+        data = fs.read_page(fs.current_version(cap), PagePath.of(0))
+        assert data == b"a page of file %d" % i, data
+    print()
+    print(f"all {len(caps)} files read back through the new placement: ok")
 
 
 def _serve(extra: list[str]) -> None:
@@ -331,6 +450,7 @@ def _serve(extra: list[str]) -> None:
     smoke = False
     bench = False
     async_mode = False
+    discovery = False
     bench_out = "BENCH_net.json"
     args = list(extra)
     while args:
@@ -349,6 +469,8 @@ def _serve(extra: list[str]) -> None:
             bench = True
         elif flag == "--async":
             async_mode = True
+        elif flag == "--discovery":
+            discovery = True
         elif flag == "--out":
             bench_out = args.pop(0)
         else:
@@ -377,6 +499,7 @@ def _serve(extra: list[str]) -> None:
         host=host,
         recorder=recorder,
         async_mode=async_mode,
+        discovery=discovery,
     )
     topology = f"{shards}-shard" if shards else "single-pair"
     daemon_kind = "async event-loop" if async_mode else "threaded"
@@ -495,20 +618,30 @@ def _connect(extra: list[str]) -> None:
     from repro.net import connect
 
     if not extra:
-        print("usage: python -m repro connect '<spec>' [--node NAME]")
+        print(
+            "usage: python -m repro connect '<spec>' [--node NAME] [--bootstrap]"
+        )
         sys.exit(2)
     spec = extra[0]
     node = "remote-client"
+    use_bootstrap = False
     args = extra[1:]
     while args:
         flag = args.pop(0)
         if flag == "--node":
             node = args.pop(0)
+        elif flag == "--bootstrap":
+            use_bootstrap = True
         else:
             print(f"unknown connect flag {flag!r}")
             sys.exit(2)
-    network, service_port = connect(spec)
-    client = FileClient(network, node, service_port)
+    if use_bootstrap:
+        # Only the spec's discovery entry is used; everything else comes
+        # from the registry's bootstrap payload.
+        client = FileClient.from_discovery(spec, node=node)
+    else:
+        network, service_port = connect(spec)
+        client = FileClient(network, node, service_port)
     cap = client.create_file(b"hello from %s" % node.encode())
     client.transact(cap, lambda u: u.write(ROOT, b"committed over TCP"))
     data = client.read(cap)
@@ -531,6 +664,8 @@ def main(argv: list[str]) -> None:
         _stats(argv[2:])
     elif command == "soak":
         _soak(argv[2:])
+    elif command == "cluster":
+        _cluster(argv[2:])
     elif command == "serve":
         _serve(argv[2:])
     elif command == "connect":

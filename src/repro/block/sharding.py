@@ -3,16 +3,24 @@
 "The file service can be distributed over multiple block-server pairs" —
 the paper's scaling story.  This module supplies it:
 
-* :class:`ShardMap` — the deterministic placement map.  Each shard owns a
-  disjoint, contiguous slice of the global block-number space (``stride``
-  numbers per shard), so routing an *existing* block to its shard is pure
-  arithmetic on the number itself: no directory, no lookup traffic, and
-  any client or server derives the same answer.  Page references stay
-  plain block numbers; everything above the block layer is shard-oblivious.
+* :class:`PlacementMap` — the epoch-versioned placement map.  Each live
+  shard owns a disjoint, contiguous range of the global block-number
+  space, so routing an *existing* block to its shard is a lookup on the
+  number itself: no directory traffic, and any holder of the same map
+  derives the same answer.  The map is immutable; elasticity (splitting
+  a range, migrating a range to a fresh pair) produces a *new* map with
+  ``epoch + 1``.  A client routing with a stale map gets a typed
+  :class:`~repro.errors.PlacementStale` and refetches.
+
+* :class:`ShardMap` — the original arithmetic map (``stride`` numbers
+  per shard), kept as the constructor for epoch-1 layouts and for the
+  fixed-topology API.
 
 * :class:`ShardedBlockService` — the server side: N :class:`~repro.block.
   stable.StablePair` companion pairs, one service port per shard, each
   pair internally replicated and recoverable exactly as a single pair is.
+  ``split`` and ``migrate`` reshape the deployment while it serves (see
+  :mod:`repro.block.rebalance` for the live-migration driver).
 
 * :class:`ShardedBlockClient` — the client side: implements the same verb
   set as :class:`~repro.block.stable.StableClient` (plus ``write_many``),
@@ -22,7 +30,10 @@ the paper's scaling story.  This module supplies it:
   that stops answering is retried with backoff (transient outages:
   restarts, partitions) and, for allocations only, skipped in favour of
   the next shard — an allocation has no placement constraint until it
-  happens.
+  happens.  A third level is placement staleness: on
+  :class:`~repro.errors.PlacementStale` (or a whole-pair outage that
+  turns out to be a cutover) the client refetches the map and re-routes,
+  invisibly to its caller.
 
 Batching: ``write_many`` groups a commit flush by shard and ships each
 group as one transaction, so an M-page commit costs O(shards) round trips
@@ -32,9 +43,17 @@ as a unit (see ``StableServer.cmd_write_many``).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Callable, Optional
 
-from repro.errors import ServerCrashed, ServerUnreachable
+from repro.errors import (
+    PlacementStale,
+    ReproError,
+    ServerCrashed,
+    ServerUnreachable,
+    UnknownShard,
+)
 from repro.block.server import BLOCK_SIZE, TasResult
 from repro.block.stable import StablePair, StableServer
 from repro.obs import NULL_RECORDER
@@ -52,7 +71,9 @@ class ShardMap:
     """The deterministic block-number → shard placement map.
 
     Pure arithmetic, shared by clients and servers: shard ``s`` owns the
-    global numbers ``s*stride + 1 .. (s+1)*stride``.
+    global numbers ``s*stride + 1 .. (s+1)*stride``.  This is the epoch-1
+    layout of every deployment; elastic reshaping happens on the derived
+    :class:`PlacementMap`.
     """
 
     shards: int
@@ -85,6 +106,161 @@ class ShardMap:
 
 
 @dataclass(frozen=True)
+class ShardRange:
+    """One live shard: a contiguous slice ``lo..hi`` of the global block
+    namespace, served on ``port`` by one companion pair."""
+
+    lo: int
+    hi: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 1:
+            raise ValueError(f"range lower bound {self.lo} must be >= 1")
+        if self.hi < self.lo:
+            raise ValueError(f"empty range {self.lo}..{self.hi}")
+        if self.port < 0:
+            raise ValueError("shard port must be non-negative")
+
+    def __contains__(self, block: int) -> bool:
+        return self.lo <= block <= self.hi
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def local_of(self, block: int) -> int:
+        """The shard-local block number behind a global one in this range."""
+        if block not in self:
+            raise UnknownShard(
+                f"block {block} outside range {self.lo}..{self.hi}"
+            )
+        return block - self.lo + 1
+
+    def global_of(self, local: int) -> int:
+        """Splice a shard-local number back into the global namespace."""
+        if not 1 <= local <= self.size:
+            raise ValueError(f"local block {local} outside 1..{self.size}")
+        return self.lo + local - 1
+
+
+@dataclass(frozen=True)
+class PlacementMap:
+    """The epoch-versioned placement of the global block namespace.
+
+    Immutable: every reshape (:meth:`split_at`, :meth:`moved`) returns a
+    new map with ``epoch + 1``.  Validation enforces the two placement
+    invariants the property suite re-checks from the outside — ranges are
+    sorted and pairwise disjoint (no block has two owners) and ports are
+    unique (no pair serves two ranges).
+    """
+
+    epoch: int
+    ranges: tuple[ShardRange, ...]
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError("placement epochs start at 1")
+        ranges = tuple(self.ranges)
+        object.__setattr__(self, "ranges", ranges)
+        if not ranges:
+            raise ValueError("a placement map needs at least one range")
+        prev: ShardRange | None = None
+        for r in ranges:
+            if prev is not None and r.lo <= prev.hi:
+                raise ValueError(
+                    f"ranges overlap or are unsorted: "
+                    f"{prev.lo}..{prev.hi} then {r.lo}..{r.hi}"
+                )
+            prev = r
+        ports = [r.port for r in ranges]
+        if len(set(ports)) != len(ports):
+            raise ValueError("placement ports must be unique")
+
+    @classmethod
+    def initial(
+        cls, ports: list[int], stride: int = DEFAULT_SHARD_STRIDE
+    ) -> "PlacementMap":
+        """The epoch-1 map: one stride-sized range per port, in order."""
+        return cls(
+            1,
+            tuple(
+                ShardRange(i * stride + 1, (i + 1) * stride, port)
+                for i, port in enumerate(ports)
+            ),
+        )
+
+    @property
+    def ports(self) -> list[int]:
+        return [r.port for r in self.ranges]
+
+    def index_of(self, block: int) -> int:
+        """The index of the range owning a global block number."""
+        los = [r.lo for r in self.ranges]
+        i = bisect_right(los, block) - 1
+        if i < 0 or block > self.ranges[i].hi:
+            raise UnknownShard(
+                f"block {block} maps to no range of placement epoch {self.epoch}"
+            )
+        return i
+
+    def range_of(self, block: int) -> ShardRange:
+        return self.ranges[self.index_of(block)]
+
+    def port_of(self, block: int) -> int:
+        return self.range_of(block).port
+
+    def local_of(self, block: int) -> int:
+        return self.range_of(block).local_of(block)
+
+    def range_by_port(self, port: int) -> ShardRange:
+        for r in self.ranges:
+            if r.port == port:
+                return r
+        raise UnknownShard(
+            f"port {port:#x} serves no range of placement epoch {self.epoch}"
+        )
+
+    def index_by_port(self, port: int) -> int:
+        for i, r in enumerate(self.ranges):
+            if r.port == port:
+                return i
+        raise UnknownShard(
+            f"port {port:#x} serves no range of placement epoch {self.epoch}"
+        )
+
+    def split_at(self, index: int, cut: int, new_port: int) -> "PlacementMap":
+        """Split ``ranges[index]`` at ``cut``: the old port keeps
+        ``lo..cut-1``, the new port takes ``cut..hi``.  Epoch + 1."""
+        r = self.ranges[index]
+        if not r.lo < cut <= r.hi:
+            raise ValueError(
+                f"cut {cut} outside splittable interior {r.lo + 1}..{r.hi}"
+            )
+        head = ShardRange(r.lo, cut - 1, r.port)
+        tail = ShardRange(cut, r.hi, new_port)
+        ranges = self.ranges[:index] + (head, tail) + self.ranges[index + 1 :]
+        return PlacementMap(self.epoch + 1, ranges)
+
+    def moved(self, index: int, new_port: int) -> "PlacementMap":
+        """The same range served by a different pair (migration cutover).
+        Epoch + 1."""
+        r = self.ranges[index]
+        moved = ShardRange(r.lo, r.hi, new_port)
+        ranges = self.ranges[:index] + (moved,) + self.ranges[index + 1 :]
+        return PlacementMap(self.epoch + 1, ranges)
+
+    def describe(self) -> str:
+        """One human line per range (CLI ``repro cluster status``)."""
+        lines = [f"placement epoch {self.epoch}"]
+        for i, r in enumerate(self.ranges):
+            lines.append(
+                f"  shard {i}: blocks {r.lo}..{r.hi} -> port {r.port:#014x}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Client-side retries against a shard that stops answering.
 
@@ -105,8 +281,12 @@ class ShardedBlockService:
     """The server side of a sharded deployment: one stable pair per shard.
 
     Pairs are named ``shard<i>A`` / ``shard<i>B`` and listen on one port
-    per shard (``ports[i]``), so the transaction layer's half-failover
-    works per shard unchanged.
+    per shard, so the transaction layer's half-failover works per shard
+    unchanged.  ``self.pairs[i]`` always serves ``self.placement.ranges[i]``;
+    a migration replaces the entry (the retired pair moves to
+    ``self.retired_pairs``), a split inserts one.  Every reshape bumps the
+    placement epoch and notifies ``self.publishers`` (the discovery
+    service subscribes there).
     """
 
     def __init__(
@@ -125,23 +305,42 @@ class ShardedBlockService:
                 f"shards would overlap in the global namespace"
             )
         self.network = network
-        self.ports = list(ports)
-        self.map = ShardMap(len(self.ports), stride)
+        self.capacity = capacity
+        self.block_size = block_size
+        self.write_once = write_once
+        self.map = ShardMap(len(list(ports)), stride)
         if recorder is None:
             recorder = getattr(network, "recorder", None)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._pair_recorder = recorder
+        self.placement = PlacementMap.initial(list(ports), stride)
         self.pairs: list[StablePair] = [
-            StablePair(
-                network,
-                port,
-                capacity=capacity,
-                block_size=block_size,
-                name_a=f"shard{i}A",
-                name_b=f"shard{i}B",
-                write_once=write_once,
-                recorder=recorder,
-            )
-            for i, port in enumerate(self.ports)
+            self._spawn_pair(i, port, capacity)
+            for i, port in enumerate(self.placement.ports)
         ]
+        self._pair_seq = len(self.pairs)
+        self.retired_pairs: list[StablePair] = []
+        # Callables (new_map, previous_epoch) -> None, notified after every
+        # epoch bump.  Publish failures must not undo a committed cutover,
+        # so they are counted and swallowed (see _publish).
+        self.publishers: list[Callable[[PlacementMap, int], None]] = []
+
+    def _spawn_pair(self, seq: int, port: int, capacity: int) -> StablePair:
+        return StablePair(
+            self.network,
+            port,
+            capacity=capacity,
+            block_size=self.block_size,
+            name_a=f"shard{seq}A",
+            name_b=f"shard{seq}B",
+            write_once=self.write_once,
+            recorder=self._pair_recorder,
+        )
+
+    @property
+    def ports(self) -> list[int]:
+        """Live service ports, aligned with ``placement.ranges``."""
+        return self.placement.ports
 
     @property
     def shards(self) -> int:
@@ -159,27 +358,100 @@ class ShardedBlockService:
         account: int,
         recorder=None,
         retry: RetryPolicy | None = None,
+        history=None,
     ) -> "ShardedBlockClient":
-        """A shard-routing client bound to one network node."""
+        """A shard-routing client bound to one network node.
+
+        The client starts on the current placement and refreshes from
+        this service on staleness — the in-process mirror of the
+        discovery fetch a remote client would do.
+        """
         return ShardedBlockClient(
             self.network,
             client_node,
-            self.ports,
+            self.placement.ports,
             account,
-            shard_map=self.map,
+            shard_map=self.map if self.placement.epoch == 1 else None,
             recorder=recorder,
             retry=retry,
+            placement=self.placement,
+            fetch=lambda: self.placement,
+            history=history,
         )
 
     def consistent(self) -> bool:
-        """Whether every shard's two disks agree (audit)."""
-        return all(pair.consistent() for pair in self.pairs)
+        """Whether every shard's two disks agree (audit) — including
+        retired pairs, which must stay internally consistent until they
+        are decommissioned."""
+        return all(
+            pair.consistent() for pair in [*self.pairs, *self.retired_pairs]
+        )
 
     def allocation_counts(self) -> list[int]:
-        """Blocks allocated per shard (balance audits and reports)."""
+        """Blocks allocated per live shard (balance audits and reports)."""
         return [
             len(list(pair.a.local.allocated_blocks())) for pair in self.pairs
         ]
+
+    # -- elasticity ----------------------------------------------------------
+
+    def _publish(self, new_map: PlacementMap) -> None:
+        previous = self.placement
+        self.placement = new_map
+        if self.recorder.enabled:
+            self.recorder.gauge("placement.epoch", new_map.epoch)
+        for publish in self.publishers:
+            try:
+                publish(new_map, previous.epoch)
+            except ReproError:
+                # The cutover is already committed locally; a down or
+                # conflicting registry is repaired by the next publish.
+                if self.recorder.enabled:
+                    self.recorder.count("rebalance.publish_failures")
+
+    def split(self, index: int, new_port: int) -> PlacementMap:
+        """Split ``placement.ranges[index]`` at its pair's capacity
+        boundary: a fresh pair takes the (necessarily unallocated) tail
+        of the range.  One epoch bump; no data moves.
+
+        The source pair can only ever allocate locals ``1..capacity``,
+        i.e. globals ``lo..lo+capacity-1`` — so cutting at
+        ``lo + capacity`` is always safe: every block the source has
+        ever allocated stays on it.
+        """
+        r = self.placement.ranges[index]
+        source = self.pairs[index]
+        cut = r.lo + source.capacity
+        if cut > r.hi:
+            raise ValueError(
+                f"range {r.lo}..{r.hi} has no unallocatable tail beyond "
+                f"the pair capacity {source.capacity}; nothing to split off"
+            )
+        new_capacity = min(self.capacity, r.hi - cut + 1)
+        new_pair = self._spawn_pair(self._pair_seq, new_port, new_capacity)
+        self._pair_seq += 1
+        new_map = self.placement.split_at(index, cut, new_port)
+        self.pairs.insert(index + 1, new_pair)
+        if self.recorder.enabled:
+            self.recorder.count("rebalance.splits")
+        self._publish(new_map)
+        return new_map
+
+    def migrate(self, index: int, target_port: int, **kwargs):
+        """Run a live migration of ``placement.ranges[index]`` to a fresh
+        pair on ``target_port``, synchronously to completion.  Returns the
+        :class:`~repro.block.rebalance.MigrationReport`.  Cooperative
+        callers (simulated tasks, benchmarks) drive
+        :func:`~repro.block.rebalance.migrate_steps` directly instead.
+        """
+        from repro.block.rebalance import migrate_steps
+
+        gen = migrate_steps(self, index, target_port, **kwargs)
+        while True:
+            try:
+                next(gen)
+            except StopIteration as stop:
+                return stop.value
 
 
 class ShardedBlockClient:
@@ -189,6 +461,13 @@ class ShardedBlockClient:
     stores and file servers plug in unchanged; block numbers in and out
     are global.  Per-shard traffic is counted on the recorder under
     ``shard.s<i>.*`` so deployments can watch their balance.
+
+    Routing follows ``self.placement``.  When a call lands on a retired
+    pair the shard answers :class:`~repro.errors.PlacementStale`; the
+    client refetches the map (``fetch``), accepts it only if the epoch
+    advanced, and re-routes — callers never see the reshape.  A whole-
+    pair outage that exhausts its retries gets the same refresh chance:
+    the pair may have been cut over while the client was backing off.
     """
 
     def __init__(
@@ -200,45 +479,120 @@ class ShardedBlockClient:
         shard_map: ShardMap | None = None,
         recorder=None,
         retry: RetryPolicy | None = None,
+        placement: PlacementMap | None = None,
+        fetch: Optional[Callable[[], Optional[PlacementMap]]] = None,
+        history=None,
     ) -> None:
         self.network = network
+        self.node = client_node
         self.txn = Transaction(network, client_node)
         self.ports = list(ports)
         self.account = account
-        self.map = shard_map if shard_map is not None else ShardMap(len(self.ports))
-        if self.map.shards != len(self.ports):
-            raise ValueError(
-                f"shard map covers {self.map.shards} shards but "
-                f"{len(self.ports)} ports were given"
+        if placement is None:
+            shard_map = (
+                shard_map if shard_map is not None else ShardMap(len(self.ports))
             )
+            if shard_map.shards != len(self.ports):
+                raise ValueError(
+                    f"shard map covers {shard_map.shards} shards but "
+                    f"{len(self.ports)} ports were given"
+                )
+            placement = PlacementMap.initial(self.ports, shard_map.stride)
+        self.placement = placement
+        self.map = shard_map
         if recorder is None:
             recorder = getattr(network, "recorder", NULL_RECORDER)
         self.recorder = recorder
         self.retry = retry if retry is not None else RetryPolicy()
+        self._fetch = fetch
+        self._history = history
         self._next_shard = 0
+        # How many placement refreshes one operation will chase before
+        # surfacing PlacementStale; each refresh must advance the epoch,
+        # so the loop is strictly bounded.
+        self.stale_attempts = 4
+
+    # -- placement refresh ---------------------------------------------------
+
+    def _refresh(self) -> bool:
+        """Refetch the placement map; adopt it only if the epoch advanced."""
+        if self._fetch is None:
+            return False
+        fresh = self._fetch()
+        if fresh is None or fresh.epoch <= self.placement.epoch:
+            return False
+        self.placement = fresh
+        if self.recorder.enabled:
+            self.recorder.count("rebalance.stale_retries")
+        return True
+
+    def _note_serve(self, r: ShardRange, command: str) -> None:
+        """Record which pair served us, under which epoch belief — the
+        history checker replays these against cutover events to enforce
+        the stale-placement invariant."""
+        if self._history is not None:
+            self._history.record(
+                "shard_serve",
+                actor=self.node,
+                path=command,
+                base=r.port,
+                version=self.placement.epoch,
+                tick=self.network.clock.now,
+            )
 
     # -- shard-level transaction with retry/backoff -------------------------
 
-    def _call(self, shard: int, command: str, **params):
-        """One transaction against a shard, retrying whole-pair outages
-        with exponential backoff (the transaction layer already handles
-        drops and half-failover underneath)."""
+    def _port_call(self, port: int, command: str, *, shard_hint=None, **params):
+        """One transaction against a shard port, retrying whole-pair
+        outages with exponential backoff (the transaction layer already
+        handles drops and half-failover underneath).  PlacementStale is
+        not retried here — the routed caller refreshes and re-routes."""
         delay = self.retry.backoff_ticks
         last: Exception | None = None
         for attempt in range(self.retry.attempts):
             try:
-                return self.txn.call(self.ports[shard], command, **params)
+                return self.txn.call(port, command, **params)
             except (ServerUnreachable, ServerCrashed) as exc:
                 last = exc
                 if self.recorder.enabled:
                     self.recorder.event(
-                        "shard.retry", shard=shard, command=command
+                        "shard.retry",
+                        shard=shard_hint if shard_hint is not None else port,
+                        command=command,
                     )
                 if attempt + 1 < self.retry.attempts:
                     self.network.clock.advance(delay)
                     delay *= self.retry.multiplier
         assert last is not None
         raise last
+
+    def _routed(self, command: str, block_no: int, *, with_account=True, **params):
+        """Route a placed-block verb by the current map, transparently
+        chasing placement epochs.  Returns ``(shard_index, result)``."""
+        refreshes = self.stale_attempts
+        while True:
+            idx = self.placement.index_of(block_no)
+            r = self.placement.ranges[idx]
+            call = dict(params, block_no=r.local_of(block_no))
+            if with_account:
+                call["account"] = self.account
+            try:
+                result = self._port_call(r.port, command, shard_hint=idx, **call)
+            except PlacementStale:
+                if refreshes and self._refresh():
+                    refreshes -= 1
+                    continue
+                raise
+            except (ServerUnreachable, ServerCrashed):
+                # The whole pair outlasted our backoff.  If the map moved
+                # under us (cutover mid-backoff), re-route; otherwise the
+                # outage is real and the caller hears about it.
+                if refreshes and self._refresh():
+                    refreshes -= 1
+                    continue
+                raise
+            self._note_serve(r, command)
+            return idx, result
 
     def _count(self, shard: int, what: str, n: int = 1) -> None:
         if self.recorder.enabled:
@@ -250,22 +604,31 @@ class ShardedBlockClient:
         """Run an allocation verb on the next shard in round-robin order,
         skipping shards whose pair is entirely unreachable — a new block
         has no placement constraint, so an allocation never needs to wait
-        for a down shard."""
-        last: Exception | None = None
-        for offset in range(self.map.shards):
-            shard = (self._next_shard + offset) % self.map.shards
-            try:
-                local = self.txn.call(self.ports[shard], command, **params)
-            except (ServerUnreachable, ServerCrashed) as exc:
-                last = exc
-                if self.recorder.enabled:
-                    self.recorder.event("shard.alloc_failover", shard=shard)
+        for a down shard.  If every shard refuses and the map has moved,
+        refresh and rescan."""
+        refreshes = self.stale_attempts
+        while True:
+            ranges = self.placement.ranges
+            last: Exception | None = None
+            for offset in range(len(ranges)):
+                idx = (self._next_shard + offset) % len(ranges)
+                r = ranges[idx]
+                try:
+                    local = self.txn.call(r.port, command, **params)
+                except (ServerUnreachable, ServerCrashed, PlacementStale) as exc:
+                    last = exc
+                    if self.recorder.enabled:
+                        self.recorder.event("shard.alloc_failover", shard=idx)
+                    continue
+                self._next_shard = (idx + 1) % len(ranges)
+                self._count(idx, "allocs")
+                self._note_serve(r, command)
+                return r.global_of(local)
+            if refreshes and self._refresh():
+                refreshes -= 1
                 continue
-            self._next_shard = (shard + 1) % self.map.shards
-            self._count(shard, "allocs")
-            return self.map.global_of(shard, local)
-        assert last is not None
-        raise last
+            assert last is not None
+            raise last
 
     def allocate_write(self, data: bytes) -> int:
         return self._allocate_on_some_shard(
@@ -279,93 +642,109 @@ class ShardedBlockClient:
     # -- placed-block verbs (routed by the map) ------------------------------
 
     def write(self, block_no: int, data: bytes) -> None:
-        shard = self.map.shard_of(block_no)
-        self._call(
-            shard,
-            "write",
-            account=self.account,
-            block_no=self.map.local_of(block_no),
-            data=data,
-        )
+        shard, _ = self._routed("write", block_no, data=data)
         self._count(shard, "pages_written")
 
     def write_many(self, writes: list[tuple[int, bytes]]) -> int:
         """Group a batch by shard and ship one transaction per shard.
 
         This is the commit flush path: an M-page flush costs one round
-        trip per *touched shard*, not one per page.
+        trip per *touched shard*, not one per page.  Groups that land on
+        a retired pair are regrouped under the refreshed map and retried;
+        groups that already landed are not resent.
         """
         if not writes:
             return 0
-        by_shard: dict[int, list[tuple[int, bytes]]] = {}
-        for block_no, data in writes:
-            shard = self.map.shard_of(block_no)
-            by_shard.setdefault(shard, []).append(
-                (self.map.local_of(block_no), data)
-            )
         written = 0
-        for shard in sorted(by_shard):
-            group = by_shard[shard]
-            written += self._call(
-                shard, "write_many", account=self.account, writes=group
-            )
-            self._count(shard, "pages_written", len(group))
-            if self.recorder.enabled:
-                self.recorder.event(
-                    "shard.batch", shard=shard, pages=len(group)
+        pending = list(writes)
+        refreshes = self.stale_attempts
+        first_fanout: int | None = None
+        while pending:
+            by_shard: dict[int, list[tuple[int, bytes]]] = {}
+            for block_no, data in pending:
+                by_shard.setdefault(self.placement.index_of(block_no), []).append(
+                    (block_no, data)
                 )
+            if first_fanout is None:
+                first_fanout = len(by_shard)
+            leftover: list[tuple[int, bytes]] = []
+            stale = False
+            for idx in sorted(by_shard):
+                group = by_shard[idx]
+                r = self.placement.ranges[idx]
+                local_group = [(r.local_of(b), data) for b, data in group]
+                try:
+                    written += self._port_call(
+                        r.port,
+                        "write_many",
+                        shard_hint=idx,
+                        account=self.account,
+                        writes=local_group,
+                    )
+                except PlacementStale:
+                    stale = True
+                    leftover.extend(group)
+                    continue
+                self._count(idx, "pages_written", len(group))
+                if self.recorder.enabled:
+                    self.recorder.event("shard.batch", shard=idx, pages=len(group))
+                self._note_serve(r, "write_many")
+            if not leftover:
+                break
+            if not (stale and refreshes and self._refresh()):
+                raise PlacementStale(
+                    f"write_many could not place {len(leftover)} pages: "
+                    f"no newer placement map than epoch {self.placement.epoch}"
+                )
+            refreshes -= 1
+            pending = leftover
         if self.recorder.enabled:
             # How widely one commit flush fans out — the round-trip cost
             # of a batch is exactly the number of shards it touches.
             self.recorder.observe(
-                "shard.batch_shards", len(by_shard), bounds=(1, 2, 4, 8, 16)
+                "shard.batch_shards", first_fanout, bounds=(1, 2, 4, 8, 16)
             )
         return written
 
     def read(self, block_no: int) -> bytes:
-        shard = self.map.shard_of(block_no)
-        data = self._call(
-            shard, "read", account=self.account, block_no=self.map.local_of(block_no)
-        )
+        shard, data = self._routed("read", block_no)
         self._count(shard, "reads")
         return data
 
     def free(self, block_no: int) -> None:
-        shard = self.map.shard_of(block_no)
-        self._call(
-            shard, "free", account=self.account, block_no=self.map.local_of(block_no)
-        )
+        self._routed("free", block_no)
 
     def test_and_set(
         self, block_no: int, offset: int, expected: bytes, new: bytes
     ) -> TasResult:
-        shard = self.map.shard_of(block_no)
-        return self._call(
-            shard,
-            "test_and_set",
-            account=self.account,
-            block_no=self.map.local_of(block_no),
-            offset=offset,
-            expected=expected,
-            new=new,
+        _, result = self._routed(
+            "test_and_set", block_no, offset=offset, expected=expected, new=new
         )
+        return result
 
     def lock(self, block_no: int, locker: int) -> bool:
-        shard = self.map.shard_of(block_no)
-        return self._call(
-            shard, "lock", block_no=self.map.local_of(block_no), locker=locker
+        _, result = self._routed(
+            "lock", block_no, with_account=False, locker=locker
         )
+        return result
 
     def unlock(self, block_no: int, locker: int) -> None:
-        shard = self.map.shard_of(block_no)
-        self._call(
-            shard, "unlock", block_no=self.map.local_of(block_no), locker=locker
-        )
+        self._routed("unlock", block_no, with_account=False, locker=locker)
 
     def recover(self) -> list[int]:
-        """The §4 recovery operation, unioned across every shard."""
-        blocks: list[int] = []
-        for shard in range(self.map.shards):
-            for local in self._call(shard, "recover", account=self.account):
-                blocks.append(self.map.global_of(shard, local))
-        return sorted(blocks)
+        """The §4 recovery operation, unioned across every live shard."""
+        refreshes = self.stale_attempts
+        while True:
+            try:
+                blocks: list[int] = []
+                for idx, r in enumerate(self.placement.ranges):
+                    for local in self._port_call(
+                        r.port, "recover", shard_hint=idx, account=self.account
+                    ):
+                        blocks.append(r.global_of(local))
+                return sorted(blocks)
+            except PlacementStale:
+                if refreshes and self._refresh():
+                    refreshes -= 1
+                    continue
+                raise

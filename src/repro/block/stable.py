@@ -40,6 +40,7 @@ from typing import Any
 from repro.errors import (
     CompanionConflict,
     CorruptBlock,
+    PlacementStale,
     ServerCrashed,
     ServerUnreachable,
     WriteOnceViolation,
@@ -102,6 +103,13 @@ class StableServer:
         self._intentions: list[_Intention] = []
         self._recovering = False
         self._crashed = False
+        # Migration support (see repro.block.rebalance): while a live
+        # migration streams this server's blocks, a dirty set records every
+        # block mutated since the stream's snapshot; after cutover the
+        # retired-epoch stamp turns every client verb into PlacementStale.
+        self._dirty: set[int] | None = None
+        self._retired_epoch: int | None = None
+        self.restarts = 0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -110,6 +118,7 @@ class StableServer:
         stops routing to it, the disk keeps its contents."""
         self._crashed = True
         self._pending.clear()
+        self._dirty = None  # in-memory tracking is lost with the process
         self.local.crash()
         self.network.detach(self.name)
 
@@ -119,6 +128,7 @@ class StableServer:
         disk before accepting any requests")."""
         self._crashed = False
         self._recovering = True
+        self.restarts += 1
         self.local.restart()
         self.network.reattach(self.name)
 
@@ -158,6 +168,29 @@ class StableServer:
             raise ServerCrashed(f"{self.name} is crashed")
         if self._recovering:
             raise ServerCrashed(f"{self.name} is recovering; resync first")
+        if self._retired_epoch is not None:
+            raise PlacementStale(
+                f"{self.name} was cut over at placement epoch "
+                f"{self._retired_epoch}; refetch the placement map"
+            )
+
+    # -- migration support (dirty tracking + retirement) --------------------
+
+    def retire(self, epoch: int) -> None:
+        """Stamp this half retired as of a placement epoch: every client
+        verb now answers :class:`PlacementStale`.  The stamp survives
+        crash/restart cycles (it lives on the server object the way a
+        durable retirement record would on a real disk); companion-facing
+        commands keep working so the pair can still audit and resync."""
+        self._retired_epoch = epoch
+
+    def unretire(self) -> None:
+        """Roll back a retirement stamp (migration abort before cutover)."""
+        self._retired_epoch = None
+
+    def _note_dirty(self, block_no: int) -> None:
+        if self._dirty is not None:
+            self._dirty.add(block_no)
 
     # -- companion messaging ------------------------------------------------
 
@@ -297,6 +330,7 @@ class StableServer:
         elif op.kind == "free":
             self.local.free(op.account, op.block_no)
         self._pending.pop(op.block_no, None)
+        self._note_dirty(op.block_no)
         return op.block_no
 
     def _new_op(self, kind: str, account: int, block_no: int, data: bytes = b"") -> _PendingOp:
@@ -480,6 +514,7 @@ class StableServer:
         for op in ops:
             self.local.write(op.account, op.block_no, op.data)
             self._pending.pop(op.block_no, None)
+            self._note_dirty(op.block_no)
         return len(writes)
 
     def cmd_lock(self, block_no: int, locker: int) -> bool:
@@ -550,6 +585,7 @@ class StableServer:
         if self.local.owner_of(block_no) is None:
             self.local.allocate(account, hint=block_no)
         self.local.write(account, block_no, data)
+        self._note_dirty(block_no)
 
     def cmd_companion_reserve(self, account: int, block_no: int) -> None:
         """Reserve an allocation chosen by the other half (no data yet)."""
@@ -563,6 +599,7 @@ class StableServer:
             )
         if self.local.owner_of(block_no) is None:
             self.local.allocate(account, hint=block_no)
+        self._note_dirty(block_no)
 
     def cmd_companion_free(self, account: int, block_no: int) -> None:
         if self._crashed:
@@ -573,6 +610,7 @@ class StableServer:
             )
         if self.local.owner_of(block_no) is not None:
             self.local.free(account, block_no)
+        self._note_dirty(block_no)
 
     def cmd_companion_read(self, account: int, block_no: int) -> bytes:
         if self._crashed:
@@ -612,6 +650,7 @@ class StableServer:
             if self.local.owner_of(block_no) is None:
                 self.local.allocate(account, hint=block_no)
             self.local.write(account, block_no, data)
+            self._note_dirty(block_no)
 
     def cmd_fetch_intentions(self) -> list[_Intention]:
         """Hand the restarting companion the operations it missed.  The
@@ -626,6 +665,81 @@ class StableServer:
         if self._crashed:
             raise ServerCrashed(f"{self.name} is crashed")
         self._intentions = self._intentions[count:]
+
+    # -- migration command set -------------------------------------------------
+    #
+    # These verbs serve the live-migration driver (repro.block.rebalance),
+    # not ordinary clients, so like the companion set they check only
+    # _crashed: a retired source must keep answering export/manifest/dirty
+    # queries during the cutover fence, and a recovering half may still be
+    # audited.
+
+    def cmd_track_dirty(self, on: bool) -> bool:
+        """Arm (or disarm) dirty-block tracking for a migration stream."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        self._dirty = set() if on else None
+        return bool(on)
+
+    def _check_migration_read(self) -> None:
+        """Migration reads must come from an up-to-date disk: crashed and
+        recovering halves refuse (their twin answers), but a *retired*
+        half keeps serving — the fence reads it after cutting clients off."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        if self._recovering:
+            raise ServerCrashed(f"{self.name} is recovering; resync first")
+
+    def cmd_dirty_blocks(self, reset: bool = False) -> list[int]:
+        """Blocks mutated since tracking was armed (or last reset)."""
+        self._check_migration_read()
+        if self._dirty is None:
+            return []
+        blocks = sorted(self._dirty)
+        if reset:
+            self._dirty.clear()
+        return blocks
+
+    def cmd_manifest(self) -> list[tuple[int, int]]:
+        """Every allocated block with its owning account, for streaming."""
+        self._check_migration_read()
+        return sorted(
+            (block_no, self.local.owner_of(block_no))
+            for block_no in self.local.allocated_blocks()
+        )
+
+    def cmd_export(self, account: int, block_no: int) -> bytes:
+        """Read a block for migration, through the corruption-repair path."""
+        self._check_migration_read()
+        return self._checked_read(account, block_no)
+
+    def cmd_ingest(self, account: int, block_no: int, data: bytes) -> int:
+        """Install a streamed block at an exact local number on a migration
+        target, replicated companion-first like any write.  Idempotent: a
+        re-streamed block is overwritten; a block whose source owner changed
+        between rounds is freed and re-allocated under the new account."""
+        self._check_serving()
+        owner = self.local.owner_of(block_no)
+        if owner is not None and owner != account:
+            op = self._new_op("free", owner, block_no)
+            self._companion_step(op)
+            self.finish_op(op)
+            owner = None
+        kind = "write" if owner is not None else "alloc"
+        op = self._new_op(kind, account, block_no, data)
+        self._companion_step(op)
+        return self.finish_op(op)
+
+    def cmd_retire(self, epoch: int) -> None:
+        """Wire form of :meth:`retire`, for an operator driving remotely."""
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        self.retire(epoch)
+
+    def cmd_retired_epoch(self) -> int | None:
+        if self._crashed:
+            raise ServerCrashed(f"{self.name} is crashed")
+        return self._retired_epoch
 
 
 class StablePair:
@@ -650,6 +764,7 @@ class StablePair:
     ) -> None:
         self.network = network
         self.port = port
+        self.capacity = capacity
         if recorder is None:
             recorder = getattr(network, "recorder", None)
         self.disk_a = SimDisk(

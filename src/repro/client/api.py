@@ -81,6 +81,18 @@ class FileClient:
         # :meth:`history` is the committed-versions query.
         self.history_recorder = history
 
+    @classmethod
+    def from_discovery(cls, spec: str, node: str = "client", recorder=None, **kwargs):
+        """Join a served TCP deployment knowing only its ``discovery``
+        spec entry: bootstrap from the registry (service port, daemon
+        directory) and return a ready client.  The rest of the spec —
+        block and shard entries — is not needed; the directory carries
+        every daemon's socket address."""
+        from repro.net.cluster import bootstrap
+
+        network, payload = bootstrap(spec, node=node, recorder=recorder)
+        return cls(network, node, payload["service_port"], **kwargs)
+
     # -- raw command helpers ------------------------------------------------
 
     def _call(self, command: str, **params: Any) -> Any:

@@ -143,6 +143,26 @@ class CompanionConflict(BlockError):
 
 
 # ---------------------------------------------------------------------------
+# Placement / elastic-cluster errors
+# ---------------------------------------------------------------------------
+
+
+class PlacementError(ReproError):
+    """Base class for placement-map and cluster-elasticity failures."""
+
+
+class PlacementStale(PlacementError):
+    """The caller routed with an out-of-date placement map: the addressed
+    shard was cut over (retired) at some placement epoch, or a publish
+    lost the epoch compare-and-set.  The typed retry signal — refetch the
+    map and re-route; the operation itself never executed."""
+
+
+class UnknownShard(PlacementError):
+    """A block number (or port) maps to no range of the placement map."""
+
+
+# ---------------------------------------------------------------------------
 # File service errors
 # ---------------------------------------------------------------------------
 

@@ -28,7 +28,13 @@ see docs/NETWORKING.md for the wire format and the sim/TCP parity matrix.
 """
 
 from repro.net.aserver import AsyncNetServer
-from repro.net.cluster import TcpCluster, build_tcp_cluster, connect, parse_spec
+from repro.net.cluster import (
+    TcpCluster,
+    bootstrap,
+    build_tcp_cluster,
+    connect,
+    parse_spec,
+)
 from repro.net.server import NetServer
 from repro.net.transport import (
     AsyncTcpNetwork,
@@ -47,6 +53,7 @@ __all__ = [
     "TcpNetwork",
     "TcpTransaction",
     "WallClock",
+    "bootstrap",
     "build_tcp_cluster",
     "connect",
     "parse_spec",

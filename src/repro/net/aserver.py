@@ -69,6 +69,17 @@ READ_ONLY_COMMANDS = frozenset(
         # repair and lazy version-entry minting only.  renew_lease stays
         # locked — it feeds the write-paths cache via validate_cache.
         "read_current",
+        # Discovery / placement reads: pure dictionary lookups.
+        "placement",
+        "directory",
+        "bootstrap",
+        # Migration reads on a stable server: the manifest and the
+        # retirement stamp are pure dict/attribute reads.  ``export``
+        # stays locked — it reads through ``_checked_read``, which can
+        # perform repairing writes; ``dirty_blocks`` stays locked — its
+        # ``reset`` flag mutates the tracking set.
+        "manifest",
+        "retired_epoch",
     }
 )
 

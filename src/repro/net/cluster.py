@@ -50,6 +50,8 @@ class TcpCluster:
     shards: object = None  # ShardedBlockService on sharded deployments
     recorder: object = NULL_RECORDER
     history: object = None
+    discovery: object = None  # DiscoveryServer when built with discovery=True
+    discovery_port: int | None = None
 
     def fs(self, index: int = 0) -> FileService:
         return self.servers[index]
@@ -67,6 +69,8 @@ class TcpCluster:
     def spec(self) -> str:
         """The connection spec other processes parse (see module doc)."""
         ports = [("service", self.service_port), ("block", self.block_port)]
+        if self.discovery_port is not None:
+            ports.append(("discovery", self.discovery_port))
         if self.shards is not None:
             ports += [
                 ("shard%d" % i, port)
@@ -102,6 +106,7 @@ def build_tcp_cluster(
     call_timeout: float | None = None,
     async_mode: bool = False,
     lock_timeout: float | None = None,
+    discovery: bool = False,
 ) -> TcpCluster:
     """Build and start a localhost TCP deployment.
 
@@ -110,7 +115,11 @@ def build_tcp_cluster(
     ``async_mode=True`` hosts every daemon on the shared asyncio event
     loop (:class:`~repro.net.transport.AsyncTcpNetwork`): pipelined
     connections, lock-free reads, identical wire protocol and crash
-    semantics.
+    semantics.  ``discovery=True`` adds a discovery daemon: every other
+    daemon registers there with its socket address, the placement map is
+    published on sharded deployments, the spec string gains a
+    ``discovery`` entry, and other processes can join via
+    :func:`bootstrap` with only that entry.
     """
     rng = random.Random(seed)
     if recorder is None:
@@ -187,6 +196,47 @@ def build_tcp_cluster(
             )
         fs_list.append(service)
         endpoints.append(RpcEndpoint(network, name, service_port, service))
+
+    disc = None
+    discovery_port = None
+    if discovery:
+        from repro.net.discovery import attach_discovery
+
+        discovery_port = new_port(rng)
+        disc, disc_endpoint = attach_discovery(
+            network, discovery_port, service_port=service_port, recorder=recorder
+        )
+        endpoints.append(disc_endpoint)
+
+        def _register(name: str, kind: str, port: int) -> None:
+            address = network.address_of(name)
+            disc.cmd_register(
+                name=name,
+                kind=kind,
+                serves=port,
+                host=address[0] if address else None,
+                tcp_port=address[1] if address else None,
+            )
+
+        for i in range(servers):
+            _register(f"fs{i}", "fs", service_port)
+        pairs = sharded_service.pairs if sharded_service is not None else [pair]
+        for p in pairs:
+            for half in p.halves():
+                _register(half.name, "stable", p.port)
+        if sharded_service is not None:
+            disc.cmd_publish_placement(sharded_service.placement, 0)
+
+            def _republish(placement, previous, _service=sharded_service):
+                disc.cmd_publish_placement(placement, previous)
+                for p in _service.pairs:
+                    for half in p.halves():
+                        _register(half.name, "stable", p.port)
+                for p in _service.retired_pairs:
+                    for half in p.halves():
+                        disc.cmd_deregister(half.name)
+
+            sharded_service.publishers.append(_republish)
     return TcpCluster(
         network=network,
         rng=rng,
@@ -200,6 +250,8 @@ def build_tcp_cluster(
         shards=sharded_service,
         recorder=recorder,
         history=history,
+        discovery=disc,
+        discovery_port=discovery_port,
     )
 
 
@@ -245,3 +297,40 @@ def connect(
             network.register(name, host, tcp_port)
             network.listen_port(paper_port, name)
     return network, topology["service"][0]
+
+
+def bootstrap(
+    spec: str, node: str = "bootstrap", recorder=None,
+    call_timeout: float | None = None,
+) -> tuple[TcpNetwork, dict]:
+    """Join a deployment knowing only its ``discovery`` spec entry.
+
+    Dials the discovery daemon, fetches the bootstrap payload (service
+    port, placement map, daemon directory), and wires every advertised
+    daemon address into a fresh network — the directory replaces the
+    hand-written per-port spec entries :func:`connect` needs.  Returns
+    ``(network, payload)``; ``payload["service_port"]`` plus the network
+    is everything a :class:`~repro.client.api.FileClient` wants.
+    """
+    from repro.net.discovery import DiscoveryClient
+
+    topology = parse_spec(spec)
+    if "discovery" not in topology:
+        raise ValueError("spec has no 'discovery' entry")
+    discovery_port, addresses = topology["discovery"]
+    if not addresses:
+        raise ValueError("spec's 'discovery' entry lists no addresses")
+    network = TcpNetwork(recorder=recorder)
+    if call_timeout is not None:
+        network.call_timeout = call_timeout
+    for i, (host, tcp_port) in enumerate(addresses):
+        name = f"discovery-{i}"
+        network.register(name, host, tcp_port)
+        network.listen_port(discovery_port, name)
+    payload = DiscoveryClient(network, node, discovery_port).bootstrap()
+    for entry in payload["daemons"]:
+        if entry["host"] is None or entry["tcp_port"] is None:
+            continue
+        network.register(entry["name"], entry["host"], entry["tcp_port"])
+        network.listen_port(entry["port"], entry["name"])
+    return network, payload

@@ -97,6 +97,7 @@ _T_HANDLE = 0x0B
 _T_TAS = 0x0C
 _T_INTENTION = 0x0D
 _T_LEASE = 0x0E
+_T_PLACEMENT = 0x0F
 
 _U32 = struct.Struct(">I")
 _F64 = struct.Struct(">d")
@@ -106,11 +107,12 @@ def _lazy_types():
     """The service value types, imported lazily to avoid import cycles
     (block.stable imports sim.rpc; wire must stay importable first)."""
     from repro.block.server import TasResult
+    from repro.block.sharding import PlacementMap, ShardRange
     from repro.block.stable import _Intention
     from repro.core.cache import Lease
     from repro.core.service import VersionHandle
 
-    return VersionHandle, TasResult, _Intention, Lease
+    return VersionHandle, TasResult, _Intention, Lease, PlacementMap, ShardRange
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +126,7 @@ def encode_value(value: Any, out: bytearray | None = None, _depth: int = 0) -> b
         out = bytearray()
     if _depth > MAX_DEPTH:
         raise BadFrame(f"value nesting exceeds {MAX_DEPTH} levels")
-    VersionHandle, TasResult, _Intention, Lease = _lazy_types()
+    VersionHandle, TasResult, _Intention, Lease, PlacementMap, _ = _lazy_types()
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -184,6 +186,14 @@ def encode_value(value: Any, out: bytearray | None = None, _depth: int = 0) -> b
         out.append(_T_LEASE)
         encode_value(value.epoch, out, _depth + 1)
         encode_value(value.ttl, out, _depth + 1)
+    elif isinstance(value, PlacementMap):
+        out.append(_T_PLACEMENT)
+        encode_value(value.epoch, out, _depth + 1)
+        out += _U32.pack(len(value.ranges))
+        for r in value.ranges:
+            encode_value(r.lo, out, _depth + 1)
+            encode_value(r.hi, out, _depth + 1)
+            encode_value(r.port, out, _depth + 1)
     else:
         raise BadFrame(f"type {type(value).__name__} has no wire encoding")
     return bytes(out)
@@ -232,7 +242,9 @@ def decode_value(payload: bytes) -> Any:
 def _decode(reader: _Reader, depth: int) -> Any:
     if depth > MAX_DEPTH:
         raise BadFrame(f"value nesting exceeds {MAX_DEPTH} levels")
-    VersionHandle, TasResult, _Intention, Lease = _lazy_types()
+    VersionHandle, TasResult, _Intention, Lease, PlacementMap, ShardRange = (
+        _lazy_types()
+    )
     tag = reader.u8()
     if tag == _T_NONE:
         return None
@@ -290,6 +302,25 @@ def _decode(reader: _Reader, depth: int) -> Any:
         if not isinstance(epoch, int) or not isinstance(ttl, int):
             raise BadFrame("lease epoch and ttl must be integers")
         return Lease(epoch, ttl)
+    if tag == _T_PLACEMENT:
+        epoch = _decode(reader, depth + 1)
+        count = reader.u32()
+        ranges = []
+        for _ in range(count):
+            lo = _decode(reader, depth + 1)
+            hi = _decode(reader, depth + 1)
+            port = _decode(reader, depth + 1)
+            if not all(isinstance(v, int) for v in (lo, hi, port)):
+                raise BadFrame("placement range fields must be integers")
+            ranges.append((lo, hi, port))
+        if not isinstance(epoch, int):
+            raise BadFrame("placement epoch must be an integer")
+        try:
+            return PlacementMap(
+                epoch, tuple(ShardRange(lo, hi, port) for lo, hi, port in ranges)
+            )
+        except ValueError as exc:
+            raise BadFrame(f"invalid placement map on the wire: {exc}") from None
     raise BadFrame(f"unknown value tag {tag:#04x}")
 
 

@@ -123,6 +123,27 @@ def render_shard_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def render_placement_table(metrics: MetricsRegistry) -> str:
+    """Placement / rebalance activity: the current placement epoch gauge
+    next to the ``rebalance.*`` and ``discovery.*`` counters.  Empty
+    string when no epoch was ever recorded (no discovery service and no
+    reshape ran), so callers can append it conditionally."""
+    epoch = metrics.gauges.get("placement.epoch")
+    rows: list[tuple[str, int]] = []
+    for name in sorted(metrics.counters):
+        if name.startswith(("rebalance.", "discovery.")):
+            rows.append((name, metrics.counters[name].value))
+    if epoch is None and not rows:
+        return ""
+    width = max([len("placement.epoch")] + [len(n) for n, _ in rows])
+    lines = []
+    if epoch is not None:
+        lines.append(f"{'placement.epoch':<{width}} {epoch.value:>10}")
+    for name, value in rows:
+        lines.append(f"{name:<{width}} {value:>10}")
+    return "\n".join(lines)
+
+
 def render_net_table(metrics: MetricsRegistry) -> str:
     """Transport traffic: the simulated ``net.messages`` row next to the
     real-socket ``net.tcp.*`` counters (connections, requests, retries,
@@ -200,6 +221,9 @@ def render_report(recorder) -> str:
     shard_table = render_shard_table(recorder.metrics)
     if shard_table:
         sections.append("per-shard balance:\n" + shard_table)
+    placement_table = render_placement_table(recorder.metrics)
+    if placement_table:
+        sections.append("placement / rebalance:\n" + placement_table)
     cache_table = render_cache_table(recorder.metrics)
     if cache_table:
         sections.append("client cache:\n" + cache_table)

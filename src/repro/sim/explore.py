@@ -32,6 +32,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterator
 
+from repro.capability import new_port
 from repro.errors import ReproError, VersionCommitted
 from repro.client.api import FileClient
 from repro.core.gc import GarbageCollector
@@ -121,6 +122,12 @@ class SoakConfig:
     # the staleness bound (read lags superseding commit by ≤ TTL).
     leases: bool = False
     lease_ticks: int = 300
+    # Run a live shard migration in the middle of the workload (sharded
+    # topologies only): a rebalancer task streams one shard's committed
+    # pages to a fresh pair while clients keep committing, then cuts
+    # over with a single epoch bump.  The history checker proves no
+    # read or commit was served by the old pair after its cutover.
+    rebalance: bool = False
 
 
 @dataclass
@@ -136,6 +143,8 @@ class SoakReport:
     commits: int = 0
     conflicts: int = 0
     op_errors: int = 0  # operations that failed under injected faults
+    rebalances: int = 0  # live migrations that cut over
+    rebalance_aborts: int = 0  # migrations aborted by injected faults
 
     @property
     def ok(self) -> bool:
@@ -163,17 +172,25 @@ class SoakReport:
             line += " --group-commit"
         if cfg.leases:
             line += " --leases"
+        if cfg.rebalance:
+            line += " --rebalance"
         return line
 
     def summary(self) -> str:
         cfg = self.config
         topo = f"{cfg.shards} shards" if cfg.shards else "single pair"
         status = "ok" if self.ok else f"{len(self.violations())} violation(s)"
+        rebalance = ""
+        if cfg.rebalance:
+            rebalance = (
+                f", {self.rebalances} rebalance(s)"
+                f" ({self.rebalance_aborts} aborted)"
+            )
         return (
             f"soak seed={cfg.seed} ops={cfg.ops} ({topo}): {status}; "
             f"{self.steps} steps, {len(self.faults_fired)} faults, "
             f"{self.commits} commits, {self.conflicts} conflicts, "
-            f"{self.op_errors} faulted ops; {self.check.summary()}"
+            f"{self.op_errors} faulted ops{rebalance}; {self.check.summary()}"
         )
 
 
@@ -269,7 +286,11 @@ def apply_fault(cluster: Cluster, event: FaultEvent) -> None:
             if half._recovering:
                 half.resync()
     elif action in ("pair_down", "pair_up"):
-        pair = _pairs_of(cluster)[target[0]]
+        # Index modulo the live pair list: a rebalance may have swapped a
+        # pair out since the script was drawn, but the event still lands
+        # on a real (possibly new) shard.
+        pairs = _pairs_of(cluster)
+        pair = pairs[target[0] % len(pairs)]
         if action == "pair_down":
             for half in pair.halves():
                 if not half._crashed:
@@ -300,7 +321,13 @@ def recover_all(cluster: Cluster) -> None:
     resync every storage half, restart every file server."""
     cluster.network.heal_all()
     cluster.network.drop_policy.drop_every = None
-    for pair in _pairs_of(cluster):
+    pairs = _pairs_of(cluster)
+    if cluster.shards is not None:
+        # Retired pairs no longer serve, but their disks are still part
+        # of the deployment's durable state: resync them too so the
+        # final pair-agreement audit covers the pre-cutover history.
+        pairs += list(getattr(cluster.shards, "retired_pairs", ()))
+    for pair in pairs:
         for half in pair.halves():
             if half._crashed:
                 half.restart()
@@ -447,6 +474,45 @@ def _grouped_op(
     return None
 
 
+def _rebalance_script(
+    cluster: Cluster,
+    rng: random.Random,
+    delay: int,
+    history,
+    tally: dict,
+    attempts: int = 2,
+) -> Generator[None, None, None]:
+    """The mid-soak rebalancer: wait out ``delay`` steps, then live-migrate
+    one random shard to a fresh pair while the clients keep running.
+
+    An injected fault can abort the migration (both source halves down at
+    the wrong moment); the abort path discards the half-built target and
+    leaves the placement map untouched, so the script just tries again
+    with a fresh target — up to ``attempts`` times, like a real operator
+    retrying a reshape."""
+    from repro.block.rebalance import migrate_steps
+
+    service = cluster.shards
+    for attempt in range(attempts):
+        for _ in range(delay):
+            yield
+        index = rng.randrange(len(service.pairs))
+        target_port = new_port(rng)
+        try:
+            yield from migrate_steps(
+                service, index, target_port, node="rebalancer", history=history
+            )
+        except ReproError:
+            tally["rebalance_aborts"] += 1
+            continue
+        tally["rebalances"] += 1
+        # ``cluster.pair`` is the single-pair tooling's view of shard 0;
+        # keep it pointing at a pair that still serves.
+        cluster.pair = service.pairs[0]
+        return None
+    return None
+
+
 def _gc_script(cluster: Cluster, cycles: int) -> Generator[None, None, None]:
     """The concurrent garbage collector, riding out faults.
 
@@ -488,6 +554,8 @@ def _audit_final_state(
 def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
     """Run one deterministic soak and check everything it recorded."""
     recorder = recorder if recorder is not None else NULL_RECORDER
+    if config.rebalance and config.shards < 2:
+        raise ValueError("--rebalance needs a sharded topology (--shards >= 2)")
     history = HistoryRecorder()
     if config.shards >= 2:
         cluster = build_sharded_cluster(
@@ -496,6 +564,9 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             seed=config.seed,
             recorder=recorder,
             history=history,
+            # A rebalance soak also exercises the discovery republish
+            # path on every epoch bump.
+            discovery=config.rebalance,
         )
     else:
         cluster = build_cluster(
@@ -519,8 +590,11 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
 
     # -- tasks --------------------------------------------------------------
     scheduler = ExploreScheduler()
-    tally = {"commits": 0, "op_errors": 0}
+    tally = {"commits": 0, "op_errors": 0, "rebalances": 0, "rebalance_aborts": 0}
     per_client = max(1, config.ops // config.clients)
+    # Rough step horizon: each op takes a handful of yields.  Computed up
+    # front so the rebalancer's trigger point can be drawn from it.
+    horizon = max(20, per_client * config.clients * 3)
     for ci in range(config.clients):
         client = FileClient(
             cluster.network,
@@ -543,9 +617,15 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             ),
         )
     scheduler.spawn("soak-gc", _gc_script(cluster, cycles=3))
+    if config.rebalance:
+        rrng = random.Random(f"soak-{config.seed}-rebalance")
+        scheduler.spawn(
+            "soak-rebalance",
+            _rebalance_script(
+                cluster, rrng, max(3, horizon // 10), history, tally
+            ),
+        )
 
-    # Rough step horizon: each op takes a handful of yields.
-    horizon = max(20, per_client * config.clients * 3)
     script = random_fault_script(rng, config, horizon)
 
     def on_step(step: int) -> None:
@@ -589,6 +669,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
         commits=commits,
         conflicts=conflicts,
         op_errors=tally["op_errors"],
+        rebalances=tally["rebalances"],
+        rebalance_aborts=tally["rebalance_aborts"],
     )
 
 

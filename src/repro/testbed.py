@@ -49,6 +49,8 @@ class Cluster:
     shards: object = None  # ShardedBlockService on sharded deployments
     recorder: object = NULL_RECORDER  # the shared observability recorder
     history: object = None  # shared HistoryRecorder (verify.history), if any
+    discovery: object = None  # DiscoveryServer when built with discovery=True
+    discovery_port: int | None = None
 
     def fs(self, index: int = 0) -> FileService:
         """The ``index``-th file server process."""
@@ -155,6 +157,7 @@ def build_sharded_cluster(
     hop_ticks: int = 10,
     recorder=None,
     history=None,
+    discovery: bool = False,
 ) -> Cluster:
     """Build a deployment whose block storage is ``shards`` companion
     pairs behind a :class:`repro.block.sharding.ShardedBlockService`.
@@ -164,6 +167,11 @@ def build_sharded_cluster(
     shard-oblivious.  ``cluster.shards`` exposes the service (pairs,
     balance audits); ``cluster.pair`` and ``cluster.block_port`` point at
     shard 0 so single-pair tooling keeps working.
+
+    With ``discovery=True`` a :class:`repro.net.discovery.DiscoveryServer`
+    joins the deployment: every daemon is registered, the placement map
+    is published there (and re-published on every epoch bump), and
+    clients can bootstrap from ``cluster.discovery_port``.
     """
     from repro.block.sharding import ShardedBlockService
     from repro.core.cache import PageCache
@@ -194,7 +202,9 @@ def build_sharded_cluster(
             FILE_SERVICE_ACCOUNT,
             rng=rng,
             store=PageStore(
-                service.client(name, FILE_SERVICE_ACCOUNT, recorder=recorder),
+                service.client(
+                    name, FILE_SERVICE_ACCOUNT, recorder=recorder, history=history
+                ),
                 PageCache(cache_capacity, recorder=recorder),
                 recorder=recorder,
             ),
@@ -217,6 +227,38 @@ def build_sharded_cluster(
         history=history,
     )
     cluster.shards = service
+    if discovery:
+        from repro.net.discovery import attach_discovery
+
+        discovery_port = new_port(rng)
+        disc, disc_endpoint = attach_discovery(
+            network, discovery_port, service_port=service_port, recorder=recorder
+        )
+        endpoints.append(disc_endpoint)
+        for i, fs in enumerate(fs_list):
+            disc.cmd_register(name=f"fs{i}", kind="fs", serves=service_port)
+        for pair in service.pairs:
+            for half in pair.halves():
+                disc.cmd_register(name=half.name, kind="stable", serves=pair.port)
+        disc.cmd_publish_placement(service.placement, 0)
+
+        # Every epoch bump republishes, so bootstrapping clients always
+        # see the newest map the operator committed; the directory follows
+        # the pair churn (new pairs register, retired halves deregister).
+        def _republish(placement, previous, _disc=disc, _service=service):
+            _disc.cmd_publish_placement(placement, previous)
+            for pair in _service.pairs:
+                for half in pair.halves():
+                    _disc.cmd_register(
+                        name=half.name, kind="stable", serves=pair.port
+                    )
+            for pair in _service.retired_pairs:
+                for half in pair.halves():
+                    _disc.cmd_deregister(half.name)
+
+        service.publishers.append(_republish)
+        cluster.discovery = disc
+        cluster.discovery_port = discovery_port
     return cluster
 
 

@@ -33,6 +33,13 @@ protocol would corrupt).
    lease (recorded with its clock tick and lease TTL) may lag the commit
    that superseded the version it served by at most the TTL.
 
+6. **Stale placement** — elastic deployments record ``cutover`` events
+   (a shard retired at a placement-epoch bump, ``base`` = its port) and
+   ``shard_serve`` events (a block operation a shard actually answered,
+   ``base`` = the serving port).  No shard may serve *anything* after its
+   own cutover: the retirement stamp plus the atomic fence make this
+   impossible by construction, and this pass proves each run kept it.
+
 Files that saw structural surgery the recorder only summarises
 (``structure`` events: removes, splits, moves — they renumber sibling path
 names) are checked for the ordering invariants but skipped for path-keyed
@@ -57,7 +64,7 @@ class HistoryEvent:
     """
 
     seq: int
-    kind: str  # create|begin|read|write|append|structure|snapshot_read|commit|abort|crash|restart
+    kind: str  # create|begin|read|write|append|structure|snapshot_read|commit|abort|crash|restart|cutover|shard_serve
     actor: str
     file: int | None = None
     version: int | None = None
@@ -141,6 +148,8 @@ class CheckResult:
     snapshot_reads_checked: int = 0
     lease_reads_checked: int = 0  # lease-stamped reads held to the TTL bound
     unknown_version_reads: int = 0  # reads of versions the log never saw minted
+    cutovers_seen: int = 0  # shard retirements (placement epoch bumps)
+    shard_serves_checked: int = 0  # block ops checked against cutover order
     opaque_files: list[int] = field(default_factory=list)
 
     @property
@@ -160,6 +169,11 @@ class CheckResult:
         )
         if self.lease_reads_checked:
             line += f" ({self.lease_reads_checked} held to the lease bound)"
+        if self.cutovers_seen:
+            line += (
+                f"; {self.cutovers_seen} cutover(s), "
+                f"{self.shard_serves_checked} shard serves checked"
+            )
         return line
 
 
@@ -346,6 +360,30 @@ def check_history(
                 f"version {order[index + 1]} (tick {superseded_at}) by "
                 f"{lag} > lease ttl {event.ttl} (seq {event.seq}, actor "
                 f"{event.actor})",
+            )
+
+    # --- stale placement: no shard serves after its own cutover -------------
+    # A cutover event records the seq at which a port's pair was retired
+    # and the map bumped; every shard_serve names the port that actually
+    # answered.  seq order is linearisation order, so a serve with a
+    # higher seq than its port's cutover means a client reached a retired
+    # pair — the retirement fence leaked.
+    cutover_at: dict[int, tuple[int, int | None]] = {}  # port -> (seq, epoch)
+    for event in events:
+        if event.kind == "cutover" and event.base is not None:
+            cutover_at.setdefault(event.base, (event.seq, event.version))
+    result.cutovers_seen = len(cutover_at)
+    for event in events:
+        if event.kind != "shard_serve" or event.base is None:
+            continue
+        result.shard_serves_checked += 1
+        cut = cutover_at.get(event.base)
+        if cut is not None and event.seq > cut[0]:
+            result.violate(
+                "stale-placement",
+                f"port {event.base:#x} served {event.path!r} for "
+                f"{event.actor} at seq {event.seq}, after its cutover at "
+                f"seq {cut[0]} (placement epoch {cut[1]})",
             )
 
     # --- durable state must equal the committed replay ----------------------

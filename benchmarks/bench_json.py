@@ -350,11 +350,25 @@ def bench_net() -> dict:
     return netbench_document(schema=SCHEMA_VERSION)
 
 
+def bench_disk() -> dict:
+    """The durable-disk benchmark (real files, real fsyncs).
+
+    Gated half: the deterministic sync/write/message counters of the
+    untuned and fixed-batch passes.  The sync-cost-tuned pass and the
+    commits/sec speedup are wall-clock on whatever medium CI mounts —
+    committed as the record of the tuning claim, reported, not gated.
+    """
+    from repro.workloads.diskbench import diskbench_document
+
+    return diskbench_document(schema=SCHEMA_VERSION)
+
+
 BENCHES = {
     "BENCH_commit.json": bench_commit,
     "BENCH_scale.json": bench_scale,
     "BENCH_rebalance.json": bench_rebalance,
     "BENCH_net.json": bench_net,
+    "BENCH_disk.json": bench_disk,
 }
 
 

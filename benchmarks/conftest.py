@@ -27,6 +27,28 @@ def _fresh_results_file():
     yield
 
 
+@pytest.fixture(params=["sim", "disk"])
+def disk_backend(request, tmp_path):
+    """Block-medium parametrisation (same shape as the tests/ fixture):
+    benchmarks taking this run on simulated memory AND the durable
+    file-backed disk.  Returns a zero-argument callable producing
+    ``StablePair`` keyword arguments with a fresh data dir per call."""
+    import itertools
+
+    counter = itertools.count(1)
+
+    def kwargs() -> dict:
+        if request.param == "sim":
+            return {"backend": "sim", "data_dir": None}
+        return {
+            "backend": "disk",
+            "data_dir": str(tmp_path / f"disk{next(counter)}"),
+        }
+
+    kwargs.backend = request.param
+    return kwargs
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     """Stash each phase's report on the item so fixtures can see at

@@ -14,15 +14,15 @@ from repro.block.stable import StableClient, StablePair
 from repro.sim.network import Network
 
 
-def _pair(capacity=1 << 20):
+def _pair(capacity=1 << 20, **backend):
     net = Network()
-    pair = StablePair(net, 0x900, capacity=capacity, block_size=512)
+    pair = StablePair(net, 0x900, capacity=capacity, block_size=512, **backend)
     client = StableClient(net, "cli", 0x900, account=1)
     return net, pair, client
 
 
-def test_c7_replicated_write_cost(benchmark, report):
-    net, pair, client = _pair()
+def test_c7_replicated_write_cost(benchmark, report, disk_backend):
+    net, pair, client = _pair(**disk_backend())
 
     def one_write():
         return client.allocate_write(b"x" * 256)
@@ -36,11 +36,11 @@ def test_c7_replicated_write_cost(benchmark, report):
     assert pair.consistent()
 
 
-def test_c7_collisions_detected_before_damage(benchmark, report):
+def test_c7_collisions_detected_before_damage(benchmark, report, disk_backend):
     outcomes = {"detected": 0}
 
     def collision_round():
-        net, pair, client = _pair()
+        net, pair, client = _pair(**disk_backend())
         block = client.allocate_write(b"base")
         op = pair.a.begin_write(1, block, b"via A")
         with pytest.raises(CompanionConflict):
@@ -55,8 +55,8 @@ def test_c7_collisions_detected_before_damage(benchmark, report):
     report.row("every one detected at the companion step; disks never diverged")
 
 
-def test_c7_read_failover_and_repair(benchmark, report):
-    net, pair, client = _pair()
+def test_c7_read_failover_and_repair(benchmark, report, disk_backend):
+    net, pair, client = _pair(**disk_backend())
     blocks = [client.allocate_write(b"block%d" % i) for i in range(8)]
     for block in blocks:
         pair.disk_a.corrupt(block)
@@ -71,11 +71,11 @@ def test_c7_read_failover_and_repair(benchmark, report):
     assert pair.consistent()
 
 
-def test_c7_crash_resync_cost(benchmark, report):
+def test_c7_crash_resync_cost(benchmark, report, disk_backend):
     costs = {}
 
     def crash_cycle():
-        net, pair, client = _pair()
+        net, pair, client = _pair(**disk_backend())
         for i in range(4):
             client.allocate_write(b"pre%d" % i)
         pair.b.crash()

@@ -16,8 +16,10 @@ Subcommands:
   ``--leases`` (clients read through leases; lease-staleness checked),
   ``--rebalance`` (live-migrate one shard mid-workload; needs
   ``--shards >= 2``; the checker proves nothing was served by the old
-  pair after its cutover).  Exits nonzero and prints the replay command
-  on any violation.  See docs/SIMULATION.md.
+  pair after its cutover), ``--backend disk`` (run block storage on the
+  durable file-backed disk in a temp dir instead of simulated memory).
+  Exits nonzero and prints the replay command on any violation.  See
+  docs/SIMULATION.md.
 * ``cluster`` — operator verbs over a demo sharded deployment with a
   discovery service attached: ``status`` (placement map + daemon
   directory), ``split`` (split one shard's range at its capacity
@@ -26,6 +28,11 @@ Subcommands:
   topology and the shard operated on.  See docs/DISCOVERY.md.
 * ``serve``  — host the whole deployment as real TCP daemons on
   localhost (``--servers N``, ``--shards K``, ``--seed S``, ``--host``).
+  ``--data-dir PATH`` puts block storage on real files (the durable
+  ``block/fdisk.py`` backend): every acknowledged write survives process
+  death, the file table is checkpointed to disk, and serving again with
+  the same ``--data-dir`` and ``--seed`` recovers files, capabilities and
+  intentions lists by journal replay.  See docs/DURABILITY.md.
   ``--async`` hosts every daemon on one asyncio event loop (pipelined
   connections, lock-free reads) instead of a thread per connection.
   Prints a ``REPRO_SPEC=...`` line other processes hand to ``repro
@@ -268,6 +275,37 @@ def _stats(extra: list[str] | None = None) -> None:
     print("===============================")
     print(render_cache_table(lease_recorder.metrics))
 
+    # The same commit workload on the durable file-backed disk: the disk
+    # table shows the journal appends, the per-medium fsync counts, and
+    # the measured sync cost with its tuned group-commit window.
+    import tempfile
+
+    from repro.block.fdisk import measure_sync_cost, tuned_commit_window
+    from repro.obs.report import render_disk_table
+
+    with tempfile.TemporaryDirectory(prefix="repro-stats-") as data_dir:
+        disk_recorder = Recorder()
+        disk_cluster = build_cluster(
+            servers=1, seed=11, recorder=disk_recorder,
+            backend="disk", data_dir=data_dir,
+        )
+        fs = disk_cluster.fs()
+        for i in range(4):
+            cap = fs.create_file(b"durable file %d" % i)
+            handle = fs.create_version(cap)
+            fs.write_page(handle.version, ROOT, b"on real files")
+            fs.commit(handle.version)
+        sync_cost = measure_sync_cost(data_dir)
+        window = tuned_commit_window(sync_cost)
+        print()
+        print("durable disk (file-backed backend)")
+        print("==================================")
+        print(render_disk_table(disk_recorder.metrics))
+        print(
+            f"measured sync cost {sync_cost * 1e6:.0f} us -> tuned "
+            f"group-commit window {window * 1e3:.2f} ms"
+        )
+
     # The same commit loop once more over real localhost TCP sockets,
     # counted into the same recorder: the net table shows the simulated
     # message row next to the net.tcp.* counters.
@@ -299,6 +337,7 @@ def _soak(extra: list[str]) -> None:
     group_commit = False
     leases = False
     rebalance = False
+    backend = "sim"
     args = list(extra)
     while args:
         flag = args.pop(0)
@@ -323,6 +362,8 @@ def _soak(extra: list[str]) -> None:
             leases = True
         elif flag == "--rebalance":
             rebalance = True
+        elif flag == "--backend":
+            backend = args.pop(0)
         else:
             print(f"unknown soak flag {flag!r}")
             print(__doc__)
@@ -339,6 +380,7 @@ def _soak(extra: list[str]) -> None:
             group_commit=group_commit,
             leases=leases,
             rebalance=rebalance,
+            backend=backend,
         )
         report = run_soak(config)
         print(report.summary())
@@ -451,6 +493,7 @@ def _serve(extra: list[str]) -> None:
     bench = False
     async_mode = False
     discovery = False
+    data_dir = None
     bench_out = "BENCH_net.json"
     args = list(extra)
     while args:
@@ -463,6 +506,8 @@ def _serve(extra: list[str]) -> None:
             seed = int(args.pop(0))
         elif flag == "--host":
             host = args.pop(0)
+        elif flag == "--data-dir":
+            data_dir = args.pop(0)
         elif flag == "--smoke":
             smoke = True
         elif flag == "--bench":
@@ -491,7 +536,21 @@ def _serve(extra: list[str]) -> None:
             )
         )
 
+    import os
+    import threading
+
     recorder = Recorder()
+    if data_dir is not None:
+        os.makedirs(data_dir, exist_ok=True)
+        from repro.block.fdisk import measure_sync_cost, tuned_commit_window
+
+        sync_cost = measure_sync_cost(data_dir)
+        window = tuned_commit_window(sync_cost)
+        print(
+            f"disk backend: data dir {data_dir}, median fsync "
+            f"{sync_cost * 1e6:.0f} us, tuned commit window "
+            f"{window * 1e3:.2f} ms"
+        )
     cluster = build_tcp_cluster(
         servers=servers,
         shards=shards,
@@ -500,7 +559,50 @@ def _serve(extra: list[str]) -> None:
         recorder=recorder,
         async_mode=async_mode,
         discovery=discovery,
+        backend="disk" if data_dir is not None else "sim",
+        data_dir=data_dir,
     )
+    table_path = None
+    table_block = None
+    last_table = None
+    # Checkpoints run in the main thread while daemon threads serve; the
+    # file servers' shared dispatch lock serialises the two.
+    fs_lock = cluster.network._dispatch_groups.get("fs0", threading.Lock())
+    if data_dir is not None:
+        table_path = os.path.join(data_dir, "TABLE")
+        if os.path.exists(table_path):
+            with open(table_path) as fh:
+                table_block = int(fh.read().strip())
+            restored = cluster.fs().restore_registry(table_block)
+            print(
+                f"recovered {restored} file(s) from the on-disk file "
+                f"table (block {table_block})"
+            )
+        pending = sum(
+            len(half._intentions)
+            for pair in ([cluster.pair] if cluster.shards is None
+                         else cluster.shards.pairs)
+            for half in pair.halves()
+        )
+        if pending:
+            print(f"recovered {pending} pending intention(s) from disk")
+
+    def _checkpoint_table() -> None:
+        """Persist the file table iff it changed, then repoint TABLE."""
+        nonlocal table_block, last_table
+        with fs_lock:
+            raw = cluster.registry.serialize()
+            if raw == last_table:
+                return
+            table_block = cluster.fs().checkpoint_registry(table_block)
+        tmp = table_path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(str(table_block))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, table_path)
+        last_table = raw
+
     topology = f"{shards}-shard" if shards else "single-pair"
     daemon_kind = "async event-loop" if async_mode else "threaded"
     print(
@@ -511,7 +613,9 @@ def _serve(extra: list[str]) -> None:
     print("connect with:  python -m repro connect '<spec>'   (^C stops)")
     try:
         while True:
-            time.sleep(1)
+            if table_path is not None:
+                _checkpoint_table()
+            time.sleep(0.2 if table_path is not None else 1)
     except KeyboardInterrupt:
         pass
     finally:

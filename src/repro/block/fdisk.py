@@ -1,0 +1,717 @@
+"""A file-backed disk: the durable twin of :class:`~repro.block.disk.SimDisk`.
+
+§4 of the paper: "Writing a block must be an atomic action, with an
+acknowledgement that is returned after the block has been stored on disk."
+:class:`SimDisk` satisfies that by fiat; :class:`FDisk` satisfies it on a
+real filesystem, so companion recovery, intentions lists and the page
+store's version chains survive genuine process death (``kill -9``, power
+loss modelled as truncating unsynced bytes).
+
+On-disk layout (one directory per disk)::
+
+    <root>/meta.json        capacity / block size / write-once flag
+    <root>/journal.log      append-only CRC-framed redo journal
+    <root>/blocks/N.blk     one file per block: header + CRC + payload
+
+Durability protocol (write-ahead journal):
+
+* The **ack point** of every mutation is a journal append followed by one
+  ``fsync``.  Block files are then materialised via write-temp + rename —
+  deliberately *without* their own fsync, because the journal already
+  holds the data; a crash between sync and rename is repaired by replay.
+* ``write_many`` appends the whole batch and syncs **once** — this is the
+  group-commit lever: an M-page flush costs one disk sync, not M.
+* Recovery replays the journal's valid prefix over the block files and
+  truncates the tail at the first torn record (bad length or CRC).  Torn
+  or bit-rotten *block files* are detected at read time (:class:`CorruptBlock`,
+  never silent garbage) and healed by the companion-repair path upstream.
+* The journal is compacted once it outgrows ``journal_limit``: every dirty
+  block file is fsynced, then a fresh journal holding only the owner map
+  and pending intentions atomically replaces the old one.
+
+Block-server metadata (the owner map) and the companion intentions list
+ride the same journal, so :class:`~repro.block.server.BlockServer` and
+:class:`~repro.block.stable.StableServer` state is rebuilt from disk alone.
+
+Sync-cost tuning (*Characterizing Synchronous Writes in Stable Memory
+Devices*, PAPERS.md): :func:`measure_sync_cost` probes the medium's actual
+fsync latency and :func:`tuned_commit_window` / :func:`batch_size_for_window`
+turn it into a group-commit batch window — the measured device number the
+paper says should size the batch that amortises sync latency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from pathlib import Path
+
+from repro.errors import (
+    BlockTooLarge,
+    CorruptBlock,
+    DiskCrashed,
+    NoSuchBlock,
+    WriteOnceViolation,
+)
+from repro.block.disk import READ_TICKS, WRITE_TICKS, SimDisk
+
+# Journal record framing: u32 body length + u32 crc32(body), then the body.
+_FRAME = struct.Struct(">II")
+
+# Record types (first body byte).
+_REC_WRITE = 1  # >I block_no, payload
+_REC_ERASE = 2  # >I block_no
+_REC_OWNER = 3  # >IQ block_no, account
+_REC_DISOWN = 4  # >I block_no
+_REC_INTENT = 5  # >BIQ kind, block_no, account, payload
+_REC_INTENT_ACK = 6  # >I count
+
+_WRITE_HEAD = struct.Struct(">I")
+_OWNER_HEAD = struct.Struct(">IQ")
+_INTENT_HEAD = struct.Struct(">BIQ")
+
+# Intention kinds (wire form of stable._Intention.kind).
+_INTENT_KINDS = ("write", "reserve", "free")
+
+# Block file header: magic + block number + payload CRC + payload length.
+_BLOCK_MAGIC = b"RBLK"
+_BLOCK_HEAD = struct.Struct(">4sIII")
+
+# Default compaction threshold for the journal.
+JOURNAL_LIMIT = 8 << 20
+
+
+class ProcessDied(DiskCrashed):
+    """Raised by :class:`FaultingFDisk` at an armed crash point: the
+    simulated process is dead and every further operation fails."""
+
+
+class FDisk(SimDisk):
+    """A :class:`SimDisk` whose contents live in files under ``root``.
+
+    The full SimDisk surface (write / read / erase / holds / first_free /
+    crash / restore / corrupt / stats / tick accounting) is preserved —
+    the in-memory ``_blocks`` mirror is maintained for audits — but every
+    acknowledged mutation is durable: re-opening an ``FDisk`` on the same
+    root after process death recovers exactly the acknowledged state.
+
+    Beyond the SimDisk surface it persists the block-server owner map and
+    the stable-server intentions list (``set_owner`` / ``clear_owner`` /
+    ``recovered_owners`` / ``add_intention`` / ``ack_intentions`` /
+    ``recovered_intentions``), which the servers adopt when present.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        capacity: int,
+        block_size: int,
+        clock=None,
+        write_once: bool = False,
+        name: str = "fdisk",
+        recorder=None,
+        journal_limit: int = JOURNAL_LIMIT,
+    ) -> None:
+        super().__init__(
+            capacity, block_size, clock, write_once, name=name, recorder=recorder
+        )
+        self.root = Path(root)
+        self.journal_limit = journal_limit
+        self.fsyncs = 0
+        self.journal_appends = 0
+        self.journal_compactions = 0
+        self.recovered_records = 0
+        self.truncated_bytes = 0
+        self._owners: dict[int, int] = {}
+        self._intentions: list[tuple[str, int, int, bytes]] = []
+        self._unsynced: set[int] = set()
+        self._io_lock = threading.RLock()
+        self._blocks_dir = self.root / "blocks"
+        self._journal_path = self.root / "journal.log"
+        self._journal_size = 0
+        self._synced_size = 0
+        self._journal_file = None
+        self._open_or_recover()
+
+    # -- fault-injection hook (overridden by FaultingFDisk) -----------------
+
+    def _fault(self, point: str) -> None:
+        pass
+
+    # -- setup / recovery ---------------------------------------------------
+
+    def _open_or_recover(self) -> None:
+        meta_path = self.root / "meta.json"
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            for key, mine in (
+                ("capacity", self.capacity),
+                ("block_size", self.block_size),
+                ("write_once", self.write_once),
+            ):
+                if meta.get(key) != mine:
+                    raise ValueError(
+                        f"{self.root}: on-disk {key}={meta.get(key)!r} does not "
+                        f"match requested {mine!r}"
+                    )
+            self._recover()
+        else:
+            self._blocks_dir.mkdir(parents=True, exist_ok=True)
+            body = json.dumps(
+                {
+                    "capacity": self.capacity,
+                    "block_size": self.block_size,
+                    "write_once": self.write_once,
+                    "version": 1,
+                }
+            ).encode()
+            self._write_file_atomic(meta_path, body, sync=True)
+            self._journal_path.touch()
+        self._journal_file = open(self._journal_path, "ab")
+        self._journal_size = self._journal_path.stat().st_size
+        self._synced_size = self._journal_size
+
+    def _recover(self) -> None:
+        """Rebuild state from the block files plus journal replay."""
+        # Stray temp files are writes that never reached their rename;
+        # the journal decides their fate, the temps themselves are garbage.
+        for stray in self.root.rglob("*.tmp"):
+            stray.unlink(missing_ok=True)
+        for path in sorted(self._blocks_dir.glob("*.blk")):
+            try:
+                block_no = int(path.stem)
+            except ValueError:
+                continue
+            self._ever_written.add(block_no)
+            try:
+                payload = self._parse_block_file(path.read_bytes(), block_no)
+            except CorruptBlock:
+                # Keep the raw bytes so audits see the disagreement; reads
+                # re-check the file and raise CorruptBlock themselves.
+                payload = path.read_bytes()
+            self._blocks[block_no] = payload
+            self._checksums[block_no] = zlib.crc32(payload)
+        self._replay_journal()
+        if self.recorder.enabled:
+            self.recorder.count("disk.recover.replayed", self.recovered_records)
+            if self.truncated_bytes:
+                self.recorder.count(
+                    "disk.recover.truncated_bytes", self.truncated_bytes
+                )
+
+    def _replay_journal(self) -> None:
+        if not self._journal_path.exists():
+            return
+        raw = self._journal_path.read_bytes()
+        offset = 0
+        valid = 0
+        while offset + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, offset)
+            body = raw[offset + _FRAME.size : offset + _FRAME.size + length]
+            if len(body) < length or zlib.crc32(body) != crc or not body:
+                break  # torn tail: everything past `valid` is lost
+            self._apply_record(body)
+            offset += _FRAME.size + length
+            valid = offset
+            self.recovered_records += 1
+        if valid < len(raw):
+            self.truncated_bytes = len(raw) - valid
+            with open(self._journal_path, "r+b") as fh:
+                fh.truncate(valid)
+                os.fsync(fh.fileno())
+
+    def _apply_record(self, body: bytes) -> None:
+        kind = body[0]
+        rest = body[1:]
+        if kind == _REC_WRITE:
+            (block_no,) = _WRITE_HEAD.unpack_from(rest)
+            payload = rest[_WRITE_HEAD.size :]
+            if self._blocks.get(block_no) != payload:
+                self._materialize(block_no, payload, faults=False)
+            self._blocks[block_no] = payload
+            self._checksums[block_no] = zlib.crc32(payload)
+            self._ever_written.add(block_no)
+        elif kind == _REC_ERASE:
+            (block_no,) = _WRITE_HEAD.unpack_from(rest)
+            (self._blocks_dir / f"{block_no}.blk").unlink(missing_ok=True)
+            self._blocks.pop(block_no, None)
+            self._checksums.pop(block_no, None)
+            self._ever_written.discard(block_no)
+        elif kind == _REC_OWNER:
+            block_no, account = _OWNER_HEAD.unpack_from(rest)
+            self._owners[block_no] = account
+        elif kind == _REC_DISOWN:
+            (block_no,) = _WRITE_HEAD.unpack_from(rest)
+            self._owners.pop(block_no, None)
+        elif kind == _REC_INTENT:
+            code, block_no, account = _INTENT_HEAD.unpack_from(rest)
+            payload = rest[_INTENT_HEAD.size :]
+            self._intentions.append(
+                (_INTENT_KINDS[code], account, block_no, payload)
+            )
+        elif kind == _REC_INTENT_ACK:
+            (count,) = _WRITE_HEAD.unpack_from(rest)
+            del self._intentions[:count]
+        # Unknown record types are skipped: a newer writer's journal still
+        # replays the records this reader understands.
+
+    # -- journal write path -------------------------------------------------
+
+    def _frame(self, body: bytes) -> tuple[bytes, bytes]:
+        return _FRAME.pack(len(body), zlib.crc32(body)), body
+
+    def _append_records(self, bodies: list[bytes], sync: bool = True) -> None:
+        """Append framed records and (optionally) fsync — the ack point."""
+        fh = self._journal_file
+        self._fault("journal.before_append")
+        for i, body in enumerate(bodies):
+            if i:
+                self._fault("batch.mid_records")
+            head, body = self._frame(body)
+            fh.write(head)
+            self._fault("journal.mid_append")
+            fh.write(body)
+            self._journal_size += len(head) + len(body)
+            self.journal_appends += 1
+        fh.flush()
+        if sync:
+            self.sync_journal()
+        if self.recorder.enabled:
+            self.recorder.count("disk.journal.appends", len(bodies))
+
+    def sync_journal(self) -> None:
+        """fsync the journal: everything appended so far is now durable."""
+        fh = self._journal_file
+        fh.flush()
+        self._fault("journal.before_sync")
+        os.fsync(fh.fileno())
+        self._synced_size = self._journal_size
+        self.fsyncs += 1
+        if self.recorder.enabled:
+            self.recorder.count("disk.fsync.journal")
+        self._fault("journal.after_sync")
+
+    def _maybe_compact(self) -> None:
+        if self._journal_size > self.journal_limit:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Compact the journal: fsync every dirty block file, then replace
+        the journal with a fresh one holding only the owner map and the
+        pending intentions.  Atomic via write-temp + rename; a crash at any
+        point leaves either the old journal or the new one, both complete.
+        """
+        with self._io_lock:
+            for block_no in sorted(self._unsynced):
+                path = self._blocks_dir / f"{block_no}.blk"
+                if not path.exists():
+                    continue
+                with open(path, "rb") as fh:
+                    os.fsync(fh.fileno())
+                self.fsyncs += 1
+                if self.recorder.enabled:
+                    self.recorder.count("disk.fsync.block")
+            self._fsync_dir(self._blocks_dir)
+            self._unsynced.clear()
+            bodies = [
+                bytes([_REC_OWNER]) + _OWNER_HEAD.pack(block_no, account)
+                for block_no, account in sorted(self._owners.items())
+            ]
+            bodies += [
+                bytes([_REC_INTENT])
+                + _INTENT_HEAD.pack(_INTENT_KINDS.index(kind), block_no, account)
+                + payload
+                for kind, account, block_no, payload in self._intentions
+            ]
+            raw = b"".join(b"".join(self._frame(body)) for body in bodies)
+            self._journal_file.close()
+            self._write_file_atomic(self._journal_path, raw, sync=True)
+            self._journal_file = open(self._journal_path, "ab")
+            self._journal_size = len(raw)
+            self._synced_size = len(raw)
+            self.journal_compactions += 1
+            if self.recorder.enabled:
+                self.recorder.count("disk.journal.compactions")
+
+    # -- block file I/O -----------------------------------------------------
+
+    def _write_file_atomic(self, path: Path, body: bytes, sync: bool) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(body)
+            if sync:
+                os.fsync(fh.fileno())
+                self.fsyncs += 1
+        os.replace(tmp, path)
+        if sync:
+            self._fsync_dir(path.parent)
+
+    def _fsync_dir(self, path: Path) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.fsyncs += 1
+        if self.recorder.enabled:
+            self.recorder.count("disk.fsync.dir")
+
+    def _materialize(self, block_no: int, data: bytes, faults: bool = True) -> None:
+        """Install a block file via write-temp + rename (atomic, unsynced:
+        the journal is the durable copy until the next checkpoint)."""
+        path = self._blocks_dir / f"{block_no}.blk"
+        tmp = path.with_suffix(".blk.tmp")
+        if faults:
+            self._fault("block.before_temp")
+        with open(tmp, "wb") as fh:
+            fh.write(
+                _BLOCK_HEAD.pack(_BLOCK_MAGIC, block_no, zlib.crc32(data), len(data))
+            )
+            fh.write(data)
+        if faults:
+            self._fault("block.after_temp")
+        os.replace(tmp, path)
+        self._unsynced.add(block_no)
+        if faults:
+            self._fault("block.after_rename")
+
+    def _parse_block_file(self, raw: bytes, block_no: int) -> bytes:
+        if len(raw) < _BLOCK_HEAD.size:
+            raise CorruptBlock(f"block {block_no}: file shorter than its header")
+        magic, stored_no, crc, length = _BLOCK_HEAD.unpack_from(raw)
+        payload = raw[_BLOCK_HEAD.size :]
+        if (
+            magic != _BLOCK_MAGIC
+            or stored_no != block_no
+            or len(payload) != length
+            or zlib.crc32(payload) != crc
+        ):
+            raise CorruptBlock(f"block {block_no} failed its on-disk checksum")
+        return payload
+
+    # -- SimDisk surface ----------------------------------------------------
+
+    def write(self, block_no: int, data: bytes) -> None:
+        self._check_up()
+        if not 1 <= block_no <= self.capacity:
+            raise NoSuchBlock(f"block {block_no} out of range 1..{self.capacity}")
+        if len(data) > self.block_size:
+            raise BlockTooLarge(f"{len(data)} bytes > block size {self.block_size}")
+        if block_no in self._ever_written:
+            if self.write_once:
+                raise WriteOnceViolation(
+                    f"block {block_no} already written on write-once media"
+                )
+            self.stats.overwrites += 1
+        self.clock.advance(WRITE_TICKS)
+        with self._io_lock:
+            body = bytes([_REC_WRITE]) + _WRITE_HEAD.pack(block_no) + data
+            self._append_records([body])  # ← the ack point
+            self._materialize(block_no, data)
+            self._blocks[block_no] = data
+            self._checksums[block_no] = zlib.crc32(data)
+            self._ever_written.add(block_no)
+            self._maybe_compact()
+        self.stats.writes += 1
+        if self.recorder.enabled:
+            self.recorder.event("disk.write", disk=self.name, block=block_no)
+
+    def write_many(self, writes: list[tuple[int, bytes]]) -> None:
+        """Write a batch of blocks durably with **one** journal sync.
+
+        Group commit's medium-level payoff: the whole batch becomes durable
+        at a single fsync, after which each block file is materialised.
+        The batch is atomic at the journal level — after a crash, either a
+        prefix of nothing-acked survives (the sync never ran) or the whole
+        batch replays.
+        """
+        self._check_up()
+        for block_no, data in writes:
+            if not 1 <= block_no <= self.capacity:
+                raise NoSuchBlock(
+                    f"block {block_no} out of range 1..{self.capacity}"
+                )
+            if len(data) > self.block_size:
+                raise BlockTooLarge(
+                    f"{len(data)} bytes > block size {self.block_size}"
+                )
+            if block_no in self._ever_written and self.write_once:
+                raise WriteOnceViolation(
+                    f"block {block_no} already written on write-once media"
+                )
+        with self._io_lock:
+            bodies = [
+                bytes([_REC_WRITE]) + _WRITE_HEAD.pack(block_no) + data
+                for block_no, data in writes
+            ]
+            self._append_records(bodies)  # one sync for the whole batch
+            for i, (block_no, data) in enumerate(writes):
+                if i:
+                    self._fault("batch.mid_materialize")
+                self._materialize(block_no, data)
+                if block_no in self._ever_written:
+                    self.stats.overwrites += 1
+                self._blocks[block_no] = data
+                self._checksums[block_no] = zlib.crc32(data)
+                self._ever_written.add(block_no)
+            self._maybe_compact()
+        for block_no, _ in writes:
+            self.clock.advance(WRITE_TICKS)
+            self.stats.writes += 1
+            if self.recorder.enabled:
+                self.recorder.event("disk.write", disk=self.name, block=block_no)
+
+    def read(self, block_no: int) -> bytes:
+        self._check_up()
+        if block_no not in self._blocks:
+            raise NoSuchBlock(f"block {block_no} not written")
+        self.clock.advance(READ_TICKS)
+        path = self._blocks_dir / f"{block_no}.blk"
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise CorruptBlock(f"block {block_no}: backing file missing") from None
+        data = self._parse_block_file(raw, block_no)
+        self.stats.reads += 1
+        if self.recorder.enabled:
+            self.recorder.event("disk.read", disk=self.name, block=block_no)
+        return data
+
+    def erase(self, block_no: int) -> None:
+        self._check_up()
+        if self.write_once:
+            return
+        with self._io_lock:
+            body = bytes([_REC_ERASE]) + _WRITE_HEAD.pack(block_no)
+            self._append_records([body])
+            (self._blocks_dir / f"{block_no}.blk").unlink(missing_ok=True)
+            self._fault("erase.after_unlink")
+            self._blocks.pop(block_no, None)
+            self._checksums.pop(block_no, None)
+            self._ever_written.discard(block_no)
+            self._unsynced.discard(block_no)
+            self._maybe_compact()
+        self.stats.frees += 1
+        if self.recorder.enabled:
+            self.recorder.event("disk.free", disk=self.name, block=block_no)
+
+    def corrupt(self, block_no: int) -> None:
+        """Flip a byte in the on-disk block file (and the audit mirror),
+        modelling media decay; the next read raises :class:`CorruptBlock`."""
+        if block_no not in self._blocks:
+            return
+        super().corrupt(block_no)
+        path = self._blocks_dir / f"{block_no}.blk"
+        if path.exists():
+            raw = bytearray(path.read_bytes())
+            if raw:
+                raw[-1] ^= 0xFF
+            else:
+                raw = bytearray(b"\xff")
+            with open(path, "r+b") as fh:
+                fh.seek(0)
+                fh.write(bytes(raw))
+                fh.truncate(len(raw))
+
+    # -- durable server metadata --------------------------------------------
+
+    def set_owner(self, block_no: int, account: int, sync: bool = True) -> None:
+        """Durably record that ``block_no`` belongs to ``account``."""
+        with self._io_lock:
+            self._owners[block_no] = account
+            body = bytes([_REC_OWNER]) + _OWNER_HEAD.pack(block_no, account)
+            self._append_records([body], sync=sync)
+            self._maybe_compact()
+
+    def clear_owner(self, block_no: int, sync: bool = True) -> None:
+        with self._io_lock:
+            self._owners.pop(block_no, None)
+            body = bytes([_REC_DISOWN]) + _WRITE_HEAD.pack(block_no)
+            self._append_records([body], sync=sync)
+            self._maybe_compact()
+
+    def recovered_owners(self) -> dict[int, int]:
+        """The owner map as of the last durable record (for BlockServer)."""
+        return dict(self._owners)
+
+    def add_intention(
+        self, kind: str, account: int, block_no: int, data: bytes = b"",
+        sync: bool = True,
+    ) -> None:
+        """Durably append one intentions-list entry for a crashed companion."""
+        with self._io_lock:
+            self._intentions.append((kind, account, block_no, data))
+            body = (
+                bytes([_REC_INTENT])
+                + _INTENT_HEAD.pack(_INTENT_KINDS.index(kind), block_no, account)
+                + data
+            )
+            self._append_records([body], sync=sync)
+            self._maybe_compact()
+
+    def ack_intentions(self, count: int) -> None:
+        """The companion applied the first ``count`` intentions: drop them
+        durably (a restart must not re-offer acknowledged intentions)."""
+        with self._io_lock:
+            del self._intentions[:count]
+            body = bytes([_REC_INTENT_ACK]) + _WRITE_HEAD.pack(count)
+            self._append_records([body])
+
+    def recovered_intentions(self) -> list[tuple[str, int, int, bytes]]:
+        """Pending ``(kind, account, block_no, data)`` intentions on disk."""
+        return list(self._intentions)
+
+    def close(self) -> None:
+        if self._journal_file is not None and not self._journal_file.closed:
+            self.sync_journal()
+            self._journal_file.close()
+
+
+# ---------------------------------------------------------------------------
+# crash-point injection
+# ---------------------------------------------------------------------------
+
+# Every syscall boundary the write paths cross, in execution order.  The
+# recovery test suite parametrises over all of them; ``batch.*`` points
+# only fire on write_many, ``erase.*`` only on erase.
+CRASH_POINTS = (
+    "journal.before_append",
+    "journal.mid_append",
+    "batch.mid_records",
+    "journal.before_sync",
+    "journal.after_sync",
+    "block.before_temp",
+    "block.after_temp",
+    "block.after_rename",
+    "batch.mid_materialize",
+    "erase.after_unlink",
+)
+
+# Crash points at which appended-but-unsynced journal bytes are torn away
+# (the volatile cache never reached the platter).  ``journal.mid_append``
+# deliberately KEEPS its partial record: that is the torn-tail case the
+# replay's CRC framing must truncate.
+_LOSES_UNSYNCED = frozenset({"journal.before_sync"})
+
+
+class FaultingFDisk(FDisk):
+    """An :class:`FDisk` that dies at an armed crash point.
+
+    ``die_at`` names a :data:`CRASH_POINTS` entry; ``countdown`` selects
+    the n-th time execution reaches it (1 = first).  Death raises
+    :class:`ProcessDied`, truncates unsynced journal bytes when the point
+    models a lost volatile cache, and makes every later operation fail —
+    recovery is then exercised by opening a plain :class:`FDisk` on the
+    same root, exactly as a restarted process would.
+    """
+
+    def __init__(self, *args, die_at: str | None = None, countdown: int = 1,
+                 **kwargs) -> None:
+        self._die_at = None  # hooks fire during __init__'s recovery
+        self._countdown = 0
+        self._dead = False
+        super().__init__(*args, **kwargs)
+        if die_at is not None and die_at not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {die_at!r}")
+        self._die_at = die_at
+        self._countdown = countdown
+
+    def arm(self, die_at: str, countdown: int = 1) -> None:
+        if die_at not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {die_at!r}")
+        self._die_at = die_at
+        self._countdown = countdown
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def _fault(self, point: str) -> None:
+        if self._dead:
+            raise ProcessDied(f"{self.name} died earlier")
+        if point != self._die_at:
+            return
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._dead = True
+        self._journal_file.flush()
+        self._journal_file.close()
+        if point in _LOSES_UNSYNCED and self._synced_size < self._journal_size:
+            with open(self._journal_path, "r+b") as fh:
+                fh.truncate(self._synced_size)
+        raise ProcessDied(f"{self.name} died at crash point {point}")
+
+    def _check_up(self) -> None:
+        if self._dead:
+            raise ProcessDied(f"{self.name} is dead (crash point fired)")
+        super()._check_up()
+
+
+# ---------------------------------------------------------------------------
+# sync-cost probe and group-commit window tuning
+# ---------------------------------------------------------------------------
+
+
+def measure_sync_cost(
+    path: str | os.PathLike, samples: int = 16, payload: int = 4096
+) -> float:
+    """Median fsync latency (seconds) for small writes in ``path``.
+
+    The probe appends ``payload`` bytes and fsyncs, ``samples`` times, on a
+    scratch file in the target directory — the same directory the journal
+    will live in, so the number reflects the actual medium (tmpfs, SSD,
+    spinning rust) rather than an assumption.
+    """
+    probe = Path(path) / f".synccost-{os.getpid()}.tmp"
+    data = b"\x5a" * payload
+    times: list[float] = []
+    try:
+        with open(probe, "wb") as fh:
+            for _ in range(max(3, samples)):
+                fh.write(data)
+                start = time.perf_counter()
+                os.fsync(fh.fileno())
+                times.append(time.perf_counter() - start)
+    finally:
+        probe.unlink(missing_ok=True)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def tuned_commit_window(
+    sync_cost: float,
+    factor: float = 2.0,
+    floor: float = 0.0002,
+    ceiling: float = 0.05,
+) -> float:
+    """The group-commit batch window (seconds) for a measured sync cost.
+
+    Rule of thumb from the sync-write characterisation literature: wait
+    about ``factor`` device syncs before forcing the journal — arrivals
+    during the wait share one sync, while no commit is delayed by more
+    than a couple of device-sync times.  Clamped to keep the window sane
+    on extreme media (tmpfs: microseconds; laptop disk with barriers:
+    tens of milliseconds).
+    """
+    return min(ceiling, max(floor, factor * sync_cost))
+
+
+def batch_size_for_window(
+    window: float, interarrival: float, cap: int = 16
+) -> int:
+    """How many commits share one sync given the batch window and the
+    mean interarrival time of ready-to-commit updates.
+
+    Group commit is self-clocking: with any nonzero window, a committer
+    that just finished a sync finds at least the arrivals that queued
+    behind it, so a saturated system always batches ≥ 2.
+    """
+    batch = 1 + int(window / max(interarrival, 1e-9))
+    if window > 0:
+        batch = max(batch, 2)
+    return max(1, min(cap, batch))

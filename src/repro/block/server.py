@@ -78,6 +78,14 @@ class BlockServer:
         self._locks: dict[int, int] = {}  # block -> locker id (a port)
         self._alloc_cursor = 1
         self._crashed = False
+        # A durable disk (block.fdisk.FDisk) journals the owner map; seed
+        # from it so a process restart recovers protection state, and keep
+        # it updated on every allocate/free.  SimDisk has neither hook.
+        self._persist_owner = getattr(disk, "set_owner", None)
+        self._persist_disown = getattr(disk, "clear_owner", None)
+        recovered = getattr(disk, "recovered_owners", None)
+        if recovered is not None:
+            self._owner.update(recovered())
 
     # -- lifecycle -------------------------------------------------------
 
@@ -135,6 +143,8 @@ class BlockServer:
         if block_no > self.disk.capacity:
             raise DiskFull(f"block {block_no} beyond capacity {self.disk.capacity}")
         self._owner[block_no] = account
+        if self._persist_owner is not None:
+            self._persist_owner(block_no, account)
         if self.recorder.enabled:
             self.recorder.event("block.alloc", server=self.name, block=block_no)
         return block_no
@@ -152,6 +162,24 @@ class BlockServer:
         self.write(account, block_no, data)
         return block_no
 
+    def write_many(self, account: int, writes: list[tuple[int, bytes]]) -> None:
+        """Atomically write a batch of allocated blocks.
+
+        On a durable disk the whole batch becomes stable at one journal
+        sync (``FDisk.write_many``); on a plain SimDisk it degrades to a
+        loop of atomic writes.  Ownership is checked for every member
+        before anything is written.
+        """
+        self._check_up()
+        for block_no, _ in writes:
+            self._check_owner(block_no, account)
+        batched = getattr(self.disk, "write_many", None)
+        if batched is not None:
+            batched(writes)
+        else:
+            for block_no, data in writes:
+                self.disk.write(block_no, data)
+
     def read(self, account: int, block_no: int) -> bytes:
         """Read an allocated block, enforcing ownership."""
         self._check_up()
@@ -163,6 +191,8 @@ class BlockServer:
         self._check_up()
         self._check_owner(block_no, account)
         del self._owner[block_no]
+        if self._persist_disown is not None:
+            self._persist_disown(block_no)
         self._locks.pop(block_no, None)
         self.disk.erase(block_no)
 

@@ -101,6 +101,17 @@ class StableServer:
         self._next_op = 1
         self._alloc_cursor = 1  # rotating allocation cursor (see _choose_block)
         self._intentions: list[_Intention] = []
+        # A durable disk (block.fdisk.FDisk) journals the intentions list;
+        # seed from it so intentions recorded for a crashed companion
+        # survive *this* server's own process death too.
+        self._persist_intent = getattr(disk, "add_intention", None)
+        self._persist_intent_ack = getattr(disk, "ack_intentions", None)
+        recovered = getattr(disk, "recovered_intentions", None)
+        if recovered is not None:
+            self._intentions = [
+                _Intention(kind, account, block_no, data)
+                for kind, account, block_no, data in recovered()
+            ]
         self._recovering = False
         self._crashed = False
         # Migration support (see repro.block.rebalance): while a live
@@ -172,6 +183,15 @@ class StableServer:
             raise PlacementStale(
                 f"{self.name} was cut over at placement epoch "
                 f"{self._retired_epoch}; refetch the placement map"
+            )
+
+    def _record_intention(self, intent: _Intention, sync: bool = True) -> None:
+        """Append to the intentions list, durably when the disk journals."""
+        self._intentions.append(intent)
+        if self._persist_intent is not None:
+            self._persist_intent(
+                intent.kind, intent.account, intent.block_no, intent.data,
+                sync=sync,
             )
 
     # -- migration support (dirty tracking + retirement) --------------------
@@ -263,15 +283,13 @@ class StableServer:
             raise
         except (ServerUnreachable, ServerCrashed):
             if op.kind == "free":
-                self._intentions.append(
-                    _Intention("free", op.account, op.block_no)
-                )
+                self._record_intention(_Intention("free", op.account, op.block_no))
             elif op.kind == "reserve":
-                self._intentions.append(
+                self._record_intention(
                     _Intention("reserve", op.account, op.block_no)
                 )
             else:
-                self._intentions.append(
+                self._record_intention(
                     _Intention("write", op.account, op.block_no, op.data)
                 )
             if self.recorder.enabled:
@@ -500,10 +518,15 @@ class StableServer:
                 self._pending.pop(op.block_no, None)
             raise
         except (ServerUnreachable, ServerCrashed):
+            # One journal sync covers the whole batch of intentions on a
+            # durable disk (sync=False per record, one final sync).
             for block_no, data in writes:
-                self._intentions.append(
-                    _Intention("write", account, block_no, data)
+                self._record_intention(
+                    _Intention("write", account, block_no, data), sync=False
                 )
+            flush = getattr(self.local.disk, "sync_journal", None)
+            if flush is not None:
+                flush()
             if self.recorder.enabled:
                 self.recorder.event(
                     "stable.intention",
@@ -511,8 +534,10 @@ class StableServer:
                     kind="write_many",
                     blocks=len(writes),
                 )
+        # The local apply is one batched disk transaction: a single journal
+        # sync on durable media, a loop of atomic writes on SimDisk.
+        self.local.write_many(account, [(op.block_no, op.data) for op in ops])
         for op in ops:
-            self.local.write(op.account, op.block_no, op.data)
             self._pending.pop(op.block_no, None)
             self._note_dirty(op.block_no)
         return len(writes)
@@ -646,10 +671,11 @@ class StableServer:
                     f"{self.name}: companion batch collides with local "
                     f"{mine.kind} op on block {block_no}"
                 )
-        for block_no, data in writes:
+        for block_no, _ in writes:
             if self.local.owner_of(block_no) is None:
                 self.local.allocate(account, hint=block_no)
-            self.local.write(account, block_no, data)
+        self.local.write_many(account, list(writes))
+        for block_no, _ in writes:
             self._note_dirty(block_no)
 
     def cmd_fetch_intentions(self) -> list[_Intention]:
@@ -665,6 +691,8 @@ class StableServer:
         if self._crashed:
             raise ServerCrashed(f"{self.name} is crashed")
         self._intentions = self._intentions[count:]
+        if self._persist_intent_ack is not None and count:
+            self._persist_intent_ack(count)
 
     # -- migration command set -------------------------------------------------
     #
@@ -761,20 +789,45 @@ class StablePair:
         name_b: str = "blockB",
         write_once: bool = False,
         recorder=None,
+        backend: str = "sim",
+        data_dir: str | None = None,
     ) -> None:
         self.network = network
         self.port = port
         self.capacity = capacity
+        self.backend = backend
         if recorder is None:
             recorder = getattr(network, "recorder", None)
-        self.disk_a = SimDisk(
-            capacity, block_size, network.clock, write_once,
-            name=name_a, recorder=recorder,
-        )
-        self.disk_b = SimDisk(
-            capacity, block_size, network.clock, write_once,
-            name=name_b, recorder=recorder,
-        )
+        if backend == "disk":
+            # File-backed halves, one directory per disk.  Re-building a
+            # pair on an existing data_dir recovers both halves' blocks,
+            # owner maps and intentions lists from their journals.
+            from pathlib import Path
+
+            from repro.block.fdisk import FDisk
+
+            if data_dir is None:
+                raise ValueError("backend='disk' needs a data_dir")
+            base = Path(data_dir)
+            self.disk_a = FDisk(
+                base / name_a, capacity, block_size, network.clock,
+                write_once, name=name_a, recorder=recorder,
+            )
+            self.disk_b = FDisk(
+                base / name_b, capacity, block_size, network.clock,
+                write_once, name=name_b, recorder=recorder,
+            )
+        elif backend == "sim":
+            self.disk_a = SimDisk(
+                capacity, block_size, network.clock, write_once,
+                name=name_a, recorder=recorder,
+            )
+            self.disk_b = SimDisk(
+                capacity, block_size, network.clock, write_once,
+                name=name_b, recorder=recorder,
+            )
+        else:
+            raise ValueError(f"unknown disk backend {backend!r}")
         self.a = StableServer(name_a, name_b, self.disk_a, network)
         self.b = StableServer(name_b, name_a, self.disk_b, network)
         self.endpoint_a = RpcEndpoint(network, name_a, port, self.a)

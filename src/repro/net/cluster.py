@@ -107,6 +107,8 @@ def build_tcp_cluster(
     async_mode: bool = False,
     lock_timeout: float | None = None,
     discovery: bool = False,
+    backend: str = "sim",
+    data_dir: str | None = None,
 ) -> TcpCluster:
     """Build and start a localhost TCP deployment.
 
@@ -144,14 +146,16 @@ def build_tcp_cluster(
 
         shard_ports = [new_port(rng) for _ in range(shards)]
         sharded_service = ShardedBlockService(
-            network, shard_ports, capacity=disk_capacity, recorder=recorder
+            network, shard_ports, capacity=disk_capacity, recorder=recorder,
+            backend=backend, data_dir=data_dir,
         )
         block_port = shard_ports[0]
         pair = sharded_service.pairs[0]
     else:
         block_port = new_port(rng)
         pair = StablePair(
-            network, block_port, capacity=disk_capacity, recorder=recorder
+            network, block_port, capacity=disk_capacity, recorder=recorder,
+            backend=backend, data_dir=data_dir,
         )
 
     fs_list: list[FileService] = []

@@ -215,6 +215,43 @@ def render_cache_table(metrics: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def render_disk_table(metrics: MetricsRegistry) -> str:
+    """Durable-medium activity: journal appends and compactions next to
+    the fsync counters (journal / block-file / directory syncs) and any
+    recovery-replay numbers.  Empty string when no ``disk.fsync.*`` or
+    ``disk.journal.*`` counter was recorded (simulated media), so callers
+    can append it conditionally."""
+    order = [
+        "disk.journal.appends",
+        "disk.journal.compactions",
+        "disk.fsync.journal",
+        "disk.fsync.block",
+        "disk.fsync.dir",
+        "disk.recover.replayed",
+        "disk.recover.truncated_bytes",
+    ]
+    named = set(order)
+    rows: list[tuple[str, int]] = []
+    for name in order:
+        counter = metrics.counters.get(name)
+        if counter is not None:
+            rows.append((name, counter.value))
+    for name in sorted(metrics.counters):
+        if (
+            name.startswith(("disk.fsync.", "disk.journal.", "disk.recover."))
+            and name not in named
+        ):
+            rows.append((name, metrics.counters[name].value))
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    header = f"{'counter':<{width}} {'value':>12}"
+    lines = [header, "-" * len(header)]
+    for name, value in rows:
+        lines.append(f"{name:<{width}} {value:>12}")
+    return "\n".join(lines)
+
+
 def render_report(recorder) -> str:
     """The full text report: metrics, commit table, recent span trees."""
     sections = [render_metrics(recorder.metrics), render_commit_table(recorder.tracer)]
@@ -227,6 +264,9 @@ def render_report(recorder) -> str:
     cache_table = render_cache_table(recorder.metrics)
     if cache_table:
         sections.append("client cache:\n" + cache_table)
+    disk_table = render_disk_table(recorder.metrics)
+    if disk_table:
+        sections.append("durable disk:\n" + disk_table)
     recent = list(recorder.tracer.roots)[-5:]
     if recent:
         sections.append("recent spans:")

@@ -128,6 +128,12 @@ class SoakConfig:
     # over with a single epoch bump.  The history checker proves no
     # read or commit was served by the old pair after its cutover.
     rebalance: bool = False
+    # Block-storage medium: "sim" (in-memory SimDisk) or "disk" (the
+    # durable file-backed FDisk on a temporary directory, torn down after
+    # the run).  The same seed drives the identical interleaving on both,
+    # so every soak invariant proven on simulated media holds on real
+    # files too.
+    backend: str = "sim"
 
 
 @dataclass
@@ -174,6 +180,8 @@ class SoakReport:
             line += " --leases"
         if cfg.rebalance:
             line += " --rebalance"
+        if cfg.backend != "sim":
+            line += f" --backend {cfg.backend}"
         return line
 
     def summary(self) -> str:
@@ -557,6 +565,13 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
     if config.rebalance and config.shards < 2:
         raise ValueError("--rebalance needs a sharded topology (--shards >= 2)")
     history = HistoryRecorder()
+    data_dir = None
+    tmp_dir = None
+    if config.backend == "disk":
+        import tempfile
+
+        tmp_dir = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        data_dir = tmp_dir.name
     if config.shards >= 2:
         cluster = build_sharded_cluster(
             shards=config.shards,
@@ -567,6 +582,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             # A rebalance soak also exercises the discovery republish
             # path on every epoch bump.
             discovery=config.rebalance,
+            backend=config.backend,
+            data_dir=data_dir,
         )
     else:
         cluster = build_cluster(
@@ -574,6 +591,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             seed=config.seed,
             recorder=recorder,
             history=history,
+            backend=config.backend,
+            data_dir=data_dir,
         )
     rng = random.Random(f"soak-{config.seed}")
 
@@ -659,6 +678,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
     recorder.count("soak.events", len(history))
     if not check.ok or not fsck.ok:
         recorder.count("soak.violations", len(check.violations) + len(fsck.errors))
+    if tmp_dir is not None:
+        tmp_dir.cleanup()
     return SoakReport(
         config=config,
         check=check,

@@ -158,6 +158,8 @@ def build_sharded_cluster(
     recorder=None,
     history=None,
     discovery: bool = False,
+    backend: str = "sim",
+    data_dir: str | None = None,
 ) -> Cluster:
     """Build a deployment whose block storage is ``shards`` companion
     pairs behind a :class:`repro.block.sharding.ShardedBlockService`.
@@ -185,7 +187,8 @@ def build_sharded_cluster(
     shard_ports = [new_port(rng) for _ in range(shards)]
     service_port = new_port(rng)
     service = ShardedBlockService(
-        network, shard_ports, capacity=shard_capacity, recorder=recorder
+        network, shard_ports, capacity=shard_capacity, recorder=recorder,
+        backend=backend, data_dir=data_dir,
     )
     registry = FileRegistry()
     issuer = CapabilityIssuer(service_port)
@@ -272,6 +275,8 @@ def build_cluster(
     hop_ticks: int = 10,
     recorder=None,
     history=None,
+    backend: str = "sim",
+    data_dir: str | None = None,
 ) -> Cluster:
     """Build a network + stable block pair + ``servers`` file servers.
 
@@ -293,7 +298,7 @@ def build_cluster(
     service_port = new_port(rng)
     pair = StablePair(
         network, block_port, capacity=disk_capacity, write_once=write_once,
-        recorder=recorder,
+        recorder=recorder, backend=backend, data_dir=data_dir,
     )
     registry = FileRegistry()
     issuer = CapabilityIssuer(service_port)

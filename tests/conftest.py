@@ -16,6 +16,32 @@ def rng() -> random.Random:
     return random.Random(0xA0EBA)
 
 
+@pytest.fixture(params=["sim", "disk"])
+def disk_backend(request, tmp_path):
+    """Block-medium parametrisation: tests taking this fixture run once on
+    simulated memory and once on the durable file-backed disk (a tmpdir).
+
+    Returns a zero-argument callable producing ``StablePair`` keyword
+    arguments; each call hands out a fresh data directory so tests that
+    build several pairs don't collide.  ``disk_backend.backend`` names the
+    active medium for tests that need to branch.
+    """
+    import itertools
+
+    counter = itertools.count(1)
+
+    def kwargs() -> dict:
+        if request.param == "sim":
+            return {"backend": "sim", "data_dir": None}
+        return {
+            "backend": "disk",
+            "data_dir": str(tmp_path / f"disk{next(counter)}"),
+        }
+
+    kwargs.backend = request.param
+    return kwargs
+
+
 @pytest.fixture
 def soak_seed() -> int:
     """Seed for the soak/exploration tests.

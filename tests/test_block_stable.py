@@ -16,8 +16,10 @@ def net():
 
 
 @pytest.fixture
-def pair(net):
-    return StablePair(net, 0x500, capacity=64, block_size=256)
+def pair(net, disk_backend):
+    # Runs the whole suite twice: simulated memory AND the durable
+    # file-backed disk, so every §4 invariant holds on real files too.
+    return StablePair(net, 0x500, capacity=64, block_size=256, **disk_backend())
 
 
 @pytest.fixture

@@ -1,0 +1,275 @@
+"""Crash-point recovery: FDisk survives process death at every syscall
+boundary the write paths cross.
+
+Each test arms a :class:`FaultingFDisk` to die at one of
+:data:`CRASH_POINTS`, runs an operation over a seeded store, then re-opens
+a plain :class:`FDisk` on the same root — exactly what a restarted process
+does — and asserts the recovered state is *prefix-consistent*:
+
+* every acknowledged operation survives byte-for-byte;
+* the in-flight operation lands in the deterministic outcome its crash
+  point implies (old value before the journal sync, new value after);
+* nothing ever reads back as silent garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block.fdisk import (
+    CRASH_POINTS,
+    FDisk,
+    FaultingFDisk,
+    ProcessDied,
+    measure_sync_cost,
+)
+from repro.errors import NoSuchBlock
+
+CAP, BLK = 64, 256
+
+# Acked baseline installed before every crash: four blocks plus one
+# acknowledged overwrite of block 2.
+ACKED = {1: b"one", 2: b"two-v2", 3: b"three", 4: b"four"}
+
+# Deterministic expected outcome of the in-flight op, per crash point.
+# The journal sync is the ack point: everything before it recovers to the
+# old state, everything at-or-after replays to the new state.
+WRITE_OUTCOME = {
+    "journal.before_append": "old",
+    "journal.mid_append": "old",  # torn record → CRC truncation
+    "journal.before_sync": "old",  # volatile cache lost
+    "journal.after_sync": "new",
+    "block.before_temp": "new",  # replay re-materialises
+    "block.after_temp": "new",  # stray .tmp discarded, then replay
+    "block.after_rename": "new",
+}
+
+ERASE_OUTCOME = {
+    "journal.before_append": "present",
+    "journal.mid_append": "present",
+    "journal.before_sync": "present",
+    "journal.after_sync": "absent",  # replay re-runs the unlink
+    "erase.after_unlink": "absent",
+}
+
+# How many entries of a 3-write batch survive, per crash point.  The batch
+# shares ONE sync: before it nothing (or a flushed record prefix) lands,
+# after it the whole batch replays.
+BATCH = [(5, b"batch-five"), (6, b"batch-six"), (2, b"two-v3")]
+BATCH_OUTCOME = {
+    "journal.before_append": 0,
+    "journal.mid_append": 0,
+    "batch.mid_records": 1,  # record 0 flushed whole → journal prefix
+    "journal.before_sync": 0,
+    "journal.after_sync": 3,
+    "block.before_temp": 3,
+    "block.after_temp": 3,
+    "block.after_rename": 3,
+    "batch.mid_materialize": 3,
+}
+
+
+def test_crash_point_matrix_is_exhaustive():
+    """Every enumerated crash point is exercised by some scenario below."""
+    covered = set(WRITE_OUTCOME) | set(ERASE_OUTCOME) | set(BATCH_OUTCOME)
+    assert covered == set(CRASH_POINTS)
+
+
+def _seed(disk) -> None:
+    disk.write(1, b"one")
+    disk.write(2, b"two-v1")
+    disk.write(3, b"three")
+    disk.write(4, b"four")
+    disk.write(2, b"two-v2")  # acked overwrite
+
+
+def _value(disk, block_no):
+    try:
+        return disk.read(block_no)
+    except NoSuchBlock:
+        return None
+
+
+def _assert_acked(disk, skip=()) -> None:
+    for block_no, payload in ACKED.items():
+        if block_no in skip:
+            continue
+        assert disk.read(block_no) == payload, f"acked block {block_no} lost"
+
+
+@pytest.mark.parametrize("point", sorted(WRITE_OUTCOME))
+@pytest.mark.parametrize("target", ["overwrite", "fresh"])
+def test_write_crash_recovers_prefix(tmp_path, point, target):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    block_no, old = (2, ACKED[2]) if target == "overwrite" else (5, None)
+    new = b"in-flight"
+    disk.arm(point)
+    with pytest.raises(ProcessDied):
+        disk.write(block_no, new)
+    assert disk.dead
+
+    recovered = FDisk(tmp_path / "d", CAP, BLK)
+    _assert_acked(recovered, skip={block_no})
+    expected = new if WRITE_OUTCOME[point] == "new" else old
+    assert _value(recovered, block_no) == expected
+    recovered.close()
+
+
+@pytest.mark.parametrize("point", sorted(ERASE_OUTCOME))
+def test_erase_crash_recovers_prefix(tmp_path, point):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    disk.arm(point)
+    with pytest.raises(ProcessDied):
+        disk.erase(2)
+
+    recovered = FDisk(tmp_path / "d", CAP, BLK)
+    _assert_acked(recovered, skip={2})
+    if ERASE_OUTCOME[point] == "present":
+        assert recovered.read(2) == ACKED[2]
+    else:
+        assert _value(recovered, 2) is None
+        assert not recovered.holds(2)
+    recovered.close()
+
+
+@pytest.mark.parametrize("point", sorted(BATCH_OUTCOME))
+def test_write_many_crash_recovers_batch_prefix(tmp_path, point):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    disk.arm(point)
+    with pytest.raises(ProcessDied):
+        disk.write_many(BATCH)
+
+    recovered = FDisk(tmp_path / "d", CAP, BLK)
+    applied = BATCH_OUTCOME[point]
+    _assert_acked(recovered, skip={b for b, _ in BATCH[:applied]})
+    for i, (block_no, payload) in enumerate(BATCH):
+        if i < applied:
+            assert recovered.read(block_no) == payload
+        else:
+            # untouched: the old value (block 2) or still absent (5, 6)
+            assert _value(recovered, block_no) == ACKED.get(block_no)
+    recovered.close()
+
+
+def test_ack_point_semantics(tmp_path):
+    """An operation that RETURNED was acked and must survive — countdown=2
+    lets one write pass through the armed point before the next one dies."""
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    disk.arm("journal.before_sync", countdown=2)
+    disk.write(5, b"acked")  # reaches the point once, survives
+    with pytest.raises(ProcessDied):
+        disk.write(6, b"never-acked")
+
+    recovered = FDisk(tmp_path / "d", CAP, BLK)
+    _assert_acked(recovered)
+    assert recovered.read(5) == b"acked"
+    assert _value(recovered, 6) is None
+    recovered.close()
+
+
+def test_dead_disk_refuses_everything(tmp_path):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    disk.write(1, b"x")
+    disk.arm("journal.after_sync")
+    with pytest.raises(ProcessDied):
+        disk.write(2, b"y")
+    for op in (
+        lambda: disk.read(1),
+        lambda: disk.write(3, b"z"),
+        lambda: disk.erase(1),
+        lambda: disk.write_many([(3, b"z")]),
+    ):
+        with pytest.raises(ProcessDied):
+            op()
+
+
+def test_owner_map_and_intentions_survive_crash(tmp_path):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    disk.write(1, b"x")
+    disk.set_owner(1, 7)
+    disk.set_owner(9, 8)
+    disk.clear_owner(9)
+    disk.add_intention("write", 7, 9, b"payload")
+    disk.add_intention("reserve", 7, 10)
+    disk.add_intention("free", 7, 11)
+    disk.ack_intentions(1)  # the companion applied the first one
+    disk.arm("journal.before_sync")
+    with pytest.raises(ProcessDied):
+        disk.write(2, b"y")
+
+    recovered = FDisk(tmp_path / "d", CAP, BLK)
+    assert recovered.recovered_owners() == {1: 7}
+    assert recovered.recovered_intentions() == [
+        ("reserve", 7, 10, b""),
+        ("free", 7, 11, b""),
+    ]
+    recovered.close()
+
+
+def test_checkpoint_then_crash_keeps_compacted_state(tmp_path):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    disk.set_owner(3, 9)
+    disk.add_intention("write", 9, 3, b"later")
+    disk.checkpoint()
+    assert disk.journal_compactions == 1
+    disk.arm("journal.before_sync")
+    with pytest.raises(ProcessDied):
+        disk.write(5, b"post-checkpoint")
+
+    recovered = FDisk(tmp_path / "d", CAP, BLK)
+    _assert_acked(recovered)
+    assert _value(recovered, 5) is None
+    assert recovered.recovered_owners() == {3: 9}
+    assert recovered.recovered_intentions() == [("write", 9, 3, b"later")]
+    recovered.close()
+
+
+def test_torn_tail_is_truncated_once(tmp_path):
+    disk = FaultingFDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    disk.arm("journal.mid_append")
+    with pytest.raises(ProcessDied):
+        disk.write(5, b"torn")
+
+    first = FDisk(tmp_path / "d", CAP, BLK)
+    assert first.truncated_bytes > 0  # the torn frame header was cut away
+    assert first.recovered_records == 5  # the seed writes replayed
+    _assert_acked(first)
+    first.close()
+
+    # The truncation is durable: a second restart sees a clean journal.
+    second = FDisk(tmp_path / "d", CAP, BLK)
+    assert second.truncated_bytes == 0
+    assert second.recovered_records == 5
+    second.close()
+
+
+def test_write_many_costs_one_sync(tmp_path):
+    disk = FDisk(tmp_path / "d", CAP, BLK)
+    _seed(disk)
+    before = disk.fsyncs
+    disk.write_many(BATCH)
+    assert disk.fsyncs == before + 1  # the group-commit lever
+    for block_no, payload in BATCH:
+        assert disk.read(block_no) == payload
+    disk.close()
+
+
+def test_reopen_validates_geometry(tmp_path):
+    disk = FDisk(tmp_path / "d", CAP, BLK)
+    disk.write(1, b"x")
+    disk.close()
+    with pytest.raises(ValueError):
+        FDisk(tmp_path / "d", CAP * 2, BLK)
+    with pytest.raises(ValueError):
+        FDisk(tmp_path / "d", CAP, BLK * 2)
+
+
+def test_measure_sync_cost_is_positive(tmp_path):
+    cost = measure_sync_cost(tmp_path, samples=4)
+    assert cost > 0

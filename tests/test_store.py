@@ -14,8 +14,9 @@ def net():
 
 
 @pytest.fixture
-def pair(net):
-    return StablePair(net, 0x600, capacity=256, block_size=33000)
+def pair(net, disk_backend):
+    # Both media: simulated memory and the durable file-backed disk.
+    return StablePair(net, 0x600, capacity=256, block_size=33000, **disk_backend())
 
 
 @pytest.fixture

@@ -104,7 +104,9 @@ def _group_workload(grouped: bool) -> dict:
     def settle():
         if grouped:
             outcomes = client.commit_group(updates)
-            assert all(v == "committed" for v in outcomes.values()), outcomes
+            assert all(
+                v.startswith("committed") for v in outcomes.values()
+            ), outcomes
         else:
             for update in updates:
                 update.commit()
@@ -363,12 +365,28 @@ def bench_disk() -> dict:
     return diskbench_document(schema=SCHEMA_VERSION)
 
 
+def bench_contention() -> dict:
+    """The contention battery (semantic merges on vs off).
+
+    Gated half: every history-checker verdict, every merge-on conflict
+    count, the deterministic merge-off abort canaries, the sim/TCP final-
+    state parity bit, and the two headline regression indicators — 0 means
+    "merging strictly lowers the abort rate / strictly raises goodput on
+    the hot-directory workload", and the gate pins them at 0.  Only the
+    TCP pass's wall seconds are unguarded.
+    """
+    from repro.workloads.contention import contention_document
+
+    return contention_document(schema=SCHEMA_VERSION)
+
+
 BENCHES = {
     "BENCH_commit.json": bench_commit,
     "BENCH_scale.json": bench_scale,
     "BENCH_rebalance.json": bench_rebalance,
     "BENCH_net.json": bench_net,
     "BENCH_disk.json": bench_disk,
+    "BENCH_contention.json": bench_contention,
 }
 
 

@@ -14,6 +14,9 @@ Subcommands:
   a range), ``--ops M``, ``--shards K``, ``--clients C``, ``--mutant``,
   ``--group-commit`` (mix grouped commit batches into the workload),
   ``--leases`` (clients read through leases; lease-staleness checked),
+  ``--contention`` (hot-directory churn on merge-typed files; the
+  checker replays them under the merge semantics), ``--no-merge``
+  (strip the merge policy: paper-exact strict OCC),
   ``--rebalance`` (live-migrate one shard mid-workload; needs
   ``--shards >= 2``; the checker proves nothing was served by the old
   pair after its cutover), ``--backend disk`` (run block storage on the
@@ -197,6 +200,29 @@ def _stats(extra: list[str] | None = None) -> None:
     except Exception as exc:
         print(f"(conflicting commit aborted as expected: {exc})\n")
 
+    # Two concurrent updates of one merge-typed directory: distinct
+    # names, so the semantic-merge layer commits both instead of
+    # aborting the loser (``merge.applied`` in the metrics below).
+    from repro.apps.directory import _pack_table, _unpack_table
+
+    dcap = fs.create_file(_pack_table({}), mergeable=True)
+    first = fs.create_version(dcap)
+    second = fs.create_version(dcap)
+    table = _unpack_table(fs.read_page(first.version, ROOT))
+    table["alpha"] = dcap
+    fs.write_page(first.version, ROOT, _pack_table(table))
+    table = _unpack_table(fs.read_page(second.version, ROOT))
+    table["beta"] = dcap
+    fs.write_page(second.version, ROOT, _pack_table(table))
+    fs.commit(first.version)
+    fs.commit(second.version)  # concurrent bind: reconciled, not aborted
+    merged = _unpack_table(fs.read_page(fs.current_version(dcap), ROOT))
+    print(
+        f"(merge-typed directory reconciled concurrent binds "
+        f"{sorted(merged)}: {fs.metrics.semantic_merges} semantic "
+        f"merge(s), {fs.metrics.merge_conflicts} merge conflict(s))\n"
+    )
+
     print("metrics")
     print("=======")
     print(render_metrics(recorder.metrics))
@@ -280,7 +306,7 @@ def _stats(extra: list[str] | None = None) -> None:
     # the measured sync cost with its tuned group-commit window.
     import tempfile
 
-    from repro.block.fdisk import measure_sync_cost, tuned_commit_window
+    from repro.block.fdisk import probe_sync_primitives, cheapest_journal_primitive, tuned_commit_window
     from repro.obs.report import render_disk_table
 
     with tempfile.TemporaryDirectory(prefix="repro-stats-") as data_dir:
@@ -295,14 +321,20 @@ def _stats(extra: list[str] | None = None) -> None:
             handle = fs.create_version(cap)
             fs.write_page(handle.version, ROOT, b"on real files")
             fs.commit(handle.version)
-        sync_cost = measure_sync_cost(data_dir)
-        window = tuned_commit_window(sync_cost)
+        costs = probe_sync_primitives(data_dir)
+        primitive = cheapest_journal_primitive(costs)
+        window = tuned_commit_window(costs[primitive])
         print()
         print("durable disk (file-backed backend)")
         print("==================================")
         print(render_disk_table(disk_recorder.metrics))
         print(
-            f"measured sync cost {sync_cost * 1e6:.0f} us -> tuned "
+            "sync primitives: "
+            + ", ".join(f"{k} {v * 1e6:.0f}us" for k, v in costs.items())
+        )
+        print(
+            f"journal sync via {primitive} "
+            f"({costs[primitive] * 1e6:.0f} us median) -> tuned "
             f"group-commit window {window * 1e3:.2f} ms"
         )
 
@@ -338,6 +370,8 @@ def _soak(extra: list[str]) -> None:
     leases = False
     rebalance = False
     backend = "sim"
+    contention = False
+    merge = True
     args = list(extra)
     while args:
         flag = args.pop(0)
@@ -364,6 +398,10 @@ def _soak(extra: list[str]) -> None:
             rebalance = True
         elif flag == "--backend":
             backend = args.pop(0)
+        elif flag == "--contention":
+            contention = True
+        elif flag == "--no-merge":
+            merge = False
         else:
             print(f"unknown soak flag {flag!r}")
             print(__doc__)
@@ -381,6 +419,8 @@ def _soak(extra: list[str]) -> None:
             leases=leases,
             rebalance=rebalance,
             backend=backend,
+            contention=contention,
+            merge=merge,
         )
         report = run_soak(config)
         print(report.summary())
@@ -542,14 +582,15 @@ def _serve(extra: list[str]) -> None:
     recorder = Recorder()
     if data_dir is not None:
         os.makedirs(data_dir, exist_ok=True)
-        from repro.block.fdisk import measure_sync_cost, tuned_commit_window
+        from repro.block.fdisk import tune_journal_sync, tuned_commit_window
 
-        sync_cost = measure_sync_cost(data_dir)
-        window = tuned_commit_window(sync_cost)
+        primitive, costs = tune_journal_sync(data_dir)
+        window = tuned_commit_window(costs[primitive])
         print(
-            f"disk backend: data dir {data_dir}, median fsync "
-            f"{sync_cost * 1e6:.0f} us, tuned commit window "
-            f"{window * 1e3:.2f} ms"
+            f"disk backend: data dir {data_dir}, journal sync via "
+            f"{primitive} ({costs[primitive] * 1e6:.0f} us median; probed "
+            + ", ".join(f"{k} {v * 1e6:.0f}us" for k, v in costs.items())
+            + f"), tuned commit window {window * 1e3:.2f} ms"
         )
     cluster = build_tcp_cluster(
         servers=servers,

@@ -67,12 +67,13 @@ class DirectoryServer:
     # -- directory objects -----------------------------------------------
 
     def create_root(self) -> Capability:
-        """Create an empty root directory."""
-        return self.client.create_file(_pack_table({}))
+        """Create an empty root directory (merge-typed: concurrent binds
+        of distinct names commit without conflicting)."""
+        return self.client.create_file(_pack_table({}), mergeable=True)
 
     def mkdir(self, directory: Capability, name: str) -> Capability:
         """Create a new empty directory and bind it under ``name``."""
-        child = self.client.create_file(_pack_table({}))
+        child = self.client.create_file(_pack_table({}), mergeable=True)
         self.enter(directory, name, child)
         return child
 

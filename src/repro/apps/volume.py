@@ -10,13 +10,19 @@ atomic commit; a crash in the middle is finished (or discarded) by the
 next waiter, never observed half-done.
 
 Directory contents use the same table encoding as
-:mod:`repro.apps.directory`.
+:mod:`repro.apps.directory`.  Directory sub-files are created
+merge-typed, so with a merge policy installed on the server, concurrent
+binds/unlinks of *distinct* names in one hot directory commit without
+conflicting at all (:mod:`repro.merge`); only genuine same-name races
+reach the bounded retry loop.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.capability import Capability
-from repro.errors import ReproError
+from repro.errors import ReproError, UpdateStarved
 from repro.apps.directory import (
     DirectoryEntryExists,
     NoSuchEntry,
@@ -38,9 +44,20 @@ class Volume:
     single-directory updates go through the same server API.
     """
 
+    # Bounded optimistic retry for single-directory updates: attempts and
+    # the exponential-backoff base (seconds).  The backoff is jittered so
+    # N stampeding writers on one hot directory desynchronise instead of
+    # re-colliding in lockstep round after round.
+    max_update_attempts = 16
+    backoff_base = 0.0005
+    backoff_cap = 0.05
+
     def __init__(self, service: FileService) -> None:
         self.service = service
         self.tree = SystemTree(service)
+        # Patchable for tests and for deployments where wall-clock sleeps
+        # are meaningless (the deterministic simulator).
+        self._sleep = time.sleep
 
     # -- construction ------------------------------------------------------
 
@@ -51,7 +68,7 @@ class Volume:
         volume_cap = service.create_file(b"volume")
         handle = service.create_version(volume_cap)
         root_dir = self.tree.create_subfile(
-            handle.version, ROOT, initial_data=_pack_table({})
+            handle.version, ROOT, initial_data=_pack_table({}), mergeable=True
         )
         service.commit(handle.version)
         return volume_cap, root_dir
@@ -62,7 +79,7 @@ class Volume:
         service = self.service
         handle = service.create_version(volume_cap)
         new_dir = self.tree.create_subfile(
-            handle.version, ROOT, initial_data=_pack_table({})
+            handle.version, ROOT, initial_data=_pack_table({}), mergeable=True
         )
         service.commit(handle.version)
         self.bind(parent, name, new_dir)
@@ -75,9 +92,21 @@ class Volume:
         return _unpack_table(self.service.read_page(current, ROOT))
 
     def _update_table(self, directory: Capability, mutate) -> None:
+        """One single-directory update through the optimistic redo loop.
+
+        Bounded: after ``max_update_attempts`` lost races the typed
+        :class:`UpdateStarved` tells the caller this was starvation, not
+        one bad beat.  Between attempts, jittered exponential backoff.
+        With the merge path on (directories are merge-typed), distinct-
+        name races never reach here at all — the server reconciles them
+        during commit and the first attempt wins.
+        """
         from repro.errors import CommitConflict
 
-        for _ in range(16):
+        attempts = self.max_update_attempts
+        rng = self.service.rng
+        last: CommitConflict | None = None
+        for attempt in range(attempts):
             handle = self.service.create_version(directory)
             table = _unpack_table(self.service.read_page(handle.version, ROOT))
             mutate(table)
@@ -85,9 +114,17 @@ class Volume:
             try:
                 self.service.commit(handle.version)
                 return
-            except CommitConflict:
-                continue
-        raise CommitConflict(f"directory {directory.obj}: update starved")
+            except CommitConflict as conflict:
+                last = conflict
+            if attempt + 1 < attempts:
+                delay = min(self.backoff_base * (2 ** attempt), self.backoff_cap)
+                jitter = rng.random() if rng is not None else 0.5
+                self._sleep(delay * (0.5 + jitter))
+        raise UpdateStarved(
+            f"directory {directory.obj}: update starved after "
+            f"{attempts} attempts",
+            attempts=attempts,
+        ) from last
 
     def bind(self, directory: Capability, name: str, cap: Capability) -> None:
         def mutate(table):

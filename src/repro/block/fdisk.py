@@ -38,6 +38,13 @@ Devices*, PAPERS.md): :func:`measure_sync_cost` probes the medium's actual
 fsync latency and :func:`tuned_commit_window` / :func:`batch_size_for_window`
 turn it into a group-commit batch window — the measured device number the
 paper says should size the batch that amortises sync latency.
+:func:`probe_sync_primitives` widens the probe to every durable primitive
+the platform offers (``fsync``, ``fdatasync``, ``O_DSYNC`` writes) and
+:func:`tune_journal_sync` points the journal's ack-point sync at the
+cheapest one that is safe for an append-only journal — ``fdatasync``
+flushes the data and the size metadata needed to read it back, which is
+exactly the journal's durability contract, usually at a fraction of a
+full ``fsync`` on real filesystems.
 """
 
 from __future__ import annotations
@@ -104,6 +111,11 @@ class FDisk(SimDisk):
     ``recovered_owners`` / ``add_intention`` / ``ack_intentions`` /
     ``recovered_intentions``), which the servers adopt when present.
     """
+
+    # Which durable primitive the journal's ack-point sync uses: "fsync"
+    # or "fdatasync".  A class attribute so :func:`tune_journal_sync` can
+    # retarget every disk the testbed builds; instances may override.
+    sync_primitive = "fsync"
 
     def __init__(
         self,
@@ -284,11 +296,19 @@ class FDisk(SimDisk):
             self.recorder.count("disk.journal.appends", len(bodies))
 
     def sync_journal(self) -> None:
-        """fsync the journal: everything appended so far is now durable."""
+        """Sync the journal: everything appended so far is now durable.
+
+        Uses the tuned :attr:`sync_primitive` — ``fdatasync`` is safe
+        here because the journal is append-only and fdatasync flushes the
+        data plus the size metadata needed to read it back.
+        """
         fh = self._journal_file
         fh.flush()
         self._fault("journal.before_sync")
-        os.fsync(fh.fileno())
+        if self.sync_primitive == "fdatasync" and hasattr(os, "fdatasync"):
+            os.fdatasync(fh.fileno())
+        else:
+            os.fsync(fh.fileno())
         self._synced_size = self._journal_size
         self.fsyncs += 1
         if self.recorder.enabled:
@@ -681,6 +701,77 @@ def measure_sync_cost(
         probe.unlink(missing_ok=True)
     times.sort()
     return times[len(times) // 2]
+
+
+def probe_sync_primitives(
+    path: str | os.PathLike, samples: int = 16, payload: int = 4096
+) -> dict[str, float]:
+    """Median durable-append latency (seconds) per sync primitive.
+
+    Probes every durable-write primitive the platform offers on a scratch
+    file in ``path``: plain ``fsync`` (always), ``fdatasync`` (data plus
+    the metadata needed to read it back — the append-only journal's
+    contract), and an ``O_DSYNC`` write (the write call itself is the
+    durable op) where :data:`os.O_DSYNC` exists.  Each sample times one
+    ``payload``-byte append made durable, so the numbers are directly
+    comparable across primitives.
+    """
+    data = b"\x5a" * payload
+    base = Path(path)
+    primitives: list[str] = ["fsync"]
+    if hasattr(os, "fdatasync"):
+        primitives.append("fdatasync")
+    if hasattr(os, "O_DSYNC"):
+        primitives.append("o_dsync")
+    results: dict[str, float] = {}
+    for name in primitives:
+        probe = base / f".syncprobe-{name}-{os.getpid()}.tmp"
+        flags = os.O_WRONLY | os.O_CREAT | os.O_TRUNC
+        if name == "o_dsync":
+            flags |= os.O_DSYNC
+        times: list[float] = []
+        fd = os.open(probe, flags, 0o600)
+        try:
+            for _ in range(max(3, samples)):
+                start = time.perf_counter()
+                os.write(fd, data)
+                if name == "fsync":
+                    os.fsync(fd)
+                elif name == "fdatasync":
+                    os.fdatasync(fd)
+                times.append(time.perf_counter() - start)
+        except OSError:
+            continue  # medium refuses this primitive: report the others
+        finally:
+            os.close(fd)
+            probe.unlink(missing_ok=True)
+        times.sort()
+        results[name] = times[len(times) // 2]
+    return results
+
+
+def cheapest_journal_primitive(costs: dict[str, float]) -> str:
+    """The cheapest probed primitive the journal can actually use.
+
+    ``O_DSYNC`` is probe-only (the journal syncs an already-open appender
+    fd; reopening it with ``O_DSYNC`` would change the write path, not
+    just the sync), so the choice is fsync versus fdatasync.
+    """
+    eligible = {k: v for k, v in costs.items() if k in ("fsync", "fdatasync")}
+    if not eligible:
+        return "fsync"
+    return min(eligible, key=eligible.get)
+
+
+def tune_journal_sync(
+    path: str | os.PathLike, samples: int = 16
+) -> tuple[str, dict[str, float]]:
+    """Probe ``path`` and retarget every :class:`FDisk` journal sync at
+    the cheapest durable primitive; returns ``(winner, probe costs)``."""
+    costs = probe_sync_primitives(path, samples=samples)
+    winner = cheapest_journal_primitive(costs)
+    FDisk.sync_primitive = winner
+    return winner, costs
 
 
 def tuned_commit_window(

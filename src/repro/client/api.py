@@ -102,9 +102,18 @@ class FileClient:
 
     # -- file management --------------------------------------------------------
 
-    def create_file(self, initial_data: bytes = b"") -> Capability:
-        """Create a new file; returns its owner capability."""
-        return self._call("create_file", initial_data=initial_data)
+    def create_file(
+        self, initial_data: bytes = b"", mergeable: bool = False
+    ) -> Capability:
+        """Create a new file; returns its owner capability.
+
+        ``mergeable=True`` types the file's root page as a directory
+        entry table whose concurrent rewrites the server's merge policy
+        may reconcile instead of conflicting (:mod:`repro.merge`).
+        """
+        return self._call(
+            "create_file", initial_data=initial_data, mergeable=mergeable
+        )
 
     def delete_file(self, file_cap: Capability) -> None:
         self._call("delete_file", file_cap=file_cap)
@@ -357,10 +366,11 @@ class FileClient:
         them with ``prefer_server`` pinned to :meth:`ping`'s answer).
         Buffered writes ship first, then one ``commit_group`` RPC settles
         the whole batch.  Returns the server's per-version outcome map
-        (``version obj -> "committed" | "conflict: ..."``); conflicted
-        members are already removed server-side and must be redone.  If
-        the call itself fails (server or storage outage) no member
-        committed and the updates stay open for retry.
+        (``version obj -> "committed" | "committed-merged" |
+        "conflict: ..."``); conflicted members are already removed
+        server-side and must be redone.  If the call itself fails (server
+        or storage outage) no member committed and the updates stay open
+        for retry.
         """
         for update in updates:
             update.flush()
@@ -379,6 +389,12 @@ class FileClient:
                     self.cache.remember(
                         update.file_cap, update.version, update._written
                     )
+            elif outcome == "committed-merged":
+                # Committed, but the merge policy reconciled some pages
+                # with concurrent updates: what we wrote is NOT what the
+                # committed version holds, so seed nothing — the cache
+                # refetches on demand.
+                self.stats.commits += 1
             else:
                 self.stats.conflicts += 1
         return outcomes
@@ -565,13 +581,23 @@ class ClientUpdate:
     def commit(self) -> None:
         """Commit; buffered writes ship first ("postponed until just
         before commit", §5.4), and on success the written pages seed the
-        client cache."""
+        client cache — except paths the server's merge policy reconciled
+        with concurrent updates, whose committed bytes are a merge rather
+        than our write."""
         self.flush()
-        self.client._call("commit", version_cap=self.version)
+        merged_paths = self.client._call("commit", version_cap=self.version)
         self.done = True
         self.client.stats.commits += 1
-        if self.client.cache is not None and self._written:
-            self.client.cache.remember(self.file_cap, self.version, self._written)
+        written = self._written
+        if merged_paths:
+            merged = set(merged_paths)
+            written = {
+                path: data
+                for path, data in written.items()
+                if str(path) not in merged
+            }
+        if self.client.cache is not None and written:
+            self.client.cache.remember(self.file_cap, self.version, written)
 
     def abort(self) -> None:
         if not self.done:

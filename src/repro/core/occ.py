@@ -32,6 +32,15 @@ V.c's page tree."  ``serialise`` performs this merge in the same pass:
   field-wise: data from whichever version wrote it (V.b wins blind
   write/write), references recursively.
 
+One relaxation sits on top of the paper's rules: when both versions
+*wrote* a page that is typed ``mergeable`` (a directory entry table; see
+:mod:`repro.merge`), the W/R and W/W overlap is not necessarily fatal —
+a merge policy gets a chance to reconcile the two tables three-way
+against their common base (``V.c``'s base reference names it precisely).
+Distinct-entry adds and removes commute; same-entry divergence or an
+undecodable table falls back to the strict conflict.  Pages without the
+flag, and the reference channel (M/S), are never merged semantically.
+
 Pages that ``V.b`` *created* (inserted; base reference nil) have no
 counterpart in ``V.c`` and are kept as-is.  When ``V.b`` restructured a
 reference table (M) that ``V.c`` only navigated (S), index alignment is
@@ -53,6 +62,7 @@ from repro.core.flags import Flags
 from repro.core.page import NIL, Page, PageRef
 from repro.core.pathname import PagePath
 from repro.core.store import PageStore
+from repro.errors import MergeConflict
 from repro.obs import NULL_RECORDER
 
 
@@ -74,14 +84,64 @@ class SerialiseResult:
     reason: str = ""
     pages_visited: int = 0
     grafts: int = 0  # V.c subtrees adopted into V.b
+    semantic_merges: int = 0  # W/W overlaps reconciled by the merge policy
+    merged_paths: list[PagePath] = field(default_factory=list)
 
 
-def _check_pair(b: Flags, c: Flags, path: PagePath) -> None:
-    """The conflict relation between V.b's and V.c's flags for one page."""
-    if c.w and b.r:
-        raise _Conflict(path, "V.c wrote data that V.b read")
+def _resolve_pair(
+    store: PageStore,
+    b_page: Page,
+    c_page: Page,
+    b: Flags,
+    c: Flags,
+    path: PagePath,
+    result: SerialiseResult,
+    policy,
+) -> bytes | None:
+    """The conflict relation between V.b's and V.c's flags for one page,
+    with the semantic-merge escape hatch: when both sides wrote a
+    mergeable page and a policy is installed, return the reconciled data
+    instead of conflicting.  Returns ``None`` when the paper's rules
+    apply unchanged."""
     if c.m and b.s:
         raise _Conflict(path, "V.c modified references that V.b searched")
+    if (
+        policy is not None
+        and c.w
+        and b.w
+        and b_page.mergeable
+        and c_page.mergeable
+    ):
+        merged = _semantic_merge(store, b_page, c_page, path, policy)
+        result.semantic_merges += 1
+        result.merged_paths.append(path)
+        return merged
+    if c.w and b.r:
+        raise _Conflict(path, "V.c wrote data that V.b read")
+    return None
+
+
+def _semantic_merge(
+    store: PageStore, b_page: Page, c_page: Page, path: PagePath, policy
+) -> bytes:
+    """Three-way merge of two concurrent rewrites of a mergeable page.
+
+    The common base is the page ``V.c`` was copied from — its base
+    reference survives commit untouched, and earlier serialise rounds
+    rebased ``V.b`` onto the same chain, so both tables descend from it.
+    """
+    if c_page.base_ref == NIL:
+        raise _Conflict(path, "merge: concurrent pages share no base")
+    try:
+        base_page = store.load(c_page.base_ref)
+    except Exception:
+        raise _Conflict(
+            path, "merge: base page unavailable; cannot merge entry tables"
+        )
+    try:
+        return policy.merge(base_page.data, b_page.data, c_page.data)
+    except MergeConflict as exc:
+        raise _Conflict(path, f"merge: {exc}")
 
 
 def serialise(
@@ -90,6 +150,7 @@ def serialise(
     c_root: int,
     merge: bool = True,
     recorder=None,
+    policy=None,
 ) -> SerialiseResult:
     """Test whether ``V.b`` (root block ``b_root``, uncommitted) can be
     serialised after ``V.c`` (root block ``c_root``, committed), merging
@@ -103,11 +164,12 @@ def serialise(
     if recorder is None:
         recorder = NULL_RECORDER
     with recorder.span("serialise", b_root=b_root, c_root=c_root) as span:
-        result = _serialise(store, b_root, c_root, merge)
+        result = _serialise(store, b_root, c_root, merge, policy)
         span.tag(
             ok=result.ok,
             pages_visited=result.pages_visited,
             grafts=result.grafts,
+            semantic_merges=result.semantic_merges,
         )
         if not result.ok:
             span.tag(reason=result.reason)
@@ -115,13 +177,22 @@ def serialise(
 
 
 def _serialise(
-    store: PageStore, b_root: int, c_root: int, merge: bool
+    store: PageStore, b_root: int, c_root: int, merge: bool, policy=None
 ) -> SerialiseResult:
     result = SerialiseResult(ok=True)
     b_page = store.load(b_root)
     c_page = store.load(c_root)
     try:
-        _check_pair(b_page.root_flags, c_page.root_flags, PagePath.ROOT)
+        merged_data = _resolve_pair(
+            store,
+            b_page,
+            c_page,
+            b_page.root_flags,
+            c_page.root_flags,
+            PagePath.ROOT,
+            result,
+            policy,
+        )
         _merge_pair(
             store,
             b_root,
@@ -133,6 +204,8 @@ def _serialise(
             PagePath.ROOT,
             result,
             merge,
+            policy,
+            merged_data,
         )
     except _Conflict as conflict:
         return SerialiseResult(
@@ -141,6 +214,7 @@ def _serialise(
             reason=conflict.reason,
             pages_visited=result.pages_visited,
             grafts=result.grafts,
+            semantic_merges=result.semantic_merges,
         )
     return result
 
@@ -156,12 +230,15 @@ def _merge_pair(
     path: PagePath,
     result: SerialiseResult,
     merge: bool,
+    policy=None,
+    merged_data: bytes | None = None,
 ) -> int:
     """Merge one corresponding page pair (conflict between the pair's own
-    flags has already been checked by the caller).  Returns the merged
-    page's block number — possibly a fresh one, when the store relocates
-    pages whose old block cannot be rewritten (write-once media); the
-    caller updates its reference accordingly.
+    flags has already been checked by the caller, who hands over any
+    semantically merged data).  Returns the merged page's block number —
+    possibly a fresh one, when the store relocates pages whose old block
+    cannot be rewritten (write-once media); the caller updates its
+    reference accordingly.
 
     Besides combining the updates, the merge *rebases* ``V.b``'s page onto
     ``V.c``'s copy: the base reference is redirected to ``c_block`` so that
@@ -176,8 +253,14 @@ def _merge_pair(
         changed = True
 
     # Data channel: adopt V.c's data unless V.b wrote the page itself
-    # (blind write/write: V.b is serialised after V.c, its value stands).
-    if c_flags.w and not b_flags.w:
+    # (blind write/write: V.b is serialised after V.c, its value stands) —
+    # or install the policy's reconciliation when both wrote a mergeable
+    # entry table.
+    if merged_data is not None:
+        if merge and b_page.data != merged_data:
+            b_page.data = merged_data
+            changed = True
+    elif c_flags.w and not b_flags.w:
         if merge and b_page.data != c_page.data:
             b_page.data = c_page.data
             changed = True
@@ -194,10 +277,12 @@ def _merge_pair(
         # V.c navigated below: it may have copied or changed children.
         if b_flags.m:
             changed |= _merge_restructured(
-                store, b_page, c_page, path, result, merge
+                store, b_page, c_page, path, result, merge, policy
             )
         else:
-            changed |= _merge_aligned(store, b_page, c_page, path, result, merge)
+            changed |= _merge_aligned(
+                store, b_page, c_page, path, result, merge, policy
+            )
 
     if changed:
         if b_page.is_version_page:
@@ -224,6 +309,7 @@ def _merge_aligned(
     path: PagePath,
     result: SerialiseResult,
     merge: bool,
+    policy=None,
 ) -> bool:
     """Merge children when neither side restructured: index alignment holds.
 
@@ -250,9 +336,18 @@ def _merge_aligned(
             if merge:
                 changed |= _graft(b_page, index, c_ref, result)
             continue
-        _check_pair(b_ref.flags, c_ref.flags, child_path)
         b_child = store.load(b_ref.block)
         c_child = store.load(c_ref.block)
+        merged_data = _resolve_pair(
+            store,
+            b_child,
+            c_child,
+            b_ref.flags,
+            c_ref.flags,
+            child_path,
+            result,
+            policy,
+        )
         merged_block = _merge_pair(
             store,
             b_ref.block,
@@ -264,6 +359,8 @@ def _merge_aligned(
             child_path,
             result,
             merge,
+            policy,
+            merged_data,
         )
         if merged_block != b_ref.block:
             b_page.refs[index] = PageRef(merged_block, b_ref.flags)
@@ -278,6 +375,7 @@ def _merge_restructured(
     path: PagePath,
     result: SerialiseResult,
     merge: bool,
+    policy=None,
 ) -> bool:
     """Merge children when V.b restructured the table (M) and V.c only
     navigated it (S): index alignment is lost, so children are matched by
@@ -320,8 +418,17 @@ def _merge_restructured(
         if c_ref is None:
             continue  # V.c did not copy or change this child's subtree
         child_path = path.child(index)
-        _check_pair(b_ref.flags, c_ref.flags, child_path)
         c_child = store.load(c_ref.block)
+        merged_data = _resolve_pair(
+            store,
+            b_child,
+            c_child,
+            b_ref.flags,
+            c_ref.flags,
+            child_path,
+            result,
+            policy,
+        )
         merged_block = _merge_pair(
             store,
             b_ref.block,
@@ -333,6 +440,8 @@ def _merge_restructured(
             child_path,
             result,
             merge,
+            policy,
+            merged_data,
         )
         if merged_block != b_ref.block:
             b_page.refs[index] = PageRef(merged_block, b_ref.flags)
@@ -356,6 +465,8 @@ class ChainResult:
     serialise_runs: int = 0
     pages_visited: int = 0
     grafts: int = 0
+    semantic_merges: int = 0
+    merged_paths: list[PagePath] = field(default_factory=list)
 
 
 def serialise_through(
@@ -364,6 +475,7 @@ def serialise_through(
     first_successor: int,
     merge: bool = True,
     recorder=None,
+    policy=None,
 ) -> ChainResult:
     """Serialise ``V.b`` after *every* committed version from
     ``first_successor`` to the end of the commit-reference chain, merging
@@ -380,10 +492,14 @@ def serialise_through(
     out = ChainResult(ok=True, tip=first_successor)
     successor = first_successor
     while True:
-        result = serialise(store, b_root, successor, merge, recorder=recorder)
+        result = serialise(
+            store, b_root, successor, merge, recorder=recorder, policy=policy
+        )
         out.serialise_runs += 1
         out.pages_visited += result.pages_visited
         out.grafts += result.grafts
+        out.semantic_merges += result.semantic_merges
+        out.merged_paths.extend(result.merged_paths)
         out.tip = successor
         if not result.ok:
             out.ok = False

@@ -16,6 +16,8 @@ parent reference          version page of the parent (super-)file
 base reference            block this page was based on (copied from)
 nrefs                     number of page references
 dsize                     number of data bytes
+mergeable                 directory-typed page: concurrent entry-table updates
+                          may be merged semantically (:mod:`repro.merge`)
 ========================  =======================================================
 
 Each reference is "a block number and some flag bits": 28 bits of block
@@ -65,6 +67,7 @@ _OFF_NREFS = 74
 _OFF_DSIZE = 76
 _OFF_ROOT_FLAGS = 78
 _OFF_IS_VERSION = 79
+_OFF_MERGEABLE = 80
 LOCK_SIZE = 8
 
 
@@ -124,6 +127,7 @@ class Page:
         "base_ref",
         "root_flags",
         "is_version_page",
+        "mergeable",
         "refs",
         "data",
     )
@@ -139,6 +143,7 @@ class Page:
         base_ref: int = NIL,
         root_flags: Flags | None = None,
         is_version_page: bool = False,
+        mergeable: bool = False,
         refs: list[PageRef] | None = None,
         data: bytes = b"",
     ) -> None:
@@ -151,6 +156,7 @@ class Page:
         self.base_ref = base_ref
         self.root_flags = root_flags if root_flags is not None else Flags()
         self.is_version_page = is_version_page
+        self.mergeable = mergeable
         self.refs = list(refs) if refs is not None else []
         self.data = data
 
@@ -229,6 +235,7 @@ class Page:
             base_ref=self.base_ref,
             root_flags=self.root_flags,
             is_version_page=self.is_version_page,
+            mergeable=self.mergeable,
             refs=list(self.refs),
             data=self.data,
         )
@@ -255,6 +262,7 @@ class Page:
         header[_OFF_DSIZE:_OFF_DSIZE + 2] = self.dsize.to_bytes(2, "big")
         header[_OFF_ROOT_FLAGS] = self.root_flags.encode()
         header[_OFF_IS_VERSION] = 1 if self.is_version_page else 0
+        header[_OFF_MERGEABLE] = 1 if self.mergeable else 0
         table = b"".join(ref.encode().to_bytes(REF_SIZE, "big") for ref in self.refs)
         return bytes(header) + table + self.data
 
@@ -280,6 +288,7 @@ class Page:
             base_ref=int.from_bytes(raw[_OFF_BASE_REF:_OFF_BASE_REF + 4], "big"),
             root_flags=Flags.decode(raw[_OFF_ROOT_FLAGS]),
             is_version_page=bool(raw[_OFF_IS_VERSION]),
+            mergeable=bool(raw[_OFF_MERGEABLE]),
             refs=refs,
             data=raw[table_end:table_end + dsize],
         )

@@ -30,9 +30,13 @@ from dataclasses import dataclass, field
 from repro.errors import NoSuchFile, NoSuchVersion
 from repro.core.page import NIL
 
-_ENTRY = struct.Struct(">QIQBQ")  # obj, entry block, secret, is_super, parent
+_ENTRY = struct.Struct(">QIQBQ")  # obj, entry block, secret, flags, parent
 _HEADER = struct.Struct(">4sI")  # magic, entry count
 _MAGIC = b"AFT1"
+
+# Bits of the entry flags byte.
+_FLAG_SUPER = 0x01
+_FLAG_MERGEABLE = 0x02
 
 
 @dataclass
@@ -44,6 +48,12 @@ class FileEntry:
     secret: int  # capability-check secret for the file object
     is_super: bool = False  # root is an internal node of the system tree
     parent_obj: int = 0  # enclosing super-file (0 = top level)
+    # Directory-typed file: its root page data is an entry table whose
+    # concurrent rewrites the merge policy may reconcile (repro.merge).
+    # The authoritative copy of the flag rides on every page header
+    # (surviving disk recovery); this one makes the typing visible to
+    # registry consumers (fsck, stats) without a page load.
+    mergeable: bool = False
     # Commit counter for client-cache leases: bumped by every commit
     # publication, read by the lease fast-renewal path.  In-memory only —
     # a deliberately volatile hint, like the current-version hints: -1
@@ -153,11 +163,14 @@ class FileRegistry:
         """
         body = _HEADER.pack(_MAGIC, len(self.files))
         for entry in sorted(self.files.values(), key=lambda e: e.obj):
+            flags = (_FLAG_SUPER if entry.is_super else 0) | (
+                _FLAG_MERGEABLE if entry.mergeable else 0
+            )
             body += _ENTRY.pack(
                 entry.obj,
                 entry.entry_block,
                 entry.secret,
-                1 if entry.is_super else 0,
+                flags,
                 entry.parent_obj,
             )
         return body
@@ -170,12 +183,19 @@ class FileRegistry:
         registry = FileRegistry()
         offset = _HEADER.size
         for _ in range(count):
-            obj, entry_block, secret, is_super, parent = _ENTRY.unpack_from(
+            obj, entry_block, secret, flags, parent = _ENTRY.unpack_from(
                 raw, offset
             )
             offset += _ENTRY.size
             registry.add_file(
-                FileEntry(obj, entry_block, secret, bool(is_super), parent)
+                FileEntry(
+                    obj,
+                    entry_block,
+                    secret,
+                    bool(flags & _FLAG_SUPER),
+                    parent,
+                    mergeable=bool(flags & _FLAG_MERGEABLE),
+                )
             )
         return registry
 

@@ -67,6 +67,7 @@ from repro.core.flags import Flags
 from repro.core.locks import LockOps, LockSnapshot
 from repro.core.occ import collect_write_paths, serialise, serialise_through
 from repro.core.page import NIL, PAGE_BODY_SIZE, Page, PageRef, REF_SIZE
+from repro.merge import DEFAULT_MERGE_POLICY as _DEFAULT_MERGE_POLICY
 from repro.core.pathname import PagePath
 from repro.core.registry import FileEntry, FileRegistry, VersionEntry
 from repro.core.store import PageStore
@@ -102,6 +103,8 @@ class ServiceMetrics:
     snapshot_fast: int = 0  # served from the hint, no resolution round trip
     serialise_runs: int = 0
     serialise_pages_visited: int = 0
+    semantic_merges: int = 0  # W/W overlaps reconciled by the merge policy
+    merge_conflicts: int = 0  # merge attempts that fell back to a conflict
     leases_granted: int = 0  # client-cache read leases handed out
     lease_fast_renewals: int = 0  # renewals answered from the epoch alone
     epoch_bumps: int = 0  # lease epochs advanced by commit publications
@@ -125,6 +128,7 @@ class FileService:
         recorder=None,
         history=None,
         max_lease_ticks: int = 1_000_000,
+        merge_policy=_DEFAULT_MERGE_POLICY,
     ) -> None:
         self.name = name
         self.network = network
@@ -152,6 +156,10 @@ class FileService:
             )
         self.locks = LockOps(self.store)
         self.metrics = ServiceMetrics()
+        # Semantic-merge policy for mergeable (directory-typed) pages.
+        # ``None`` turns the relaxation off: every W/W overlap conflicts
+        # exactly as in the paper — the contention benchmark's baseline.
+        self.merge_policy = merge_policy
         # Hard ceiling on the lease TTL this server grants, in the
         # deployment's clock units (logical ticks on the simulation,
         # microseconds over TCP).  Clients request shorter TTLs suited
@@ -251,9 +259,18 @@ class FileService:
     # file management
     # ------------------------------------------------------------------
 
-    def create_file(self, initial_data: bytes = b"") -> Capability:
+    def create_file(
+        self, initial_data: bytes = b"", mergeable: bool = False
+    ) -> Capability:
         """Create a file whose initial committed version holds
-        ``initial_data`` in its root page."""
+        ``initial_data`` in its root page.
+
+        ``mergeable=True`` types the root page as a directory entry
+        table: concurrent rewrites of it may be reconciled by the
+        server's merge policy instead of conflicting (see
+        :mod:`repro.merge`).  The flag rides in the page header, so every
+        shadow copy, disk image and wire transfer of the page carries it.
+        """
         self._check_up()
         file_cap = self.issuer.mint(ALL_RIGHTS, self.rng)
         version_cap = self.issuer.mint(ALL_RIGHTS, self.rng)
@@ -261,6 +278,7 @@ class FileService:
             file_cap=file_cap,
             version_cap=version_cap,
             is_version_page=True,
+            mergeable=mergeable,
             data=initial_data,
         )
         root.check_fits()
@@ -272,7 +290,12 @@ class FileService:
         # updates later freed.
         self.store.flush_one(block)
         self.registry.add_file(
-            FileEntry(file_cap.obj, block, self.issuer.secret_of(file_cap.obj))
+            FileEntry(
+                file_cap.obj,
+                block,
+                self.issuer.secret_of(file_cap.obj),
+                mergeable=mergeable,
+            )
         )
         self.registry.add_version(
             VersionEntry(
@@ -285,6 +308,12 @@ class FileService:
         )
         self.metrics.files_created += 1
         if self.history is not None:
+            if mergeable:
+                # Tells the checker to replay this file's commits through
+                # the merge semantics rather than last-write-wins.
+                self.history.record(
+                    "merge_typed", actor=self.name, file=file_cap.obj
+                )
             self.history.record(
                 "create",
                 actor=self.name,
@@ -807,8 +836,15 @@ class FileService:
     # commit and abort (§5.2)
     # ------------------------------------------------------------------
 
-    def commit(self, version_cap: Capability, max_rounds: int = 64) -> None:
+    def commit(
+        self, version_cap: Capability, max_rounds: int = 64
+    ) -> list[str]:
         """Commit an uncommitted version, making it the current version.
+
+        Returns the (usually empty) list of page paths whose data the
+        merge policy reconciled with concurrent committed updates: the
+        committed bytes there are a merge, not the client's own write, so
+        the client must not seed its cache with what it wrote.
 
         Raises :class:`CommitConflict` when the update cannot be serialised
         after the concurrently committed updates; the version is then
@@ -824,6 +860,10 @@ class FileService:
         base = self.store.load(v_block).base_ref
         recorder = self.recorder
         started = self.clock.now
+        # Paths whose data the merge policy reconciled with a concurrent
+        # committed update: returned to the client, whose cached values
+        # for them are its own pre-merge writes, not the committed bytes.
+        merged_paths: list[str] = []
         with recorder.span("commit", server=self.name, version=entry.obj) as span:
             for round_number in range(max_rounds):
                 # "First it ascertains that all of V.b's pages are safely on
@@ -863,16 +903,23 @@ class FileService:
                     else:
                         self.metrics.merged_commits += 1
                         span.tag(path="serialise")
+                    if merged_paths:
+                        span.tag(semantic_merges=len(merged_paths))
                     span.tag(rounds=round_number + 1)
                     recorder.count("commit.committed")
                     recorder.observe("commit.ticks", self.clock.now - started)
-                    return
+                    return sorted(set(merged_paths))
                 successor = int.from_bytes(result.current, "big")
                 outcome = serialise(
-                    self.store, v_block, successor, recorder=recorder
+                    self.store,
+                    v_block,
+                    successor,
+                    recorder=recorder,
+                    policy=self.merge_policy,
                 )
                 self.metrics.serialise_runs += 1
                 self.metrics.serialise_pages_visited += outcome.pages_visited
+                self._note_merges(outcome.semantic_merges, outcome.reason)
                 if not outcome.ok:
                     self.metrics.conflicts += 1
                     span.tag(path="conflict", rounds=round_number + 1)
@@ -883,6 +930,7 @@ class FileService:
                         f"version {entry.obj} conflicts with committed update at "
                         f"page '{outcome.conflict_path}': {outcome.reason}"
                     )
+                merged_paths.extend(str(p) for p in outcome.merged_paths)
                 base = successor
             span.tag(path="unsettled", rounds=max_rounds)
             raise CommitConflict(
@@ -907,8 +955,10 @@ class FileService:
         crash or storage failure mid-flush aborts *every* member, never
         a prefix.
 
-        Returns ``{version_obj: "committed" | "conflict: ..."}`` for each
-        distinct member.  Storage outages (e.g. a whole companion pair
+        Returns ``{version_obj: "committed" | "committed-merged" |
+        "conflict: ..."}`` for each distinct member ("committed-merged":
+        the member committed but some of its pages carry policy-merged
+        data rather than the member's own writes).  Storage outages (e.g. a whole companion pair
         down mid-flush) propagate as :class:`ServerUnreachable` after the
         chain links are withdrawn — no member commits, all stay
         uncommitted for the client to retry.
@@ -942,6 +992,10 @@ class FileService:
             e.obj: self.store.load(e.root_block, fresh=True).base_ref
             for e in entries
         }
+        # Per member: paths the merge policy reconciled during catch-up.
+        # Members with any land in the outcome as "committed-merged" so
+        # the client knows not to cache its pre-merge writes for them.
+        merged: dict[int, set[str]] = {e.obj: set() for e in entries}
         with recorder.span(
             "commit.group", server=self.name, members=len(entries)
         ) as span:
@@ -973,7 +1027,7 @@ class FileService:
                             )
                             continue
                         if self._group_catch_up(
-                            entry, group_base, caught_up, chain, outcomes
+                            entry, group_base, caught_up, chain, outcomes, merged
                         ):
                             chain.append(entry)
                         else:
@@ -1002,7 +1056,7 @@ class FileService:
                         bases[file_obj], chain[0].root_block
                     )
                     if result.success:
-                        self._publish_chain(file_obj, chain, outcomes)
+                        self._publish_chain(file_obj, chain, outcomes, merged)
                     else:
                         # Another server slipped a commit in; next round
                         # catches the chain up behind the new tip.
@@ -1031,6 +1085,7 @@ class FileService:
         caught_up: dict[int, int],
         prior: list[VersionEntry],
         outcomes: dict[int, str],
+        merged: dict[int, set[str]] | None = None,
     ) -> bool:
         """Serialise one group member up to the head of its chain: first
         through any externally committed versions it has not seen, then —
@@ -1043,10 +1098,17 @@ class FileService:
             first = self.store.load(base, fresh=True).commit_ref
             if first != NIL:
                 chain = serialise_through(
-                    self.store, v_block, first, recorder=self.recorder
+                    self.store,
+                    v_block,
+                    first,
+                    recorder=self.recorder,
+                    policy=self.merge_policy,
                 )
                 self.metrics.serialise_runs += chain.serialise_runs
                 self.metrics.serialise_pages_visited += chain.pages_visited
+                self._note_merges(chain.semantic_merges, chain.reason)
+                if merged is not None:
+                    merged[entry.obj].update(str(p) for p in chain.merged_paths)
                 if not chain.ok:
                     self._group_conflict(
                         entry, chain.conflict_path, chain.reason, outcomes
@@ -1055,10 +1117,17 @@ class FileService:
                 caught_up[entry.obj] = chain.tip
         for earlier in prior:
             result = serialise(
-                self.store, v_block, earlier.root_block, recorder=self.recorder
+                self.store,
+                v_block,
+                earlier.root_block,
+                recorder=self.recorder,
+                policy=self.merge_policy,
             )
             self.metrics.serialise_runs += 1
             self.metrics.serialise_pages_visited += result.pages_visited
+            self._note_merges(result.semantic_merges, result.reason)
+            if merged is not None:
+                merged[entry.obj].update(str(p) for p in result.merged_paths)
             if not result.ok:
                 self._group_conflict(
                     entry, result.conflict_path, result.reason, outcomes
@@ -1098,8 +1167,22 @@ class FileService:
                 page.commit_ref = NIL
                 self.store.store_in_place(entry.root_block, page)
 
+    def _note_merges(self, count: int, reason: str = "") -> None:
+        """Merge-policy observability: applied merges and the conflicts
+        that reached the policy but could not be reconciled."""
+        if count:
+            self.metrics.semantic_merges += count
+            self.recorder.count("merge.applied", count)
+        if reason.startswith("merge:"):
+            self.metrics.merge_conflicts += 1
+            self.recorder.count("merge.conflicts")
+
     def _publish_chain(
-        self, file_obj: int, chain: list[VersionEntry], outcomes: dict[int, str]
+        self,
+        file_obj: int,
+        chain: list[VersionEntry],
+        outcomes: dict[int, str],
+        merged: dict[int, set[str]] | None = None,
     ) -> None:
         """Bookkeeping for a chain the test-and-set just made current:
         every member is now committed, in chain order."""
@@ -1127,7 +1210,10 @@ class FileService:
             self.metrics.group_committed += 1
             recorder.count("commit.committed")
             recorder.count("commit.group.committed")
-            outcomes[entry.obj] = "committed"
+            if merged is not None and merged.get(entry.obj):
+                outcomes[entry.obj] = "committed-merged"
+            else:
+                outcomes[entry.obj] = "committed"
         file_entry = self.registry.file(file_obj)
         tip = chain[-1].root_block
         file_entry.entry_block = tip
@@ -1480,8 +1566,10 @@ class FileService:
     def cmd_committed_versions(self, file_cap: Capability) -> list[Capability]:
         return self.committed_versions(file_cap)
 
-    def cmd_create_file(self, initial_data: bytes = b"") -> Capability:
-        return self.create_file(initial_data)
+    def cmd_create_file(
+        self, initial_data: bytes = b"", mergeable: bool = False
+    ) -> Capability:
+        return self.create_file(initial_data, mergeable=mergeable)
 
     def cmd_delete_file(self, file_cap: Capability) -> None:
         return self.delete_file(file_cap)
@@ -1560,7 +1648,7 @@ class FileService:
             )
         )
 
-    def cmd_commit(self, version_cap: Capability) -> None:
+    def cmd_commit(self, version_cap: Capability) -> list[str]:
         return self.commit(version_cap)
 
     def cmd_commit_group(self, version_caps: list[Capability]) -> dict[int, str]:

@@ -78,6 +78,7 @@ class SystemTree:
         parent_path: PagePath,
         index: int | None = None,
         initial_data: bytes = b"",
+        mergeable: bool = False,
     ) -> Capability:
         """Create a new file nested inside an uncommitted version of its
         parent: the sub-file's initial version page becomes a child of the
@@ -98,6 +99,7 @@ class SystemTree:
             file_cap=file_cap,
             version_cap=version_cap,
             is_version_page=True,
+            mergeable=mergeable,
             parent_ref=entry.root_block,
             data=initial_data,
         )
@@ -120,8 +122,26 @@ class SystemTree:
                 service.issuer.secret_of(file_cap.obj),
                 is_super=False,
                 parent_obj=entry.file_obj,
+                mergeable=mergeable,
             )
         )
+        if service.history is not None:
+            if mergeable:
+                service.history.record(
+                    "merge_typed", actor=service.name, file=file_cap.obj
+                )
+            # The sub-file's initial version is committed here and now (the
+            # enclosing super-file update only publishes the *binding*), so
+            # the checker needs its birth on the log like any create_file.
+            service.history.record(
+                "create",
+                actor=service.name,
+                file=file_cap.obj,
+                version=version_cap.obj,
+                path="",
+                value=bytes(initial_data),
+                tick=service.clock.now,
+            )
         service.registry.add_version(
             VersionEntry(
                 version_cap.obj,

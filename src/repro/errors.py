@@ -210,6 +210,24 @@ class CommitConflict(FileServiceError):
     committed concurrent update and must be redone by the client."""
 
 
+class MergeConflict(CommitConflict):
+    """A semantic merge of two concurrent entry-table updates failed:
+    both sides changed the *same* entry (or a table failed to decode).
+    The strictness boundary of :mod:`repro.merge` — treated exactly like
+    any other commit conflict by the redo loop."""
+
+
+class UpdateStarved(CommitConflict):
+    """A bounded retry loop exhausted its attempts without committing:
+    the update kept losing the optimistic race to concurrent writers.
+    Carries the attempt count so callers can distinguish starvation from
+    a single genuine conflict."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class PageTooLarge(FileServiceError):
     """Page data + references exceed the maximum page size (32K)."""
 

@@ -1,0 +1,38 @@
+"""Merge policies: the hook ``occ.serialise`` consults on a W/W overlap.
+
+A policy is anything with a ``name`` and a
+``merge(base, ours, theirs) -> bytes`` method that raises
+:class:`repro.errors.MergeConflict` when the pages cannot be reconciled.
+``FileService`` carries one policy instance (``merge_policy``); setting
+it to ``None`` turns semantic merging off entirely — the configuration
+the contention benchmark uses for its merge-off passes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.merge.orset import merge_tables
+
+
+@runtime_checkable
+class MergePolicy(Protocol):
+    """The interface the OCC layer programs against."""
+
+    name: str
+
+    def merge(self, base: bytes, ours: bytes, theirs: bytes) -> bytes:
+        """Merged page data, or raise :class:`MergeConflict`."""
+        ...
+
+
+class ORSetMergePolicy:
+    """Observed-remove-set merge of directory entry tables."""
+
+    name = "or-set"
+
+    def merge(self, base: bytes, ours: bytes, theirs: bytes) -> bytes:
+        return merge_tables(base, ours, theirs)
+
+
+DEFAULT_MERGE_POLICY = ORSetMergePolicy()

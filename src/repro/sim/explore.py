@@ -34,6 +34,7 @@ from typing import Callable, Generator, Iterator
 
 from repro.capability import new_port
 from repro.errors import ReproError, VersionCommitted
+from repro.apps.directory import _pack_table, _unpack_table
 from repro.client.api import FileClient
 from repro.core.gc import GarbageCollector
 from repro.core.pathname import PagePath
@@ -43,6 +44,7 @@ from repro.sim.sched import Scheduler, Task
 from repro.testbed import Cluster, build_cluster, build_sharded_cluster
 from repro.tools.check import CheckReport, check_cluster
 from repro.verify.history import CheckResult, HistoryRecorder, check_history
+from repro.workloads.generators import DirOpSpec, directory_churn_workload
 
 ROOT = PagePath.ROOT
 
@@ -134,6 +136,16 @@ class SoakConfig:
     # so every soak invariant proven on simulated media holds on real
     # files too.
     backend: str = "sim"
+    # Contention battery: replace the page-update mix with hot-directory
+    # churn — every client toggles entries in a small set of merge-typed
+    # directory files, Zipf-skewed so directory 0 takes most of the heat.
+    # The history checker replays those files under the merge semantics
+    # (:mod:`repro.merge`), so a bad merge shows up as a violation.
+    contention: bool = False
+    # Semantic merging on the servers.  ``merge=False`` strips the merge
+    # policy (paper-exact strict OCC) — the merge-off arm of the
+    # abort-rate/goodput comparison.
+    merge: bool = True
 
 
 @dataclass
@@ -151,6 +163,8 @@ class SoakReport:
     op_errors: int = 0  # operations that failed under injected faults
     rebalances: int = 0  # live migrations that cut over
     rebalance_aborts: int = 0  # migrations aborted by injected faults
+    merges: int = 0  # commits the servers semantically merged
+    merge_conflicts: int = 0  # merges the or-set semantics rejected
 
     @property
     def ok(self) -> bool:
@@ -182,11 +196,17 @@ class SoakReport:
             line += " --rebalance"
         if cfg.backend != "sim":
             line += f" --backend {cfg.backend}"
+        if cfg.contention:
+            line += " --contention"
+        if not cfg.merge:
+            line += " --no-merge"
         return line
 
     def summary(self) -> str:
         cfg = self.config
         topo = f"{cfg.shards} shards" if cfg.shards else "single pair"
+        if cfg.contention:
+            topo += ", contention" + ("" if cfg.merge else ", merge off")
         status = "ok" if self.ok else f"{len(self.violations())} violation(s)"
         rebalance = ""
         if cfg.rebalance:
@@ -194,11 +214,18 @@ class SoakReport:
                 f", {self.rebalances} rebalance(s)"
                 f" ({self.rebalance_aborts} aborted)"
             )
+        merges = ""
+        if self.merges or self.merge_conflicts:
+            merges = (
+                f", {self.merges} merge(s)"
+                f" ({self.merge_conflicts} merge conflicts)"
+            )
         return (
             f"soak seed={cfg.seed} ops={cfg.ops} ({topo}): {status}; "
             f"{self.steps} steps, {len(self.faults_fired)} faults, "
             f"{self.commits} commits, {self.conflicts} conflicts, "
-            f"{self.op_errors} faulted ops{rebalance}; {self.check.summary()}"
+            f"{self.op_errors} faulted ops{rebalance}{merges}; "
+            f"{self.check.summary()}"
         )
 
 
@@ -366,7 +393,7 @@ def blind_serialise_mutant() -> Iterator[None]:
 
     real = service_module.serialise
 
-    def blind(store, b_root, c_root, merge=True, recorder=None):
+    def blind(store, b_root, c_root, merge=True, recorder=None, **kwargs):
         return SerialiseResult(ok=True)
 
     service_module.serialise = blind
@@ -433,6 +460,51 @@ def _client_script(
     return None
 
 
+def _contention_script(
+    client: FileClient,
+    caps: list,
+    ops: list[DirOpSpec],
+    tally: dict,
+) -> Generator[None, None, None]:
+    """One contention client: hot-directory churn against merge-typed files.
+
+    Each operation toggles one entry (bind if absent, unlink if present)
+    in a Zipf-picked directory.  Distinct-name races are exactly what the
+    merge layer reconciles; shared-name races with different targets must
+    still abort one side.  Like the page workload, every operation
+    tolerates :class:`ReproError` — conflicts and faulted ops count as
+    ``op_errors`` and the checker judges correctness afterwards.
+    """
+    for opno, op in enumerate(ops):
+        cap = caps[op.directory]
+        yield
+        update = None
+        try:
+            update = client.begin(cap)
+            table = _unpack_table(update.read(ROOT))
+            yield
+            if op.name in table:
+                del table[op.name]
+            else:
+                # Bind a capability that varies per client and op, so
+                # shared-name races really are bound-to-different-targets.
+                table[op.name] = caps[(op.directory + opno) % len(caps)]
+            update.write(ROOT, _pack_table(table))
+            yield
+            update.commit()
+            tally["commits"] += 1
+        except VersionCommitted:
+            tally["commits"] += 1  # dropped reply: the commit landed
+        except ReproError:
+            tally["op_errors"] += 1
+            if update is not None and not update.done:
+                try:
+                    update.abort()
+                except ReproError:
+                    pass
+    return None
+
+
 def _grouped_op(
     client: FileClient,
     caps: list,
@@ -462,7 +534,8 @@ def _grouped_op(
         yield
         outcomes = client.commit_group(updates)
         for update in updates:
-            if outcomes.get(update.version.obj) == "committed":
+            # "committed" or "committed-merged": both landed durably.
+            if (outcomes.get(update.version.obj) or "").startswith("committed"):
                 tally["commits"] += 1
             else:
                 tally["op_errors"] += 1
@@ -595,17 +668,26 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             data_dir=data_dir,
         )
     rng = random.Random(f"soak-{config.seed}")
+    if not config.merge:
+        for server in cluster.servers:
+            server.merge_policy = None
 
     # -- setup: files exist and are committed before any fault fires -------
     fs = cluster.fs(0)
     caps = []
-    for i in range(config.files):
-        cap = fs.create_file(b"soak file %d" % i)
-        handle = fs.create_version(cap)
-        for page in range(config.pages):
-            fs.append_page(handle.version, ROOT, b"page %d.%d" % (i, page))
-        fs.commit(handle.version)
-        caps.append(cap)
+    if config.contention:
+        # Hot merge-typed directory files (empty entry tables); the churn
+        # scripts toggle entries in them for the whole run.
+        for i in range(max(2, config.files)):
+            caps.append(fs.create_file(_pack_table({}), mergeable=True))
+    else:
+        for i in range(config.files):
+            cap = fs.create_file(b"soak file %d" % i)
+            handle = fs.create_version(cap)
+            for page in range(config.pages):
+                fs.append_page(handle.version, ROOT, b"page %d.%d" % (i, page))
+            fs.commit(handle.version)
+            caps.append(cap)
 
     # -- tasks --------------------------------------------------------------
     scheduler = ExploreScheduler()
@@ -614,6 +696,14 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
     # Rough step horizon: each op takes a handful of yields.  Computed up
     # front so the rebalancer's trigger point can be drawn from it.
     horizon = max(20, per_client * config.clients * 3)
+    churn = None
+    if config.contention:
+        churn = directory_churn_workload(
+            random.Random(f"soak-{config.seed}-churn"),
+            config.clients,
+            per_client,
+            len(caps),
+        )
     for ci in range(config.clients):
         client = FileClient(
             cluster.network,
@@ -623,9 +713,10 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
             lease_ticks=config.lease_ticks if config.leases else None,
         )
         crng = random.Random(f"soak-{config.seed}-client-{ci}")
-        scheduler.spawn(
-            f"soak-c{ci}",
-            _client_script(
+        if churn is not None:
+            script = _contention_script(client, caps, churn[ci], tally)
+        else:
+            script = _client_script(
                 client,
                 caps,
                 crng,
@@ -633,8 +724,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
                 config.pages,
                 tally,
                 group_commit=config.group_commit,
-            ),
-        )
+            )
+        scheduler.spawn(f"soak-c{ci}", script)
     scheduler.spawn("soak-gc", _gc_script(cluster, cycles=3))
     if config.rebalance:
         rrng = random.Random(f"soak-{config.seed}-rebalance")
@@ -672,6 +763,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
     fsck = check_cluster(cluster)
     commits = tally["commits"]
     conflicts = sum(s.metrics.conflicts for s in cluster.servers)
+    merges = sum(s.metrics.semantic_merges for s in cluster.servers)
+    merge_conflicts = sum(s.metrics.merge_conflicts for s in cluster.servers)
     recorder.count("soak.ops", config.ops)
     recorder.count("soak.commits", commits)
     recorder.count("soak.conflicts", conflicts)
@@ -692,6 +785,8 @@ def run_soak(config: SoakConfig, recorder=None) -> SoakReport:
         op_errors=tally["op_errors"],
         rebalances=tally["rebalances"],
         rebalance_aborts=tally["rebalance_aborts"],
+        merges=merges,
+        merge_conflicts=merge_conflicts,
     )
 
 

@@ -115,6 +115,7 @@ def salvage(service) -> SalvageReport:
                 file_obj,
                 current,
                 service.issuer.secret_of(file_obj),
+                mergeable=pages[current].mergeable,
             )
         )
         # Register the current version so reads work immediately.

@@ -45,12 +45,30 @@ Files that saw structural surgery the recorder only summarises
 names) are checked for the ordering invariants but skipped for path-keyed
 value checks; the soak workloads keep their page trees stable after setup
 so every soak run gets the full check.
+
+**Merge-typed files** (flagged by a ``merge_typed`` event at creation;
+see :mod:`repro.merge`) relax invariant 1 deliberately: the service may
+commit two concurrent updates of the root entry table by semantically
+merging them, so a committed update's reads reflect its *base* snapshot,
+not the serial state at its commit position.  For those files the checker
+switches to the merge semantics themselves: reads of the root page are
+validated against the version's base snapshot plus its own writes, and
+each commit's root-table contribution is folded into the serial state by
+replaying the same observed-remove merge the service performed — base
+snapshot → merge against every committed intermediate, in commit order.
+A fold the or-set semantics reject (both sides rebound the same name)
+where the history says both sides committed is a ``merge-divergence``
+violation.  Every other page, and every non-merge-typed file, is checked
+byte-for-byte exactly as before.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+
+from repro.errors import MergeConflict
+from repro.merge.orset import merge_tables
 
 
 @dataclass(frozen=True)
@@ -64,7 +82,7 @@ class HistoryEvent:
     """
 
     seq: int
-    kind: str  # create|begin|read|write|append|structure|snapshot_read|commit|abort|crash|restart|cutover|shard_serve
+    kind: str  # create|begin|read|write|append|structure|snapshot_read|commit|abort|crash|restart|cutover|shard_serve|merge_typed
     actor: str
     file: int | None = None
     version: int | None = None
@@ -148,6 +166,8 @@ class CheckResult:
     snapshot_reads_checked: int = 0
     lease_reads_checked: int = 0  # lease-stamped reads held to the TTL bound
     unknown_version_reads: int = 0  # reads of versions the log never saw minted
+    merge_files_checked: int = 0  # files replayed under the merge semantics
+    merge_folds: int = 0  # root-table merges performed during replay
     cutovers_seen: int = 0  # shard retirements (placement epoch bumps)
     shard_serves_checked: int = 0  # block ops checked against cutover order
     opaque_files: list[int] = field(default_factory=list)
@@ -169,6 +189,11 @@ class CheckResult:
         )
         if self.lease_reads_checked:
             line += f" ({self.lease_reads_checked} held to the lease bound)"
+        if self.merge_files_checked:
+            line += (
+                f"; {self.merge_files_checked} merge-typed file(s), "
+                f"{self.merge_folds} replay merge(s)"
+            )
         if self.cutovers_seen:
             line += (
                 f"; {self.cutovers_seen} cutover(s), "
@@ -180,6 +205,41 @@ class CheckResult:
 # Event kinds that mutate a version's page tree in path-keyed ways the
 # checker can replay (append extends the tree without renumbering).
 _TRACKED_WRITES = ("write", "append", "create")
+
+# The root page of a merge-typed file — the only page the service ever
+# flags mergeable, and therefore the only path the replay fold applies to.
+_MERGE_PATH = ""
+
+
+def _fold_merge(
+    prev: bytes | None,
+    ours: bytes,
+    theirs: bytes | None,
+    result: "CheckResult",
+    file: int,
+    version: int,
+) -> bytes:
+    """Fold one committed intermediate into a merge-typed root table.
+
+    ``prev`` is the table as of the intermediate's own base (the previous
+    commit in serial order), ``theirs`` its published table, ``ours`` the
+    table the version under replay carries so far.  Mirrors exactly the
+    per-round merge the service performed while the version retried its
+    test-and-set.
+    """
+    if theirs is None or theirs == prev:
+        return ours  # the intermediate left the root table alone
+    try:
+        result.merge_folds += 1
+        return merge_tables(prev if prev is not None else b"", ours, theirs)
+    except MergeConflict as exc:
+        result.violate(
+            "merge-divergence",
+            f"file {file}: committed version {version} required a root-"
+            f"table merge the or-set semantics reject ({exc}) — the "
+            f"service published a commit it should have conflicted",
+        )
+        return ours
 
 
 def check_history(
@@ -204,6 +264,7 @@ def check_history(
     files: dict[int, dict] = {}  # file obj -> {"order": [version objs], ...}
     snapshot_reads: list[HistoryEvent] = []
     opaque: set[int] = set()
+    merge_files: set[int] = set()  # files whose root table merges on commit
 
     for event in events:
         if event.version is not None and event.file is not None:
@@ -223,6 +284,9 @@ def check_history(
         elif event.kind == "structure":
             if event.file is not None:
                 opaque.add(event.file)
+        elif event.kind == "merge_typed":
+            if event.file is not None:
+                merge_files.add(event.file)
         elif event.kind == "commit":
             commit_seqs.setdefault(event.version, []).append(event.seq)
             if event.tick is not None:
@@ -280,13 +344,31 @@ def check_history(
         if file in opaque:
             continue  # structural surgery: path-keyed replay unsound
 
+        merged_file = file in merge_files
+        if merged_file:
+            result.merge_files_checked += 1
+        pos_index = {version: pos for pos, version in enumerate(order)}
         state: dict[str, bytes] = {}
         snapshots: dict[int, dict[str, bytes]] = {}
-        for version in order:
+        for pos, version in enumerate(order):
+            base = begin_base.get(version)
+            base_snap = snapshots.get(base) if base is not None else None
+            if pos == 0 and base is None:
+                base_snap = {}  # the create itself grows from nothing
             overlay: dict[str, bytes] = {}
             for event in version_events.get(version, ()):
                 if event.kind == "read":
-                    expected = overlay.get(event.path, state.get(event.path))
+                    # Merge-typed files are snapshot-isolated on the root
+                    # table: the version legitimately read its *base*
+                    # snapshot even though intermediates committed merges
+                    # ahead of it.  Everything else must match the serial
+                    # state (strict conflicts guarantee it does).
+                    if merged_file and event.path == _MERGE_PATH:
+                        if base_snap is None:
+                            continue  # base outside the log: snapshot unknown
+                        expected = overlay.get(event.path, base_snap.get(event.path))
+                    else:
+                        expected = overlay.get(event.path, state.get(event.path))
                     result.reads_checked += 1
                     if expected is not None and event.value != expected:
                         result.violate(
@@ -297,6 +379,30 @@ def check_history(
                         )
                 elif event.kind in _TRACKED_WRITES:
                     overlay[event.path] = event.value
+            if (
+                merged_file
+                and _MERGE_PATH in overlay
+                and base is not None
+                and base in pos_index
+            ):
+                # Re-derive the published root table the way the service
+                # did: start from the version's own write (relative to its
+                # base) and merge through every commit that landed between
+                # its base and its own position, in serial order.
+                cur = overlay[_MERGE_PATH]
+                prev_snap = snapshots[base]
+                for i in range(pos_index[base] + 1, pos):
+                    other_snap = snapshots[order[i]]
+                    cur = _fold_merge(
+                        prev_snap.get(_MERGE_PATH),
+                        cur,
+                        other_snap.get(_MERGE_PATH),
+                        result,
+                        file,
+                        version,
+                    )
+                    prev_snap = other_snap
+                overlay[_MERGE_PATH] = cur
             state.update(overlay)
             snapshots[version] = dict(state)
         by_file_snapshots[file] = snapshots

@@ -1,0 +1,348 @@
+"""The adversarial contention battery behind ``BENCH_contention.json``.
+
+Three workload shapes, each run with the semantic-merge layer on and
+off (:mod:`repro.merge`), everything on the deterministic simulation
+(logical clocks, seeded RNGs) so the abort-rate and goodput curves are
+bit-for-bit reproducible and the CI gate can hold them:
+
+* **hot_dir** — N clients churn entries in two merge-typed directories
+  under the cooperative scheduler, every name private to its writer.
+  Distinct-entry races are exactly what the observed-remove merge
+  reconciles: with merges on the pass must commit every operation with
+  *zero* conflicts; with merges off the same interleaving aborts a
+  deterministic share of them.  The headline claim — abort rate strictly
+  lower AND goodput strictly higher with merges on — is asserted in the
+  producer itself and committed as the ``*_regression`` indicators the
+  gate pins at 0.
+* **zipf** — the same churn over six directories with Zipf-skewed
+  popularity (:func:`repro.workloads.generators.directory_churn_workload`)
+  plus a shared contended namespace, so *both* arms see genuine
+  same-entry conflicts: merging narrows the abort rate to real races
+  instead of eliminating it.
+* **superfile** — N writers repeatedly open concurrent versions of one
+  volume's root *directory sub-file* (created merge-typed by
+  :class:`repro.apps.volume.Volume`) and bind distinct names.  With
+  merges on every writer of every round lands; with merges off one
+  writer per round survives.
+
+Every pass records an operation history and feeds it through
+:func:`repro.verify.history.check_history`, whose merge-aware replay
+re-derives each merged commit; violation counts are gated at 0.
+
+The **parity** pass replays identical overlapping-writer rounds through
+the real client API on the simulated network and again over localhost
+TCP sockets (:func:`repro.net.cluster.build_tcp_cluster`): both runs are
+history-checked and must converge to the *same* final directory state —
+the or-set merge is order-independent, so the digests match even though
+the transports interleave the catch-up rounds differently.  The digest
+comparison and both history verdicts are gated; the TCP timings are
+wall-clock and are reported, not gated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Generator
+
+from repro.apps.directory import _pack_table, _unpack_table
+from repro.apps.volume import Volume
+from repro.client.api import FileClient
+from repro.core.pathname import PagePath
+from repro.errors import CommitConflict
+from repro.sim.sched import Scheduler
+from repro.testbed import build_cluster
+from repro.verify.history import HistoryRecorder, check_history
+from repro.workloads.generators import DirOpSpec, directory_churn_workload
+
+ROOT = PagePath.ROOT
+
+# Shared shape of the scheduler-driven churn passes.
+CLIENTS = 4
+OPS_PER_CLIENT = 16
+REDO_ATTEMPTS = 4
+
+
+def _digest(fs, caps) -> str:
+    """A stable digest of the directories' final entry *names* — the
+    bound capabilities are per-cluster mints, so cross-transport parity
+    compares which entries survived, not the capability bytes."""
+    h = hashlib.sha256()
+    for cap in caps:
+        table = _unpack_table(fs.read_page(fs.current_version(cap), ROOT))
+        for name in sorted(table):
+            h.update(name.encode())
+            h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _churn_client(
+    client: FileClient,
+    caps: list,
+    ops: list[DirOpSpec],
+    tally: dict,
+) -> Generator[None, None, None]:
+    """One churn client with the standard optimistic redo loop: up to
+    :data:`REDO_ATTEMPTS` tries per operation, each conflict counted as
+    one abort."""
+    for op in ops:
+        cap = caps[op.directory]
+        value = caps[(op.directory + 1) % len(caps)]
+        for _ in range(REDO_ATTEMPTS):
+            update = client.begin(cap)
+            table = _unpack_table(update.read(ROOT))
+            yield
+            if op.name in table:
+                del table[op.name]
+            else:
+                table[op.name] = value
+            update.write(ROOT, _pack_table(table))
+            yield
+            try:
+                update.commit()
+                tally["commits"] += 1
+                break
+            except CommitConflict:
+                tally["conflicts"] += 1
+                yield
+        else:
+            tally["gave_up"] += 1
+        yield
+
+
+def _churn_pass(
+    merge: bool,
+    dirs: int,
+    skew: float,
+    shared_fraction: float,
+    seed: int,
+) -> dict:
+    """One scheduler-driven churn run; returns its deterministic curve
+    point plus the final-state digest and history verdict."""
+    history = HistoryRecorder()
+    cluster = build_cluster(servers=2, seed=seed, history=history)
+    if not merge:
+        for server in cluster.servers:
+            server.merge_policy = None
+    fs = cluster.fs(0)
+    caps = [fs.create_file(_pack_table({}), mergeable=True) for _ in range(dirs)]
+    churn = directory_churn_workload(
+        random.Random(f"contention-{seed}"),
+        CLIENTS,
+        OPS_PER_CLIENT,
+        dirs,
+        skew=skew,
+        shared_fraction=shared_fraction,
+    )
+    tally = {"commits": 0, "conflicts": 0, "gave_up": 0}
+    scheduler = Scheduler()
+    ticks0 = cluster.clock.now
+    for ci in range(CLIENTS):
+        client = FileClient(
+            cluster.network, f"churn-c{ci}", cluster.service_port,
+            use_cache=False, history=history,
+        )
+        scheduler.spawn(f"churn-c{ci}", _churn_client(client, caps, churn[ci], tally))
+    scheduler.run()
+    ticks = cluster.clock.now - ticks0
+    check = check_history(history)
+    attempts = tally["commits"] + tally["conflicts"]
+    return {
+        "merge": merge,
+        "ops": CLIENTS * OPS_PER_CLIENT,
+        "commits": tally["commits"],
+        "conflicts": tally["conflicts"],
+        "gave_up": tally["gave_up"],
+        "abort_rate_pct": round(100.0 * tally["conflicts"] / attempts, 1),
+        "ticks": ticks,
+        "goodput_per_kilotick": round(1000.0 * tally["commits"] / ticks, 2),
+        "merges": sum(s.metrics.semantic_merges for s in cluster.servers),
+        "merge_conflicts": sum(s.metrics.merge_conflicts for s in cluster.servers),
+        "history_violations": len(check.violations),
+        "replay_merges": check.merge_folds,
+        "state_digest": _digest(fs, caps),
+    }
+
+
+def _churn_curve(dirs: int, skew: float, shared_fraction: float, seed: int) -> dict:
+    on = _churn_pass(True, dirs, skew, shared_fraction, seed)
+    off = _churn_pass(False, dirs, skew, shared_fraction, seed)
+    return {
+        "merge_on": on,
+        "merge_off": off,
+        # 0 = the claim holds; the gate pins these at exactly 0.
+        "abort_rate_regression": int(
+            not on["abort_rate_pct"] < off["abort_rate_pct"]
+        ),
+        "goodput_regression": int(
+            not on["goodput_per_kilotick"] > off["goodput_per_kilotick"]
+        ),
+    }
+
+
+def _superfile_pass(merge: bool, writers: int = 4, rounds: int = 5) -> dict:
+    """N concurrent writers on one volume's root directory sub-file."""
+    history = HistoryRecorder()
+    cluster = build_cluster(servers=1, seed=31, history=history)
+    if not merge:
+        for server in cluster.servers:
+            server.merge_policy = None
+    service = cluster.fs(0)
+    volume = Volume(service)
+    volume._sleep = lambda _seconds: None
+    _volume_cap, root_dir = volume.create()
+    commits = conflicts = 0
+    ticks0 = cluster.clock.now
+    for round_no in range(rounds):
+        handles = [service.create_version(root_dir) for _ in range(writers)]
+        for i, handle in enumerate(handles):
+            table = _unpack_table(service.read_page(handle.version, ROOT))
+            table[f"w{i}-r{round_no}"] = root_dir
+            service.write_page(handle.version, ROOT, _pack_table(table))
+        for handle in handles:
+            try:
+                service.commit(handle.version)
+                commits += 1
+            except CommitConflict:
+                conflicts += 1
+    ticks = cluster.clock.now - ticks0
+    check = check_history(history)
+    final = _unpack_table(service.read_page(service.current_version(root_dir), ROOT))
+    attempts = commits + conflicts
+    return {
+        "merge": merge,
+        "writers": writers,
+        "rounds": rounds,
+        "commits": commits,
+        "conflicts": conflicts,
+        "abort_rate_pct": round(100.0 * conflicts / attempts, 1),
+        "ticks": ticks,
+        "goodput_per_kilotick": round(1000.0 * commits / ticks, 2),
+        "final_entries": len(final),
+        "merges": service.metrics.semantic_merges,
+        "history_violations": len(check.violations),
+    }
+
+
+def _overlap_rounds(client: FileClient, cap, rounds: int = 5, width: int = 3) -> None:
+    """``width`` overlapping updates per round, all begun before any
+    commits: every commit after the first catches up through its
+    predecessors via the merge path."""
+    for round_no in range(rounds):
+        updates = [client.begin(cap) for _ in range(width)]
+        for i, update in enumerate(updates):
+            table = _unpack_table(update.read(ROOT))
+            table[f"r{round_no}-w{i}"] = cap
+            update.write(ROOT, _pack_table(table))
+        for update in updates:
+            update.commit()
+
+
+def _parity_pass() -> dict:
+    """The same overlapping-writer rounds on sim and over TCP sockets:
+    both history-checked, final directory states compared."""
+    import time
+
+    from repro.net.cluster import build_tcp_cluster
+
+    sim_history = HistoryRecorder()
+    sim_cluster = build_cluster(servers=1, seed=37, history=sim_history)
+    sim_client = FileClient(
+        sim_cluster.network, "parity-sim", sim_cluster.service_port,
+        use_cache=False, history=sim_history,
+    )
+    sim_cap = sim_client.create_file(_pack_table({}), mergeable=True)
+    _overlap_rounds(sim_client, sim_cap)
+    sim_digest = _digest(sim_cluster.fs(0), [sim_cap])
+    sim_check = check_history(sim_history)
+
+    tcp_history = HistoryRecorder()
+    tcp_cluster = build_tcp_cluster(servers=1, seed=37, history=tcp_history)
+    started = time.perf_counter()
+    try:
+        tcp_client = tcp_cluster.client("parity-tcp", use_cache=False)
+        tcp_cap = tcp_client.create_file(_pack_table({}), mergeable=True)
+        _overlap_rounds(tcp_client, tcp_cap)
+        tcp_digest = _digest(tcp_cluster.fs(0), [tcp_cap])
+    finally:
+        tcp_cluster.stop()
+    tcp_seconds = time.perf_counter() - started
+    tcp_check = check_history(tcp_history)
+
+    return {
+        "state_mismatch": int(sim_digest != tcp_digest),
+        "sim_history_violations": len(sim_check.violations),
+        "tcp_history_violations": len(tcp_check.violations),
+        "sim": {
+            "digest": sim_digest,
+            "replay_merges": sim_check.merge_folds,
+        },
+        "tcp": {
+            "digest": tcp_digest,
+            "replay_merges": tcp_check.merge_folds,
+            "seconds": round(tcp_seconds, 4),
+        },
+    }
+
+
+def run_contention_bench() -> dict:
+    """The full battery (the body of ``BENCH_contention.json``)."""
+    hot_dir = _churn_curve(dirs=2, skew=0.9, shared_fraction=0.0, seed=23)
+    zipf = _churn_curve(dirs=6, skew=1.2, shared_fraction=0.15, seed=24)
+    superfile = {
+        "merge_on": _superfile_pass(True),
+        "merge_off": _superfile_pass(False),
+    }
+    parity = _parity_pass()
+
+    # The headline acceptance claim, enforced at generation time: on the
+    # hot-directory workload, merging must strictly lower the abort rate
+    # and strictly raise goodput.
+    on, off = hot_dir["merge_on"], hot_dir["merge_off"]
+    assert on["conflicts"] == 0, on
+    assert on["abort_rate_pct"] < off["abort_rate_pct"], (on, off)
+    assert on["goodput_per_kilotick"] > off["goodput_per_kilotick"], (on, off)
+    assert parity["state_mismatch"] == 0, parity
+
+    return {
+        "hot_dir": hot_dir,
+        "zipf": zipf,
+        "superfile": superfile,
+        "parity": parity,
+    }
+
+
+# Zero-pinned regression indicators plus deterministic canaries; the
+# bench gate fails any gated value that regresses past tolerance, and
+# zero-valued baselines must stay exactly zero.
+GATE = [
+    "hot_dir.merge_on.conflicts",
+    "hot_dir.merge_on.history_violations",
+    "hot_dir.merge_off.history_violations",
+    "hot_dir.merge_off.conflicts",
+    "hot_dir.abort_rate_regression",
+    "hot_dir.goodput_regression",
+    "zipf.merge_on.history_violations",
+    "zipf.merge_off.history_violations",
+    "zipf.abort_rate_regression",
+    "superfile.merge_on.conflicts",
+    "superfile.merge_on.history_violations",
+    "superfile.merge_off.history_violations",
+    "parity.state_mismatch",
+    "parity.sim_history_violations",
+    "parity.tcp_history_violations",
+]
+
+# Real-socket timings; reported as evidence, never gated.
+WALLCLOCK = [
+    "parity.tcp.seconds",
+]
+
+
+def contention_document(schema: int = 1) -> dict:
+    """``run_contention_bench`` in the committed JSON shape."""
+    document = run_contention_bench()
+    document["schema"] = schema
+    document["gate"] = list(GATE)
+    document["wallclock"] = list(WALLCLOCK)
+    return document

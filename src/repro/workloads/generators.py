@@ -27,14 +27,42 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class TxnSpec:
-    """One transaction: ordered page reads and writes."""
+    """One transaction: ordered page reads and writes.
+
+    ``file`` selects which file the transaction runs against when the
+    driver manages more than one (Zipf-skewed file popularity); single-
+    file drivers ignore it.
+    """
 
     reads: tuple[int, ...] = ()
     writes: tuple[int, ...] = ()
+    file: int = 0
 
     @property
     def pages_touched(self) -> set[int]:
         return set(self.reads) | set(self.writes)
+
+
+@dataclass(frozen=True)
+class DirOpSpec:
+    """One directory-churn operation: toggle ``name`` in directory
+    ``directory`` (bind it if absent, unlink it if present).
+
+    ``shared`` marks names drawn from the small contended namespace every
+    client toggles — the genuine same-entry races that must still
+    conflict under the merge semantics.  Private names (one writer each)
+    are exactly the distinct-entry updates an observed-remove merge
+    reconciles without aborting anybody.
+    """
+
+    directory: int
+    name: str
+    shared: bool = False
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> list[float]:
+    """Unnormalised Zipf weights: rank ``r`` gets ``1/(r+1)**skew``."""
+    return [1.0 / (rank + 1) ** skew for rank in range(n)]
 
 
 def uniform_workload(
@@ -74,10 +102,19 @@ def zipf_workload(
     skew: float = 1.0,
     reads_per_txn: int = 2,
     writes_per_txn: int = 1,
+    n_files: int = 1,
+    file_skew: float | None = None,
 ) -> list[list[TxnSpec]]:
-    """Zipf-skewed page access: low ranks are hot."""
-    weights = [1.0 / (rank + 1) ** skew for rank in range(n_pages)]
+    """Zipf-skewed page access: low ranks are hot.
+
+    With ``n_files`` > 1, each transaction additionally lands on a file
+    drawn Zipf-distributed by ``file_skew`` (default: same as ``skew``) —
+    file 0 is the hot file everyone piles onto, the tail files are cold.
+    """
+    weights = zipf_weights(n_pages, skew)
     population = list(range(n_pages))
+    file_weights = zipf_weights(n_files, skew if file_skew is None else file_skew)
+    file_population = list(range(n_files))
 
     def pick(k: int) -> tuple[int, ...]:
         return tuple(rng.choices(population, weights=weights, k=k))
@@ -88,8 +125,50 @@ def zipf_workload(
         for _ in range(txns_per_client):
             writes = pick(writes_per_txn)
             reads = writes + pick(max(0, reads_per_txn - writes_per_txn))
-            txns.append(TxnSpec(reads=reads[:reads_per_txn], writes=writes))
+            file = 0
+            if n_files > 1:
+                file = rng.choices(file_population, weights=file_weights, k=1)[0]
+            txns.append(
+                TxnSpec(reads=reads[:reads_per_txn], writes=writes, file=file)
+            )
         workload.append(txns)
+    return workload
+
+
+def directory_churn_workload(
+    rng: random.Random,
+    clients: int,
+    ops_per_client: int,
+    n_dirs: int,
+    skew: float = 0.9,
+    names_per_client: int = 8,
+    shared_names: int = 4,
+    shared_fraction: float = 0.1,
+) -> list[list[DirOpSpec]]:
+    """Hot-directory churn: every operation toggles one entry in a
+    Zipf-picked directory (directory 0 is the hot one).
+
+    Most names are private to their client (distinct-entry updates — the
+    case a semantic merge commits without conflict); ``shared_fraction``
+    of the operations toggle a name from the small shared namespace
+    instead, producing the genuine same-entry races that must abort one
+    side whether or not merging is on.
+    """
+    dir_weights = zipf_weights(n_dirs, skew)
+    dir_population = list(range(n_dirs))
+    workload = []
+    for ci in range(clients):
+        ops = []
+        for _ in range(ops_per_client):
+            directory = rng.choices(dir_population, weights=dir_weights, k=1)[0]
+            if shared_names and rng.random() < shared_fraction:
+                name = f"shared-{rng.randrange(shared_names)}"
+                shared = True
+            else:
+                name = f"c{ci}-n{rng.randrange(names_per_client)}"
+                shared = False
+            ops.append(DirOpSpec(directory=directory, name=name, shared=shared))
+        workload.append(ops)
     return workload
 
 

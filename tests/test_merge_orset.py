@@ -1,0 +1,175 @@
+"""The observed-remove-set merge: entry-table codec and three-way rules.
+
+Unit tests pin every row of the merge table in :mod:`repro.merge.orset`'s
+docstring; the hypothesis suite property-checks the algebra the module
+promises — commutativity (including *which* cases conflict), idempotence
+and canonical re-encoding — over arbitrary small tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.directory import _pack_table
+from repro.capability import Capability
+from repro.errors import MergeConflict
+from repro.merge.orset import (
+    decode_entries,
+    encode_entries,
+    merge_entries,
+    merge_tables,
+)
+
+A, B, C = b"A" * 22, b"B" * 22, b"C" * 22
+
+
+def table(**entries: bytes) -> bytes:
+    return encode_entries(dict(entries))
+
+
+# ---------------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------------
+
+
+def test_empty_round_trip():
+    assert decode_entries(b"") == {}
+    assert decode_entries(encode_entries({})) == {}
+
+
+def test_round_trip_and_canonical_order():
+    entries = {"zeta": A, "alpha": B, "m": C}
+    raw = encode_entries(entries)
+    assert decode_entries(raw) == entries
+    # Sorted-name re-encoding: insertion order never leaks into the bytes.
+    assert raw == encode_entries({"m": C, "zeta": A, "alpha": B})
+
+
+def test_encoding_matches_directory_pack_table():
+    """The codec must stay byte-identical to the directory layer's format —
+    that is what lets the server merge real directory pages."""
+    caps = {
+        "bin": Capability(port=7, obj=3, rights=0xFF, check=42),
+        "usr": Capability(port=9, obj=8, rights=0x0F, check=7),
+    }
+    packed = {name: cap.pack() for name, cap in caps.items()}
+    assert encode_entries(packed) == _pack_table(caps)
+
+
+def test_opaque_bytes_are_rejected():
+    with pytest.raises(MergeConflict):
+        decode_entries(b"not a table at all")
+
+
+def test_truncated_table_rejected():
+    raw = table(a=A)
+    with pytest.raises(MergeConflict):
+        decode_entries(raw[:-1])
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(MergeConflict):
+        decode_entries(table(a=A) + b"x")
+
+
+# ---------------------------------------------------------------------------
+# the three-way rules
+# ---------------------------------------------------------------------------
+
+
+def test_distinct_adds_union():
+    merged = merge_tables(table(), table(a=A), table(b=B))
+    assert decode_entries(merged) == {"a": A, "b": B}
+
+
+def test_one_sided_change_wins():
+    base = table(a=A)
+    assert decode_entries(merge_tables(base, table(a=B), base)) == {"a": B}
+    assert decode_entries(merge_tables(base, base, table(a=B))) == {"a": B}
+
+
+def test_identical_changes_agree():
+    merged = merge_tables(table(a=A), table(a=B), table(a=B))
+    assert decode_entries(merged) == {"a": B}
+
+
+def test_both_removed_agree():
+    assert decode_entries(merge_tables(table(a=A), table(), table())) == {}
+
+
+def test_same_entry_divergent_targets_conflict():
+    with pytest.raises(MergeConflict, match="different targets"):
+        merge_tables(table(), table(a=A), table(a=B))
+
+
+def test_rebind_vs_remove_conflict():
+    with pytest.raises(MergeConflict, match="rebound and removed"):
+        merge_tables(table(a=A), table(a=B), table())
+
+
+def test_remove_of_renamed_survives():
+    """The observed-remove property: a rename (remove ``a`` + add ``b``)
+    concurrent with a plain remove of ``a`` — the removal only takes the
+    binding it saw, the renamed entry stays."""
+    base = table(a=A)
+    renamed = table(b=A)
+    removed = table()
+    assert decode_entries(merge_tables(base, renamed, removed)) == {"b": A}
+    assert decode_entries(merge_tables(base, removed, renamed)) == {"b": A}
+
+
+# ---------------------------------------------------------------------------
+# the algebra, property-checked
+# ---------------------------------------------------------------------------
+
+_names = st.text(alphabet="abcd", min_size=1, max_size=3)
+_values = st.sampled_from([A, B, C])
+_tables = st.dictionaries(_names, _values, max_size=5)
+
+
+def _try_merge(base, ours, theirs):
+    try:
+        return ("ok", merge_entries(base, ours, theirs))
+    except MergeConflict:
+        return ("conflict", None)
+
+
+@settings(max_examples=200)
+@given(_tables, _tables, _tables)
+def test_merge_is_commutative(base, ours, theirs):
+    """Swapping the two sides changes nothing — including whether the
+    merge conflicts at all."""
+    assert _try_merge(base, ours, theirs) == _try_merge(base, theirs, ours)
+
+
+@settings(max_examples=200)
+@given(_tables, _tables)
+def test_merge_is_idempotent(base, ours):
+    assert merge_entries(base, ours, ours) == ours
+
+
+@settings(max_examples=200)
+@given(_tables, _tables)
+def test_unchanged_side_is_identity(base, ours):
+    assert merge_entries(base, ours, dict(base)) == ours
+
+
+@settings(max_examples=200)
+@given(_tables, _tables, _tables)
+def test_encoded_merge_is_canonical(base, ours, theirs):
+    """merge_tables is exactly merge_entries under the codec, and its
+    output re-decodes to itself (canonical bytes)."""
+    verdict, merged = _try_merge(base, ours, theirs)
+    if verdict == "conflict":
+        with pytest.raises(MergeConflict):
+            merge_tables(
+                encode_entries(base), encode_entries(ours), encode_entries(theirs)
+            )
+        return
+    raw = merge_tables(
+        encode_entries(base), encode_entries(ours), encode_entries(theirs)
+    )
+    assert decode_entries(raw) == merged
+    assert encode_entries(decode_entries(raw)) == raw
